@@ -1,0 +1,126 @@
+// Acceptance test: the headline reproduction claim of this repository,
+// asserted as a test. It runs the full-scale 13-month timeline (shared
+// with the figure benchmarks via a cached run, ~7 s) and checks every
+// published window mean within tolerance. Skipped under -short.
+package archertwin_test
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// paperWindows holds the published cabinet power means in kW.
+var paperWindows = map[string]float64{
+	"figure1-baseline": 3220,
+	"figure2-before":   3220,
+	"figure2-after":    3010,
+	"figure3-before":   3010,
+	"figure3-after":    2530,
+}
+
+func TestPaperReproduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale timeline: skipped in -short mode")
+	}
+	res := fullTimeline(t)
+
+	// Every window mean within 2% of the published value.
+	for label, paper := range paperWindows {
+		w, ok := res.WindowByLabel(label)
+		if !ok {
+			t.Fatalf("missing window %q", label)
+		}
+		sim := w.MeanPower.Kilowatts()
+		if dev := math.Abs(sim-paper) / paper; dev > 0.02 {
+			t.Errorf("%s: simulated %.0f kW vs paper %.0f kW (%.1f%% off)",
+				label, sim, paper, dev*100)
+		}
+		// Paper: utilisation consistently over 90% in all periods.
+		if w.MeanUtil < 0.90 {
+			t.Errorf("%s: utilisation %.3f below the paper's >0.90", label, w.MeanUtil)
+		}
+	}
+
+	// Step sizes within 2 percentage points of the paper's.
+	bios := 1 - windowKW(t, res, "figure2-after")/windowKW(t, res, "figure2-before")
+	if math.Abs(bios-0.065) > 0.02 {
+		t.Errorf("BIOS step = %.3f, paper 0.065", bios)
+	}
+	freq := 1 - windowKW(t, res, "figure3-after")/windowKW(t, res, "figure3-before")
+	if math.Abs(freq-0.159) > 0.02 {
+		t.Errorf("frequency step = %.3f, paper 0.159", freq)
+	}
+
+	// Cumulative saving ~690 kW (+/-10%).
+	saving := windowKW(t, res, "figure1-baseline") - windowKW(t, res, "figure3-after")
+	if math.Abs(saving-690)/690 > 0.10 {
+		t.Errorf("cumulative saving = %.0f kW, paper 690 kW", saving)
+	}
+
+	// The run is a real service year: O(100k) jobs, tens of GWh.
+	if res.Sched.Completed < 100000 {
+		t.Errorf("completed jobs = %d, implausibly few", res.Sched.Completed)
+	}
+	if e := res.TotalUsage.Energy.GigawattHours(); e < 15 || e > 40 {
+		t.Errorf("job energy = %v GWh, outside plausible band", e)
+	}
+}
+
+func TestPaperReproductionDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale timeline: skipped in -short mode")
+	}
+	// The cached run must be byte-stable across invocations within a
+	// process; cross-process determinism is covered by the seed tests in
+	// internal/core. Here we assert the cached result is internally
+	// consistent: window sample counts cover the windows at the metering
+	// cadence.
+	res := fullTimeline(t)
+	for _, w := range res.Windows {
+		expect := int(w.Window.To.Sub(w.Window.From) / res.Config.Meter.Interval)
+		if w.SampleCount < expect*9/10 || w.SampleCount > expect {
+			t.Errorf("%s: %d samples, expected ~%d", w.Window.Label, w.SampleCount, expect)
+		}
+	}
+}
+
+func TestStepChangesDetectableFromTelemetry(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale timeline: skipped in -short mode")
+	}
+	// An analyst given only the twin's PMDB-style series should recover
+	// the operational change dates blindly, as one could from the paper's
+	// figures. Split the year at the known quiet point (Aug 1) and run
+	// change-point detection on each half.
+	res := fullTimeline(t)
+	aug := timeDate(2022, 8, 1)
+
+	firstHalf := res.Power.Slice(timeDate(2021, 12, 15), aug)
+	step1, ok := firstHalf.DetectStep(200, 0.03)
+	if !ok {
+		t.Fatal("BIOS step not detected")
+	}
+	if step1.At.Before(timeDate(2022, 5, 1)) || step1.At.After(timeDate(2022, 5, 31)) {
+		t.Errorf("BIOS step detected at %v, want May 2022", step1.At)
+	}
+	if step1.RelativeChg > -0.04 || step1.RelativeChg < -0.09 {
+		t.Errorf("BIOS step size = %.3f, want ~-0.065", step1.RelativeChg)
+	}
+
+	secondHalf := res.Power.Slice(aug, timeDate(2022, 12, 31))
+	step2, ok := secondHalf.DetectStep(200, 0.08)
+	if !ok {
+		t.Fatal("frequency step not detected")
+	}
+	if step2.At.Before(timeDate(2022, 11, 15)) || step2.At.After(timeDate(2022, 12, 10)) {
+		t.Errorf("frequency step detected at %v, want late Nov 2022", step2.At)
+	}
+	if step2.RelativeChg > -0.12 || step2.RelativeChg < -0.22 {
+		t.Errorf("frequency step size = %.3f, want ~-0.16", step2.RelativeChg)
+	}
+}
+
+func timeDate(y int, m time.Month, d int) time.Time {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,532 @@
+// Benchmark harness: one benchmark per paper table and figure, plus the
+// ablations called out in DESIGN.md. Each reproduction benchmark reports
+// the regenerated quantity as custom metrics (suffix _paper carries the
+// published value for eyeball comparison):
+//
+//	go test -bench=. -benchmem
+//
+// The full-timeline benchmarks share one cached 13-month, 5860-node run;
+// BenchmarkFullTimeline measures that simulation itself.
+package archertwin_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/des"
+	"github.com/greenhpc/archertwin/internal/emissions"
+	"github.com/greenhpc/archertwin/internal/facility"
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/node"
+	"github.com/greenhpc/archertwin/internal/policy"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/sched"
+	"github.com/greenhpc/archertwin/internal/timeseries"
+	"github.com/greenhpc/archertwin/internal/units"
+	"github.com/greenhpc/archertwin/internal/workload"
+)
+
+var epoch = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+
+// fullRun caches the full-scale timeline results shared by the figure
+// benchmarks.
+var (
+	fullOnce sync.Once
+	fullRes  *core.Results
+	fullErr  error
+)
+
+func fullTimeline(b testing.TB) *core.Results {
+	b.Helper()
+	fullOnce.Do(func() {
+		sim, err := core.NewSimulator(core.DefaultConfig())
+		if err != nil {
+			fullErr = err
+			return
+		}
+		fullRes, fullErr = sim.Run()
+	})
+	if fullErr != nil {
+		b.Fatal(fullErr)
+	}
+	return fullRes
+}
+
+func windowKW(b testing.TB, res *core.Results, label string) float64 {
+	b.Helper()
+	w, ok := res.WindowByLabel(label)
+	if !ok {
+		b.Fatalf("missing window %q", label)
+	}
+	return w.MeanPower.Kilowatts()
+}
+
+// BenchmarkTable1Inventory regenerates the paper's hardware summary.
+func BenchmarkTable1Inventory(b *testing.B) {
+	var cores int
+	for i := 0; i < b.N; i++ {
+		f, err := facility.New(facility.ARCHER2(), rng.New(1), epoch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cores = f.CoreCount()
+	}
+	b.ReportMetric(float64(cores), "cores")
+	b.ReportMetric(750080, "cores_paper")
+}
+
+// BenchmarkTable2ComponentPower regenerates the per-component breakdown.
+func BenchmarkTable2ComponentPower(b *testing.B) {
+	f, err := facility.New(facility.ARCHER2(), rng.New(1), epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var loaded units.Power
+	var share float64
+	for i := 0; i < b.N; i++ {
+		rows := f.Breakdown()
+		_, loaded = facility.BreakdownTotals(rows)
+		share = rows[0].PercentLoaded
+	}
+	b.ReportMetric(loaded.Kilowatts(), "loaded_kW")
+	b.ReportMetric(3500, "loaded_kW_paper")
+	b.ReportMetric(share, "compute_pct")
+	b.ReportMetric(86, "compute_pct_paper")
+}
+
+// BenchmarkTable3Determinism regenerates the BIOS-mode benchmark ratios.
+func BenchmarkTable3Determinism(b *testing.B) {
+	spec := cpu.EPYC7742()
+	var meanEnergy float64
+	for i := 0; i < b.N; i++ {
+		cat, err := apps.NewCatalog(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def := spec.DefaultSetting()
+		sum := 0.0
+		for _, app := range cat.Table3 {
+			sum += app.EnergyRatio(spec, def, cpu.PowerDeterminism, def, cpu.PerformanceDeterminism)
+		}
+		meanEnergy = sum / float64(len(cat.Table3))
+	}
+	b.ReportMetric(meanEnergy, "mean_energy_ratio")
+	b.ReportMetric((0.94+0.90+0.93)/3, "mean_energy_ratio_paper")
+}
+
+// BenchmarkTable4Frequency regenerates the frequency-cap benchmark ratios.
+func BenchmarkTable4Frequency(b *testing.B) {
+	spec := cpu.EPYC7742()
+	var meanPerf, meanEnergy float64
+	for i := 0; i < b.N; i++ {
+		cat, err := apps.NewCatalog(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		def, capped := spec.DefaultSetting(), spec.CappedSetting()
+		m := cpu.PerformanceDeterminism
+		var ps, es float64
+		for _, app := range cat.Table4 {
+			ps += app.PerfRatio(spec, def, m, capped, m)
+			es += app.EnergyRatio(spec, def, m, capped, m)
+		}
+		meanPerf = ps / float64(len(cat.Table4))
+		meanEnergy = es / float64(len(cat.Table4))
+	}
+	b.ReportMetric(meanPerf, "mean_perf_ratio")
+	b.ReportMetric((0.93+0.91+0.83+0.74+0.80+0.92+0.95)/7, "mean_perf_ratio_paper")
+	b.ReportMetric(meanEnergy, "mean_energy_ratio")
+	b.ReportMetric((0.88+0.93+0.92+0.92+0.80+0.82+0.88)/7, "mean_energy_ratio_paper")
+}
+
+// BenchmarkFullTimeline measures the complete 13-month, 5860-node run that
+// backs Figures 1-3.
+func BenchmarkFullTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim, err := core.NewSimulator(core.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := sim.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Power.Mean(), "mean_kW")
+	}
+}
+
+// BenchmarkFigure1Baseline regenerates the Dec 2021 - Apr 2022 baseline.
+func BenchmarkFigure1Baseline(b *testing.B) {
+	res := fullTimeline(b)
+	var kw float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, _ := res.WindowByLabel("figure1-baseline")
+		kw = res.Power.MeanBetween(w.Window.From, w.Window.To)
+	}
+	b.ReportMetric(kw, "kW")
+	b.ReportMetric(3220, "kW_paper")
+}
+
+// BenchmarkFigure2BIOS regenerates the Performance Determinism step.
+func BenchmarkFigure2BIOS(b *testing.B) {
+	res := fullTimeline(b)
+	var before, after float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before = windowKW(b, res, "figure2-before")
+		after = windowKW(b, res, "figure2-after")
+	}
+	b.ReportMetric(before, "before_kW")
+	b.ReportMetric(after, "after_kW")
+	b.ReportMetric((before-after)/before*100, "drop_pct")
+	b.ReportMetric(6.5, "drop_pct_paper")
+}
+
+// BenchmarkFigure3Frequency regenerates the 2.0 GHz default step.
+func BenchmarkFigure3Frequency(b *testing.B) {
+	res := fullTimeline(b)
+	var before, after float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		before = windowKW(b, res, "figure3-before")
+		after = windowKW(b, res, "figure3-after")
+	}
+	b.ReportMetric(before, "before_kW")
+	b.ReportMetric(after, "after_kW")
+	b.ReportMetric((before-after)/before*100, "drop_pct")
+	b.ReportMetric(15.9, "drop_pct_paper")
+}
+
+// BenchmarkEmissionsRegimes regenerates the SS2 regime analysis.
+func BenchmarkEmissionsRegimes(b *testing.B) {
+	params := emissions.ARCHER2Defaults()
+	var crossover float64
+	for i := 0; i < b.N; i++ {
+		pts := params.Sweep(units.Megawatts(3.5), []float64{5, 20, 40, 65, 100, 150, 200, 250})
+		if pts[0].Regime != emissions.Scope3Dominated ||
+			pts[len(pts)-1].Regime != emissions.Scope2Dominated {
+			b.Fatal("regime endpoints wrong")
+		}
+		crossover = params.CrossoverIntensity(units.Megawatts(3.5)).GramsPerKWh()
+	}
+	b.ReportMetric(crossover, "crossover_g_per_kWh")
+	b.ReportMetric(65, "crossover_paper_band_mid")
+}
+
+// BenchmarkConclusionsSummary regenerates the paper's SS5 headline claims:
+// the ~690 kW cumulative saving, the ~50% idle:loaded node ratio and the
+// load-insensitive switch power.
+func BenchmarkConclusionsSummary(b *testing.B) {
+	res := fullTimeline(b)
+	spec := cpu.EPYC7742()
+	var saving, idleRatio float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		saving = windowKW(b, res, "figure1-baseline") - windowKW(b, res, "figure3-after")
+		idle := node.IdlePower(spec).Watts()
+		loaded := node.ExpectedPower(spec, spec.DefaultSetting(),
+			facility.TypicalLoadedActivity, cpu.PowerDeterminism).Watts()
+		idleRatio = idle / loaded
+	}
+	b.ReportMetric(saving, "saving_kW")
+	b.ReportMetric(690, "saving_kW_paper")
+	b.ReportMetric(idleRatio*100, "idle_pct_of_loaded")
+	b.ReportMetric(50, "idle_pct_paper")
+}
+
+// ablationRun executes a scaled 21-day run and returns the steady-window
+// mean power and utilisation.
+func ablationRun(b *testing.B, mutate func(*core.Config)) (kW, util float64) {
+	b.Helper()
+	cfg := core.ScaledConfig(150, epoch, 21)
+	cfg.Windows = []core.Window{{Label: "w", From: epoch.AddDate(0, 0, 7), To: epoch.AddDate(0, 0, 21)}}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, _ := res.WindowByLabel("w")
+	return w.MeanPower.Kilowatts(), w.MeanUtil
+}
+
+// BenchmarkAblationOverrides quantifies the module-override policy: power
+// given back (kW on 150 nodes) in exchange for protecting compute-bound
+// applications from the frequency cap.
+func BenchmarkAblationOverrides(b *testing.B) {
+	capped := cpu.EPYC7742().CappedSetting()
+	perfDet := cpu.PerformanceDeterminism
+	timeline := policy.Timeline{Changes: []policy.Change{
+		{At: epoch, Mode: &perfDet},
+		{At: epoch.AddDate(0, 0, 1), Setting: &capped},
+	}}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with, _ = ablationRun(b, func(c *core.Config) {
+			c.Timeline = timeline
+			c.Policy = policy.Config{OverrideThreshold: 0.10, OverridesEnabled: true}
+		})
+		without, _ = ablationRun(b, func(c *core.Config) {
+			c.Timeline = timeline
+			c.Policy = policy.Config{OverridesEnabled: false}
+		})
+	}
+	b.ReportMetric(with, "with_overrides_kW")
+	b.ReportMetric(without, "without_overrides_kW")
+	b.ReportMetric(with-without, "override_cost_kW")
+}
+
+// BenchmarkAblationNoBackfill quantifies what EASY backfill buys: the
+// utilisation (and hence output) lost under plain FCFS.
+func BenchmarkAblationNoBackfill(b *testing.B) {
+	var easy, fcfs float64
+	for i := 0; i < b.N; i++ {
+		_, easy = ablationRun(b, nil)
+		_, fcfs = ablationRun(b, func(c *core.Config) { c.Sched.BackfillDepth = 0 })
+	}
+	b.ReportMetric(easy*100, "easy_util_pct")
+	b.ReportMetric(fcfs*100, "fcfs_util_pct")
+}
+
+// BenchmarkAblationUtilisation quantifies the paper's SS5 point that high
+// utilisation is an energy-efficiency requirement: an undersubscribed
+// facility still burns most of its power (idle nodes draw ~50%).
+func BenchmarkAblationUtilisation(b *testing.B) {
+	var satKW, satUtil, lowKW, lowUtil float64
+	for i := 0; i < b.N; i++ {
+		satKW, satUtil = ablationRun(b, nil)
+		lowKW, lowUtil = ablationRun(b, func(c *core.Config) { c.OverSubscription = 0.5 })
+	}
+	perNodeHourSat := satKW / (150 * satUtil)
+	perNodeHourLow := lowKW / (150 * lowUtil)
+	b.ReportMetric(satUtil*100, "saturated_util_pct")
+	b.ReportMetric(lowUtil*100, "undersub_util_pct")
+	b.ReportMetric(perNodeHourLow/perNodeHourSat, "energy_per_nodeh_penalty")
+}
+
+// BenchmarkAblationVoltageCurve quantifies the sensitivity of the Table 4
+// reproduction to the assumed 2.0 GHz operating voltage (DESIGN.md SS5).
+func BenchmarkAblationVoltageCurve(b *testing.B) {
+	base := cpu.EPYC7742()
+	flat := cpu.EPYC7742()
+	flat.PStates = append([]cpu.PState(nil), flat.PStates...)
+	flat.PStates[1].Voltage = 1.0 // no voltage reduction at 2.0 GHz
+	var deltaDyn float64
+	for i := 0; i < b.N; i++ {
+		f20 := units.Gigahertz(2.0)
+		deltaDyn = flat.DynFraction(f20) - base.DynFraction(f20)
+	}
+	b.ReportMetric(base.DynFraction(units.Gigahertz(2.0)), "dyn_fraction_base")
+	b.ReportMetric(deltaDyn, "dyn_fraction_delta_flatV")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkNodePower(b *testing.B) {
+	spec := cpu.EPYC7742()
+	n := node.New(1, spec, rng.New(1), epoch)
+	n.StartWork(cpu.Activity{Core: 0.7, Uncore: 0.6}, epoch)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += n.Power().Watts()
+	}
+	_ = acc
+}
+
+func BenchmarkFacilityCabinetPower(b *testing.B) {
+	f, err := facility.New(facility.ARCHER2(), rng.New(1), epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		f.Node(i).StartWork(facility.TypicalLoadedActivity, epoch)
+	}
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += f.CabinetPower().Watts()
+	}
+	_ = acc
+}
+
+func BenchmarkDESEvents(b *testing.B) {
+	eng := des.NewEngine(epoch)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.After(time.Duration(i%1000)*time.Second, func(time.Time) {})
+		if i%1024 == 1023 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkRNGStream(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		acc += r.Float64()
+	}
+	_ = acc
+}
+
+func BenchmarkTimeseriesAppendAndMean(b *testing.B) {
+	s := timeseries.New("x", "u")
+	t := epoch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.MustAppend(t, float64(i))
+		t = t.Add(time.Minute)
+	}
+	_ = s.Mean()
+}
+
+func BenchmarkSchedulerChurn(b *testing.B) {
+	fcfg := facility.ARCHER2()
+	fcfg.Nodes = 256
+	fac, err := facility.New(fcfg, rng.New(1), epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := des.NewEngine(epoch)
+	prov, err := policy.NewProvider(fcfg.CPU, policy.DefaultConfig(), rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := sched.New(eng, fac, prov, sched.DefaultConfig())
+	app := &apps.App{Name: "bench", ActCore: 0.6, ActUncore: 0.6}
+	stream := rng.New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Submit(workload.JobSpec{
+			ID: i, Class: "bench", App: app,
+			Nodes:      1 + stream.Intn(32),
+			RefRuntime: time.Duration(1+stream.Intn(6)) * time.Hour,
+		})
+		if i%256 == 255 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+// --- future-work feature benchmarks (paper SS5) ---
+
+// BenchmarkFutureWorkVariants regenerates the compiler/library-choice
+// analysis grid: build variants x frequency settings for a CASTEP-like
+// code, reporting the energy-to-solution spread the choice of build opens.
+func BenchmarkFutureWorkVariants(b *testing.B) {
+	spec := cpu.EPYC7742()
+	cat, err := apps.NewCatalog(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	app := cat.ByName("CASTEP Al Slab")
+	settings := []cpu.FreqSetting{
+		{Base: units.Gigahertz(1.5)}, spec.CappedSetting(), spec.DefaultSetting(),
+	}
+	var minE, maxE float64
+	for i := 0; i < b.N; i++ {
+		pts, err := apps.SweepVariants(spec, app, apps.CommonVariants(), settings, cpu.PerformanceDeterminism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		minE, maxE = pts[0].EnergyVsBase, pts[0].EnergyVsBase
+		for _, p := range pts {
+			if p.EnergyVsBase < minE {
+				minE = p.EnergyVsBase
+			}
+			if p.EnergyVsBase > maxE {
+				maxE = p.EnergyVsBase
+			}
+		}
+	}
+	b.ReportMetric(minE, "best_energy_vs_base")
+	b.ReportMetric(maxE, "worst_energy_vs_base")
+}
+
+// BenchmarkFutureWorkSurrogate regenerates the AI-replacement break-even
+// analysis for a climate-model-like workload.
+func BenchmarkFutureWorkSurrogate(b *testing.B) {
+	spec := cpu.EPYC7742()
+	model := &apps.App{
+		Name:    "ocean-model",
+		Kernel:  rooflineKernel(0.25),
+		ActCore: 0.55, ActUncore: 1.0,
+		RefNodes: 64, RefRuntime: 16 * time.Hour,
+	}
+	sur := apps.Surrogate{
+		Name:            "emulator",
+		TrainingEnergy:  apps.TrainingEnergyFromRuns(spec, model, spec.DefaultSetting(), cpu.PerformanceDeterminism, 200),
+		SpeedupFactor:   50,
+		NodeFactor:      0.25,
+		CoveredFraction: 0.80,
+	}
+	var be int
+	for i := 0; i < b.N; i++ {
+		var err error
+		be, err = apps.BreakEvenRuns(spec, model, sur, spec.DefaultSetting(), cpu.PerformanceDeterminism)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(be), "breakeven_runs")
+}
+
+// BenchmarkLifetimeReplacement regenerates the replace-vs-keep analysis on
+// dirty and clean grid trajectories.
+func BenchmarkLifetimeReplacement(b *testing.B) {
+	params := emissions.ARCHER2Defaults()
+	opt := emissions.ReplacementOption{
+		Name: "successor", Embodied: params.Embodied,
+		Lifetime: params.Lifetime, PowerRatio: 0.70,
+	}
+	dirty := emissions.Trajectory{Start: units.GramsPerKWh(300), AnnualDecline: 0.02, Floor: units.GramsPerKWh(50)}
+	clean := emissions.Trajectory{Start: units.GramsPerKWh(25), AnnualDecline: 0.05, Floor: units.GramsPerKWh(10)}
+	var advDirty, advClean float64
+	for i := 0; i < b.N; i++ {
+		rd, err := params.CompareReplacement(units.Megawatts(3.5), 6, dirty, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rc, err := params.CompareReplacement(units.Megawatts(3.5), 6, clean, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		advDirty, advClean = rd.Advantage.Kilotonnes(), rc.Advantage.Kilotonnes()
+	}
+	b.ReportMetric(advDirty, "replace_adv_dirty_kt")
+	b.ReportMetric(advClean, "replace_adv_clean_kt")
+}
+
+// BenchmarkGridYear measures synthetic grid generation (intensity + price
+// + stress events for one year at hourly resolution).
+func BenchmarkGridYear(b *testing.B) {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	var mean float64
+	for i := 0; i < b.N; i++ {
+		y, err := grid.GenerateYear(grid.GB2022(), grid.GB2022Prices(), start, 0.3, rng.New(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		mean = y.Intensity.Mean()
+	}
+	b.ReportMetric(mean, "mean_gCO2_per_kWh")
+}
+
+// rooflineKernel is a tiny helper keeping the bench file free of a direct
+// roofline import alias clash.
+func rooflineKernel(c float64) roofline.Kernel { return roofline.Kernel{ComputeFraction: c} }

@@ -1,0 +1,190 @@
+// Command emissions explores the paper's SS2 emissions analysis for an
+// ARCHER2-class facility: scope 2 vs scope 3 balance across grid
+// carbon-intensity scenarios, the regime classification that determines
+// operating strategy, and the crossover intensity.
+//
+// Usage:
+//
+//	emissions [-power-mw 3.5] [-embodied-kt 12] [-lifetime-years 6]
+//	          [-sweep "5,20,40,65,100,150,200,250"] [-trace]
+//
+// -trace additionally runs a synthetic GB-grid year and accounts emissions
+// against the generated hourly intensity rather than a constant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/emissions"
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emissions: ")
+	powerMW := flag.Float64("power-mw", 3.5, "facility mean power draw in MW")
+	embodiedKt := flag.Float64("embodied-kt", 12, "embodied (scope 3) emissions in ktCO2e")
+	lifetimeYears := flag.Float64("lifetime-years", 6, "service life in years")
+	sweep := flag.String("sweep", "5,20,40,65,100,150,200,250",
+		"comma-separated carbon intensities (gCO2/kWh) to evaluate")
+	trace := flag.Bool("trace", false, "also account a synthetic GB-grid year")
+	lifetime := flag.Bool("lifetime", false, "also print the multi-year decarbonising-grid account")
+	replace := flag.Bool("replace", false, "also print the early-replacement analysis")
+	seed := flag.Uint64("seed", 1, "seed for the synthetic grid trace")
+	flag.Parse()
+
+	params := emissions.Params{
+		Embodied: units.Kilotonnes(*embodiedKt),
+		Lifetime: time.Duration(*lifetimeYears * 365 * 24 * float64(time.Hour)),
+	}
+	if err := params.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	power := units.Megawatts(*powerMW)
+
+	intensities, err := parseSweep(*sweep)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	x := params.CrossoverIntensity(power)
+	fmt.Printf("Facility: %v mean draw, %v embodied over %.1f years\n",
+		power, params.Embodied, *lifetimeYears)
+	fmt.Printf("Scope2 = Scope3 crossover: %v (paper SS2 places this in the 30-100 g/kWh band)\n\n", x)
+
+	t := report.NewTable("Annual emissions by grid carbon intensity (paper SS2 scenarios)",
+		"gCO2/kWh", "band", "scope 2", "scope 3", "total", "scope-2 share", "regime", "strategy")
+	for _, pt := range params.Sweep(power, intensities) {
+		w := pt.Window
+		t.AddRow(
+			fmt.Sprintf("%.0f", pt.CI.GramsPerKWh()),
+			grid.BandOf(pt.CI).String(),
+			fmt.Sprintf("%.0f t", w.Scope2.Tonnes()),
+			fmt.Sprintf("%.0f t", w.Scope3.Tonnes()),
+			fmt.Sprintf("%.0f t", w.Total.Tonnes()),
+			fmt.Sprintf("%.0f%%", w.Scope2Share()*100),
+			pt.Regime.String(),
+			pt.Regime.Strategy(),
+		)
+	}
+	fmt.Println(t.String())
+
+	if *trace {
+		printTraceYear(params, power, *seed)
+	}
+	if *lifetime {
+		printLifetime(params, power)
+	}
+	if *replace {
+		printReplacement(params, power)
+	}
+}
+
+func printLifetime(params emissions.Params, power units.Power) {
+	tr := emissions.GBTrajectory()
+	accounts, err := params.LifetimeAccount(power, 6, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t := report.NewTable("Six-year service life under the GB decarbonisation trajectory",
+		"year", "grid gCO2/kWh", "scope 2", "scope 3", "total", "regime")
+	for _, a := range accounts {
+		t.AddRow(fmt.Sprint(a.Year),
+			fmt.Sprintf("%.0f", a.CI.GramsPerKWh()),
+			fmt.Sprintf("%.0f t", a.Scope2.Tonnes()),
+			fmt.Sprintf("%.0f t", a.Scope3.Tonnes()),
+			fmt.Sprintf("%.0f t", a.Total.Tonnes()),
+			a.Regime.String())
+	}
+	t.AddRow("SUM", "", "", "", fmt.Sprintf("%.0f t", emissions.SumTotal(accounts).Tonnes()), "")
+	fmt.Println(t.String())
+}
+
+func printReplacement(params emissions.Params, power units.Power) {
+	opt := emissions.ReplacementOption{
+		Name:       "30%-more-efficient successor",
+		Embodied:   params.Embodied,
+		Lifetime:   params.Lifetime,
+		PowerRatio: 0.70,
+	}
+	t := report.NewTable("Replace now vs keep, 6-year horizon (incumbent embodied is sunk)",
+		"grid trajectory", "keep (scope 2 only)", "replace (new scope 3 + scope 2)", "advantage of replacing")
+	for _, sc := range []struct {
+		name string
+		tr   emissions.Trajectory
+	}{
+		{"dirty, slow decline (300 -2%/yr)", emissions.Trajectory{
+			Start: units.GramsPerKWh(300), AnnualDecline: 0.02, Floor: units.GramsPerKWh(50)}},
+		{"GB trend (200 -9%/yr)", emissions.GBTrajectory()},
+		{"already clean (25 -5%/yr)", emissions.Trajectory{
+			Start: units.GramsPerKWh(25), AnnualDecline: 0.05, Floor: units.GramsPerKWh(10)}},
+	} {
+		res, err := params.CompareReplacement(power, 6, sc.tr, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(sc.name,
+			fmt.Sprintf("%.1f kt", res.KeepTotal.Kilotonnes()),
+			fmt.Sprintf("%.1f kt", res.ReplaceTotal.Kilotonnes()),
+			fmt.Sprintf("%+.1f kt", res.Advantage.Kilotonnes()))
+	}
+	fmt.Println(t.String())
+}
+
+func parseSweep(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad sweep value %q: %v", p, err)
+		}
+		if v < 0 {
+			return nil, fmt.Errorf("negative intensity %v", v)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty sweep")
+	}
+	return out, nil
+}
+
+func printTraceYear(params emissions.Params, power units.Power, seed uint64) {
+	start := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	model := grid.GB2022()
+	tr, err := model.Trace(start, start.AddDate(1, 0, 0), time.Hour, rng.New(seed).Split("grid"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Hour-by-hour scope 2 against the trace.
+	var scope2 units.Mass
+	hour := time.Hour
+	for _, smp := range tr.Samples() {
+		scope2 += power.EnergyOver(hour).Emissions(units.GramsPerKWh(smp.V))
+	}
+	scope3 := params.AmortisedScope3(365 * 24 * time.Hour)
+	mean := grid.MeanIntensity(tr)
+
+	t := report.NewTable("Synthetic GB-grid year (hourly accounting)", "item", "value")
+	t.AddRow("trace mean intensity", mean.String())
+	t.AddRow("trace band", grid.BandOf(mean).String())
+	t.AddRow("scope 2 (hourly)", fmt.Sprintf("%.0f t", scope2.Tonnes()))
+	t.AddRow("scope 3 (amortised)", fmt.Sprintf("%.0f t", scope3.Tonnes()))
+	w := emissions.Window{
+		Duration: 365 * 24 * time.Hour,
+		Scope2:   scope2, Scope3: scope3,
+		Total: units.Mass(scope2.Grams() + scope3.Grams()),
+	}
+	t.AddRow("regime", emissions.RegimeOf(w).String())
+	t.AddRow("strategy", emissions.RegimeOf(w).Strategy())
+	fmt.Println(t.String())
+}

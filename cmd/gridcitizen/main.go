@@ -1,0 +1,137 @@
+// Command gridcitizen studies the demand-response behaviour the paper's
+// grid-citizenship discussion motivates: during winter evening grid-stress
+// events, the operator reclocks the whole running fleet to 2.0 GHz and
+// restores the stock frequency afterwards. The tool reports the power
+// freed during events and the throughput cost.
+//
+// Usage:
+//
+//	gridcitizen [-nodes 500] [-days 60] [-stress-prob 0.4] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("gridcitizen: ")
+	nodes := flag.Int("nodes", 500, "facility size in compute nodes")
+	days := flag.Int("days", 60, "simulated winter days")
+	stressProb := flag.Float64("stress-prob", 0.4, "probability of a stress event per winter weekday")
+	mode := flag.String("mode", "reclock",
+		"demand-response mechanism: reclock (slow running jobs), cap (admission control), both")
+	capFrac := flag.Float64("cap-frac", 0.75, "admission power cap during events, as a fraction of pre-event busy power")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+	useReclock := *mode == "reclock" || *mode == "both"
+	useCap := *mode == "cap" || *mode == "both"
+	if !useReclock && !useCap {
+		log.Fatalf("unknown -mode %q (use reclock, cap or both)", *mode)
+	}
+
+	start := time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
+	cfg := core.ScaledConfig(*nodes, start, *days)
+	cfg.Seed = *seed
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	events := grid.StressEvents(start, cfg.End, *stressProb, rng.New(*seed).Split("stress"))
+	spec := cfg.Facility.CPU
+	capped, stock := spec.CappedSetting(), spec.DefaultSetting()
+
+	// Measure cabinet power just before each transition.
+	type eventRecord struct {
+		event     grid.StressEvent
+		beforeKW  float64
+		duringKW  float64
+		reclocked int
+	}
+	records := make([]*eventRecord, len(events))
+	for i, ev := range events {
+		i, ev := i, ev
+		records[i] = &eventRecord{event: ev}
+		sim.Engine().At(ev.Start, func(time.Time) {
+			records[i].beforeKW = sim.Facility().CabinetPower().Kilowatts()
+			if useCap {
+				busy := sim.Scheduler().EstimatedBusyPower()
+				sim.Scheduler().SetPowerCap(busy.Scale(*capFrac))
+			}
+			if useReclock {
+				n, err := sim.Scheduler().ReclockRunning(capped)
+				if err != nil {
+					log.Fatal(err)
+				}
+				records[i].reclocked = n
+			}
+		})
+		// Sample mid-event, then restore.
+		sim.Engine().At(ev.Start.Add(ev.Duration()/2), func(time.Time) {
+			records[i].duringKW = sim.Facility().CabinetPower().Kilowatts()
+		})
+		sim.Engine().At(ev.End, func(time.Time) {
+			if useCap {
+				sim.Scheduler().SetPowerCap(0)
+			}
+			if useReclock {
+				if _, err := sim.Scheduler().ReclockRunning(stock); err != nil {
+					log.Fatal(err)
+				}
+			}
+		})
+	}
+
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable(
+		fmt.Sprintf("Demand response on %d nodes over %d days (%d stress events)",
+			*nodes, *days, len(events)),
+		"event start", "jobs reclocked", "before", "during", "freed")
+	var totalFreed, totalBefore float64
+	for _, r := range records {
+		if r.duringKW == 0 {
+			continue
+		}
+		freed := r.beforeKW - r.duringKW
+		totalFreed += freed
+		totalBefore += r.beforeKW
+		t.AddRow(r.event.Start.Format("2006-01-02 15:04"),
+			fmt.Sprint(r.reclocked),
+			report.KW(r.beforeKW), report.KW(r.duringKW), report.KW(freed))
+	}
+	fmt.Println(t.String())
+
+	if n := t.RowCount(); n > 0 {
+		meanFreed := totalFreed / float64(n)
+		meanBefore := totalBefore / float64(n)
+		fmt.Printf("mean power freed per event: %s (%s of pre-event draw)\n",
+			report.KW(meanFreed), report.Pct(meanFreed/meanBefore))
+		full := units.Kilowatts(meanFreed).Scale(5860 / float64(*nodes))
+		fmt.Printf("scaled to the full 5860-node system: ~%s per event\n", full)
+
+		// Cost: stress-event electricity trades at the scarcity multiplier
+		// (grid.GB2022Prices), so each kWh avoided in-event is worth
+		// multiplier x base price.
+		pm := grid.GB2022Prices()
+		perEvent := units.Kilowatts(meanFreed).EnergyOver(3 * time.Hour)
+		saved := units.CostPerKWh(pm.Base * pm.ScarcityMultiplier).Over(perEvent)
+		fmt.Printf("avoided scarcity-priced energy: %.0f kWh/event, ~%.0f GBP/event at %gx scarcity pricing\n",
+			perEvent.KilowattHours(), float64(saved), pm.ScarcityMultiplier)
+	}
+	fmt.Printf("jobs completed: %d, mean wait %v\n",
+		res.Sched.Completed, res.Sched.MeanWait().Round(time.Second))
+}

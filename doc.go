@@ -1,0 +1,12 @@
+// Package archertwin is a digital twin of an ARCHER2-class HPC facility
+// for energy and emissions studies, reproducing Jackson, Simpson and
+// Turner, "Emissions and energy efficiency on large-scale high performance
+// computing facilities: ARCHER2 UK national supercomputing service case
+// study" (SC 2023).
+//
+// The root package carries the repository-level benchmark harness
+// (bench_test.go): one benchmark per paper table and figure, each
+// reporting the reproduced quantity as a custom benchmark metric next to
+// the paper's published value. The library itself lives under internal/
+// and is exercised through the cmd/ tools and examples/ programs.
+package archertwin

@@ -1,0 +1,112 @@
+// AI surrogate: the paper's §5 names "the impact on energy and emissions
+// efficiency of replacing parts of modelling applications by AI-based
+// approaches" as future work. This example runs that analysis for a
+// climate-model-like workload: a learned emulator replaces 80% of the
+// simulation at 50x inference speed on a quarter of the nodes, at the cost
+// of a training campaign worth ~200 production runs.
+//
+// It reports the energy break-even, the emissions break-even on dirty and
+// clean grids, and how scheduling the training into the year's cheapest
+// (wind-surplus) windows moves the answer.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec := cpu.EPYC7742()
+	mode := cpu.PerformanceDeterminism
+	fs := spec.DefaultSetting()
+
+	model := &apps.App{
+		Name:       "ocean-model",
+		Kernel:     roofline.Kernel{ComputeFraction: 0.25},
+		ActCore:    0.55,
+		ActUncore:  1.0,
+		RefNodes:   64,
+		RefRuntime: 16 * time.Hour,
+	}
+	sur := apps.Surrogate{
+		Name:            "learned emulator",
+		TrainingEnergy:  apps.TrainingEnergyFromRuns(spec, model, fs, mode, 200),
+		SpeedupFactor:   50,
+		NodeFactor:      0.25,
+		CoveredFraction: 0.80,
+	}
+
+	runE := apps.RunEnergy(spec, model, fs, mode)
+	surE, err := apps.SurrogateRunEnergy(spec, model, sur, fs, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+	be, err := apps.BreakEvenRuns(spec, model, sur, fs, mode)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	t := report.NewTable("Energy analysis", "item", "value")
+	t.AddRow("conventional run energy", runE.String())
+	t.AddRow("surrogate run energy", surE.String())
+	t.AddRow("per-run saving", fmt.Sprintf("%.1f%%", (1-surE.Joules()/runE.Joules())*100))
+	t.AddRow("training energy", sur.TrainingEnergy.String())
+	t.AddRow("energy break-even", fmt.Sprintf("%d production runs", be))
+	fmt.Println(t.String())
+
+	// Emissions: campaign of 150 runs (below the energy break-even).
+	const runs = 150
+	t2 := report.NewTable(
+		fmt.Sprintf("Emissions over a %d-run campaign (training grid vs production grid)", runs),
+		"scenario", "conventional", "surrogate", "saving")
+	scenarios := []struct {
+		name    string
+		trainCI float64
+		prodCI  float64
+	}{
+		{"train + produce on 2022 GB grid (200 g/kWh)", 200, 200},
+		{"train in clean windows (40), produce on GB grid", 40, 200},
+		{"train + produce on future grid (25 g/kWh)", 25, 25},
+	}
+	for _, sc := range scenarios {
+		cmp, err := apps.CompareEmissions(spec, model, sur, fs, mode, runs,
+			units.GramsPerKWh(sc.trainCI), units.GramsPerKWh(sc.prodCI))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t2.AddRow(sc.name,
+			fmt.Sprintf("%.1f t", cmp.Conventional.Tonnes()),
+			fmt.Sprintf("%.1f t", cmp.Surrogate.Tonnes()),
+			fmt.Sprintf("%+.1f t", cmp.Saving.Tonnes()))
+	}
+	fmt.Println(t2.String())
+
+	// Where are this year's cheapest/cleanest training windows?
+	year, err := grid.GenerateYear(grid.GB2022(), grid.GB2022Prices(),
+		time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC), 0.3, rng.New(11))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wins := grid.CheapestWindows(year.Price, 72*time.Hour, 3)
+	t3 := report.NewTable("Cheapest 72h training windows in the synthetic GB year",
+		"window start", "mean price /kWh", "mean intensity g/kWh")
+	for _, w := range wins {
+		t3.AddRow(w.Format("2006-01-02 15:04"),
+			fmt.Sprintf("%.3f", year.Price.TimeWeightedMean(w, w.Add(72*time.Hour))),
+			fmt.Sprintf("%.0f", year.Intensity.TimeWeightedMean(w, w.Add(72*time.Hour))))
+	}
+	fmt.Println(t3.String())
+	fmt.Println("Training scheduled into cheap (windy) windows is also low-carbon:")
+	fmt.Println("price and intensity are coupled, so the emissions break-even moves")
+	fmt.Println("well below the energy break-even.")
+}

@@ -1,0 +1,63 @@
+// Frequency tuning: the paper "strongly encouraged users to benchmark the
+// effect of CPU frequency on their use of ARCHER2 and choose an
+// appropriate setting". This example is that benchmarking session for the
+// calibrated application catalogue: it sweeps every available operating
+// point (1.5 GHz, 2.0 GHz, 2.25 GHz, 2.25+boost) for every paper
+// benchmark and prints performance, node power and energy-to-solution,
+// plus the recommendation under each of the paper's SS2 priorities.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+	spec := cpu.EPYC7742()
+	cat, err := apps.NewCatalog(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	settings := []cpu.FreqSetting{
+		{Base: units.Gigahertz(1.5)},
+		{Base: units.Gigahertz(2.0)},
+		{Base: units.Gigahertz(2.25)},
+		spec.DefaultSetting(), // 2.25 + boost
+	}
+	mode := cpu.PerformanceDeterminism
+	ref := spec.DefaultSetting()
+
+	for _, app := range cat.Table4 {
+		t := report.NewTable(
+			fmt.Sprintf("%s (%d nodes, compute fraction %.2f)",
+				app.Name, app.RefNodes, app.Kernel.ComputeFraction),
+			"setting", "perf ratio", "node power", "energy ratio")
+		bestEnergy, bestEnergySetting := 1e18, settings[0]
+		for _, fs := range settings {
+			perf := app.PerfRatio(spec, ref, mode, fs, mode)
+			power := app.NodePower(spec, fs, mode)
+			energy := app.EnergyRatio(spec, ref, mode, fs, mode)
+			t.AddRow(fs.String(), report.Ratio(perf), power.String(), report.Ratio(energy))
+			if energy < bestEnergy {
+				bestEnergy, bestEnergySetting = energy, fs
+			}
+		}
+		fmt.Println(t.String())
+		loss := 1 - app.PerfRatio(spec, ref, mode, spec.CappedSetting(), mode)
+		fmt.Printf("  scope-2-dominated grid: run at %v (best energy-to-solution, ratio %.2f)\n",
+			bestEnergySetting, bestEnergy)
+		fmt.Printf("  scope-3-dominated grid: run at %v (max output per node-hour)\n", ref)
+		if loss > 0.10 {
+			fmt.Printf("  service policy: module override applies (%.0f%% loss at 2.0 GHz > 10%% threshold)\n\n", loss*100)
+		} else {
+			fmt.Printf("  service policy: capped default acceptable (%.0f%% loss at 2.0 GHz)\n\n", loss*100)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+// Grid citizen: the paper's work was done "specifically within the
+// context of reducing the power draw of ARCHER2 during Winter 2022/2023
+// when there were concerns about power shortages on the UK power grid".
+// This example walks through one such afternoon: a 17:00-20:00 grid
+// stress event during which the operator reclocks the entire running
+// fleet to 2.0 GHz, then restores the stock frequency, and shows the
+// cabinet power trace around the event.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/telemetry"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	start := time.Date(2022, 12, 5, 0, 0, 0, 0, time.UTC)
+	cfg := core.ScaledConfig(300, start, 4)
+	cfg.Meter = telemetry.MeterConfig{Interval: 5 * time.Minute} // fine-grained, no noise
+	sim, err := core.NewSimulator(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	spec := cfg.Facility.CPU
+	eventStart := start.AddDate(0, 0, 2).Add(17 * time.Hour)
+	eventEnd := eventStart.Add(3 * time.Hour)
+
+	var beforeKW, duringKW int64
+	var nJobs int
+	sim.Engine().At(eventStart, func(time.Time) {
+		beforeKW = int64(sim.Facility().CabinetPower().Kilowatts())
+		n, err := sim.Scheduler().ReclockRunning(spec.CappedSetting())
+		if err != nil {
+			log.Fatal(err)
+		}
+		nJobs = n
+	})
+	sim.Engine().At(eventStart.Add(90*time.Minute), func(time.Time) {
+		duringKW = int64(sim.Facility().CabinetPower().Kilowatts())
+	})
+	sim.Engine().At(eventEnd, func(time.Time) {
+		if _, err := sim.Scheduler().ReclockRunning(spec.DefaultSetting()); err != nil {
+			log.Fatal(err)
+		}
+	})
+
+	res, err := sim.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	windowFrom := eventStart.Add(-6 * time.Hour)
+	windowTo := eventEnd.Add(6 * time.Hour)
+	fig := report.Figure{
+		Title:  "Cabinet power around a 17:00-20:00 grid stress event (300 nodes)",
+		Series: res.Power.Slice(windowFrom, windowTo),
+	}
+	fig.AddNote("event %s -> %s", eventStart.Format("15:04"), eventEnd.Format("15:04"))
+	fig.AddNote("reclocked %d running jobs to 2.0 GHz", nJobs)
+	fig.AddNote("power before %d kW, during %d kW: %d kW freed for the grid",
+		beforeKW, duringKW, beforeKW-duringKW)
+	fmt.Println(fig.String())
+
+	freedFrac := float64(beforeKW-duringKW) / float64(beforeKW)
+	fmt.Printf("At ARCHER2 scale the same action frees roughly %.0f kW within minutes,\n",
+		freedFrac*3200)
+	fmt.Println("with the displaced work recovered after the event - the 'good grid")
+	fmt.Println("citizen' behaviour the paper argues large HPC facilities must offer.")
+}

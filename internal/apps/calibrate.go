@@ -1,0 +1,150 @@
+package apps
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/node"
+	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// This file inverts the paper's published ratios into model parameters.
+// The algebra, with I = node idle power, Dc = node core-dynamic headroom,
+// Du = node uncore headroom, d = DynFraction(f), g = mean die factor of
+// the BIOS mode, ac/au = activity factors:
+//
+//	P(f, mode) = I + ac*Dc*g*d(f) + au*Du
+//
+// Frequency calibration (Table 4, both measurements in the same mode):
+// given perf ratio r and energy ratio e at f vs boost, the power ratio is
+// rho = e*r and
+//
+//	ac = (1-rho) * (I + au*Du) / (Dc*g * (rho - d(f)))
+//
+// Mode-switch calibration (Table 3, both measurements at boost): with
+// rho = e*r comparing Performance Determinism to Power Determinism,
+//
+//	ac = (1-rho) * (I + au*Du) / (Dc * (rho - g))
+//
+// In both cases au is assigned from the application's research-area class
+// (memory-system intensity is a property of the algorithm family), and the
+// compute fraction c comes from inverting the roofline perf ratio.
+
+// nodeConstants extracts the node-level power constants from a socket spec.
+func nodeConstants(spec *cpu.Spec) (idle, coreDyn, uncoreDyn float64) {
+	idle = node.IdlePower(spec).Watts()
+	coreDyn = float64(node.SocketsPerNode) * spec.CoreDynMax.Watts()
+	uncoreDyn = float64(node.SocketsPerNode) * spec.UncoreDynMax.Watts()
+	return idle, coreDyn, uncoreDyn
+}
+
+// CalibrateFrequency solves (computeFraction, actCore) from a Table 4 style
+// observation: perf ratio r and energy ratio e at frequency setting fs
+// versus the boosted default, both measured in mode m, with the uncore
+// activity au assigned a priori.
+func CalibrateFrequency(spec *cpu.Spec, r, e, au float64, fs cpu.FreqSetting, m cpu.Mode) (c, ac float64, err error) {
+	if r <= 0 || r > 1 || e <= 0 {
+		return 0, 0, fmt.Errorf("apps: implausible ratios r=%v e=%v", r, e)
+	}
+	f := spec.EffectiveFrequency(fs)
+	c, err = roofline.ComputeFractionFromPerfRatio(r, f, spec.BoostFreq)
+	if err != nil {
+		return 0, 0, err
+	}
+	I, Dc, Du := nodeConstants(spec)
+	g := spec.MeanDieFactor(m)
+	d := spec.DynFraction(f)
+	rho := e * r
+	if rho <= d+0.01 {
+		return 0, 0, fmt.Errorf("apps: power ratio %.3f at or below dynamic floor %.3f (no feasible activity)", rho, d)
+	}
+	if rho >= 1 {
+		return 0, 0, fmt.Errorf("apps: power ratio %.3f implies no power reduction", rho)
+	}
+	ac = (1 - rho) * (I + au*Du) / (Dc * g * (rho - d))
+	return c, ac, nil
+}
+
+// CalibrateModeSwitch solves actCore from a Table 3 style observation: perf
+// ratio r and energy ratio e of Performance Determinism versus Power
+// Determinism at the boosted default setting, with uncore activity au
+// assigned a priori.
+func CalibrateModeSwitch(spec *cpu.Spec, r, e, au float64) (ac float64, err error) {
+	if r <= 0 || r > 1.05 || e <= 0 {
+		return 0, fmt.Errorf("apps: implausible ratios r=%v e=%v", r, e)
+	}
+	I, Dc, Du := nodeConstants(spec)
+	g := spec.MeanDieFactor(cpu.PerformanceDeterminism)
+	rho := e * r
+	if rho <= g+0.01 {
+		return 0, fmt.Errorf("apps: power ratio %.3f at or below die-factor floor %.3f", rho, g)
+	}
+	if rho >= 1 {
+		return 0, fmt.Errorf("apps: power ratio %.3f implies no power reduction", rho)
+	}
+	ac = (1 - rho) * (I + au*Du) / (Dc * (rho - g))
+	return ac, nil
+}
+
+// ExpectedBusyNodePower returns the fleet-expectation busy-node power for a
+// weighted application mix at (setting, mode): sum_i w_i * P_i / sum_i w_i.
+func ExpectedBusyNodePower(spec *cpu.Spec, mix []WeightedApp, fs cpu.FreqSetting, m cpu.Mode) units.Power {
+	var num, den float64
+	for _, wa := range mix {
+		num += wa.Weight * wa.App.NodePower(spec, fs, m).Watts()
+		den += wa.Weight
+	}
+	if den == 0 {
+		return 0
+	}
+	return units.Watts(num / den)
+}
+
+// WeightedApp pairs an application with its share of fleet node-hours.
+type WeightedApp struct {
+	App    *App
+	Weight float64
+}
+
+// ScaleMixActivity multiplies every app's activity factors by k, returning
+// new App values (the inputs are not mutated). Used by the one-scalar fleet
+// calibration against the measured baseline power.
+func ScaleMixActivity(mix []WeightedApp, k float64) []WeightedApp {
+	out := make([]WeightedApp, len(mix))
+	for i, wa := range mix {
+		app := *wa.App
+		app.ActCore *= k
+		app.ActUncore *= k
+		out[i] = WeightedApp{App: &app, Weight: wa.Weight}
+	}
+	return out
+}
+
+// CalibrateMixToBusyPower finds the activity scalar k such that the mix's
+// expected busy-node power at (setting, mode) equals target, by bisection,
+// and returns the scaled mix. Errors if the target is below idle power or
+// unreachable within k in [0.1, 10].
+func CalibrateMixToBusyPower(spec *cpu.Spec, mix []WeightedApp, fs cpu.FreqSetting, m cpu.Mode, target units.Power) ([]WeightedApp, float64, error) {
+	idle := node.IdlePower(spec).Watts()
+	if target.Watts() <= idle {
+		return nil, 0, fmt.Errorf("apps: target busy power %v at or below idle %v", target, units.Watts(idle))
+	}
+	f := func(k float64) float64 {
+		return ExpectedBusyNodePower(spec, ScaleMixActivity(mix, k), fs, m).Watts() - target.Watts()
+	}
+	lo, hi := 0.1, 10.0
+	if f(lo) > 0 || f(hi) < 0 {
+		return nil, 0, fmt.Errorf("apps: target %v unreachable with activity scale in [%.1f, %.1f]", target, lo, hi)
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if f(mid) > 0 {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	k := (lo + hi) / 2
+	return ScaleMixActivity(mix, k), k, nil
+}

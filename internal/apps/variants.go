@@ -1,0 +1,139 @@
+package apps
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// This file implements one of the paper's stated future-work directions:
+// "investigating the impact of compiler and library choices on the energy
+// efficiency of application benchmarks at different CPU frequencies"
+// (paper §5).
+//
+// A build variant changes three things about a code: how fast it runs at
+// the reference point (vectorisation, better libraries), how
+// compute-bound it is (heavier vector units retire the compute phase
+// faster, shifting the balance toward memory), and how hard it drives the
+// core power envelope (wide SIMD is hot). The Variant type captures those
+// axes and derives a new calibrated App, so the whole analysis stack
+// (frequency sweeps, fleet simulation, emissions accounting) applies to
+// build variants unchanged.
+
+// Variant describes a compiler/library build of an application.
+type Variant struct {
+	// Name identifies the build, e.g. "gcc -O3 + AVX2".
+	Name string
+	// Speedup is the runtime speedup at the reference operating point
+	// relative to the base build (>1 = faster).
+	Speedup float64
+	// ComputeShift is added to the base compute-bound fraction: faster
+	// compute phases (more vectorisation) make the remainder more
+	// memory-dominated, so aggressive builds carry negative shifts.
+	ComputeShift float64
+	// CoreActivityFactor multiplies the base core-dynamic activity: wide
+	// SIMD units draw more power per cycle.
+	CoreActivityFactor float64
+}
+
+// CommonVariants returns a representative build matrix for an HPC code:
+// a conservative scalar build, the production default, and an
+// aggressively vectorised build.
+func CommonVariants() []Variant {
+	return []Variant{
+		{Name: "portable -O2 scalar", Speedup: 0.72, ComputeShift: +0.15, CoreActivityFactor: 0.80},
+		{Name: "production -O3", Speedup: 1.00, ComputeShift: 0, CoreActivityFactor: 1.00},
+		{Name: "vendor libs + wide SIMD", Speedup: 1.18, ComputeShift: -0.10, CoreActivityFactor: 1.22},
+	}
+}
+
+// Validate checks the variant parameters.
+func (v Variant) Validate() error {
+	if v.Name == "" {
+		return fmt.Errorf("apps: unnamed variant")
+	}
+	if v.Speedup <= 0 {
+		return fmt.Errorf("apps: variant %s: non-positive speedup %v", v.Name, v.Speedup)
+	}
+	if v.CoreActivityFactor < 0 {
+		return fmt.Errorf("apps: variant %s: negative activity factor", v.Name)
+	}
+	return nil
+}
+
+// Apply derives the variant build of app. The returned App is independent
+// of the input. The compute fraction is clamped to [0.02, 0.98] so the
+// derived kernel stays invertible.
+func (v Variant) Apply(app *App) (*App, error) {
+	if err := v.Validate(); err != nil {
+		return nil, err
+	}
+	out := *app
+	out.Name = fmt.Sprintf("%s [%s]", app.Name, v.Name)
+	c := app.Kernel.ComputeFraction + v.ComputeShift
+	if c < 0.02 {
+		c = 0.02
+	}
+	if c > 0.98 {
+		c = 0.98
+	}
+	out.Kernel.ComputeFraction = c
+	out.ActCore = app.ActCore * v.CoreActivityFactor
+	if app.RefRuntime > 0 {
+		out.RefRuntime = time.Duration(float64(app.RefRuntime) / v.Speedup)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// VariantPoint is one row of a variant x frequency sweep.
+type VariantPoint struct {
+	Variant Variant
+	Setting cpu.FreqSetting
+	// PerfVsBase is throughput relative to the base build at the reference
+	// setting (speedup / time multiplier).
+	PerfVsBase float64
+	// NodePower at this point.
+	NodePower units.Power
+	// EnergyVsBase is energy-to-solution relative to the base build at the
+	// reference setting.
+	EnergyVsBase float64
+}
+
+// SweepVariants evaluates every (variant, setting) combination for app in
+// the given mode, relative to the plain app at the spec's default setting.
+// This regenerates the analysis grid the paper's future-work section
+// proposes.
+func SweepVariants(spec *cpu.Spec, app *App, variants []Variant, settings []cpu.FreqSetting, m cpu.Mode) ([]VariantPoint, error) {
+	baseTime := app.TimeMultiplier(spec, spec.DefaultSetting(), m)
+	baseEnergy := app.NodeEnergy(spec, app.RefRuntime, spec.DefaultSetting(), m)
+	if baseEnergy.Joules() <= 0 {
+		return nil, fmt.Errorf("apps: base app has no reference energy (RefRuntime %v)", app.RefRuntime)
+	}
+	var out []VariantPoint
+	for _, v := range variants {
+		va, err := v.Apply(app)
+		if err != nil {
+			return nil, err
+		}
+		for _, fs := range settings {
+			if err := spec.ValidateSetting(fs); err != nil {
+				return nil, err
+			}
+			t := va.TimeMultiplier(spec, fs, m) * float64(va.RefRuntime) / float64(app.RefRuntime)
+			e := va.NodeEnergy(spec, va.RefRuntime, fs, m)
+			out = append(out, VariantPoint{
+				Variant:      v,
+				Setting:      fs,
+				PerfVsBase:   baseTime / t,
+				NodePower:    va.NodePower(spec, fs, m),
+				EnergyVsBase: e.Joules() / baseEnergy.Joules(),
+			})
+		}
+	}
+	return out, nil
+}

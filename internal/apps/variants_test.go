@@ -1,0 +1,143 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func baseApp() *App {
+	return &App{
+		Name:       "base",
+		Kernel:     roofline.Kernel{ComputeFraction: 0.50},
+		ActCore:    0.8,
+		ActUncore:  0.4,
+		RefNodes:   4,
+		RefRuntime: time.Hour,
+	}
+}
+
+func TestVariantValidate(t *testing.T) {
+	for _, v := range CommonVariants() {
+		if err := v.Validate(); err != nil {
+			t.Errorf("%s: %v", v.Name, err)
+		}
+	}
+	bad := []Variant{
+		{Name: "", Speedup: 1},
+		{Name: "x", Speedup: 0},
+		{Name: "x", Speedup: 1, CoreActivityFactor: -1},
+	}
+	for _, v := range bad {
+		if err := v.Validate(); err == nil {
+			t.Errorf("%+v accepted", v)
+		}
+	}
+}
+
+func TestVariantApply(t *testing.T) {
+	app := baseApp()
+	v := Variant{Name: "simd", Speedup: 1.25, ComputeShift: -0.1, CoreActivityFactor: 1.2}
+	out, err := v.Apply(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kernel.ComputeFraction != 0.40 {
+		t.Errorf("compute fraction = %v", out.Kernel.ComputeFraction)
+	}
+	if math.Abs(out.ActCore-0.96) > 1e-12 {
+		t.Errorf("core activity = %v", out.ActCore)
+	}
+	if out.RefRuntime != time.Duration(float64(time.Hour)/1.25) {
+		t.Errorf("runtime = %v", out.RefRuntime)
+	}
+	// Base untouched.
+	if app.ActCore != 0.8 || app.RefRuntime != time.Hour {
+		t.Fatal("Apply mutated the base app")
+	}
+	// Clamping.
+	ext := Variant{Name: "extreme", Speedup: 1, ComputeShift: +0.9, CoreActivityFactor: 1}
+	out, err = ext.Apply(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Kernel.ComputeFraction != 0.98 {
+		t.Errorf("clamped fraction = %v", out.Kernel.ComputeFraction)
+	}
+}
+
+func TestVariantApplyInvalid(t *testing.T) {
+	if _, err := (Variant{Name: "", Speedup: 1}).Apply(baseApp()); err == nil {
+		t.Fatal("invalid variant applied")
+	}
+}
+
+func TestSweepVariantsShape(t *testing.T) {
+	s := spec()
+	app := baseApp()
+	settings := []cpu.FreqSetting{s.CappedSetting(), s.DefaultSetting()}
+	pts, err := SweepVariants(s, app, CommonVariants(), settings, cpu.PerformanceDeterminism)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != len(CommonVariants())*len(settings) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byKey := func(vName string, boost bool) VariantPoint {
+		for _, p := range pts {
+			if p.Variant.Name == vName && p.Setting.Boost == boost {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s boost=%v", vName, boost)
+		return VariantPoint{}
+	}
+
+	// The production build at the reference setting is the identity point.
+	ref := byKey("production -O3", true)
+	if math.Abs(ref.PerfVsBase-1) > 1e-9 || math.Abs(ref.EnergyVsBase-1) > 1e-9 {
+		t.Fatalf("reference point not identity: %+v", ref)
+	}
+	// The SIMD build is faster than base at the same setting...
+	simd := byKey("vendor libs + wide SIMD", true)
+	if simd.PerfVsBase <= 1 {
+		t.Errorf("SIMD perf vs base = %v", simd.PerfVsBase)
+	}
+	// ...and draws more node power.
+	if simd.NodePower.Watts() <= ref.NodePower.Watts() {
+		t.Errorf("SIMD power %v not above base %v", simd.NodePower, ref.NodePower)
+	}
+	// The scalar build is slower.
+	scalar := byKey("portable -O2 scalar", true)
+	if scalar.PerfVsBase >= 1 {
+		t.Errorf("scalar perf vs base = %v", scalar.PerfVsBase)
+	}
+	// Capping hurts the SIMD build's relative perf less than its own
+	// reference? No: the SIMD build became MORE memory bound (negative
+	// compute shift), so capping costs it less than it costs the scalar
+	// build, which became more compute bound.
+	simdCap := byKey("vendor libs + wide SIMD", false)
+	scalarCap := byKey("portable -O2 scalar", false)
+	simdLoss := 1 - simdCap.PerfVsBase/simd.PerfVsBase
+	scalarLoss := 1 - scalarCap.PerfVsBase/scalar.PerfVsBase
+	if simdLoss >= scalarLoss {
+		t.Errorf("cap losses: simd %v >= scalar %v (compute-shift inverted?)", simdLoss, scalarLoss)
+	}
+}
+
+func TestSweepVariantsErrors(t *testing.T) {
+	s := spec()
+	app := baseApp()
+	app.RefRuntime = 0
+	if _, err := SweepVariants(s, app, CommonVariants(), []cpu.FreqSetting{s.DefaultSetting()}, cpu.PowerDeterminism); err == nil {
+		t.Error("zero-runtime base accepted")
+	}
+	bad := []cpu.FreqSetting{{Base: units.Gigahertz(9)}}
+	if _, err := SweepVariants(s, baseApp(), CommonVariants(), bad, cpu.PowerDeterminism); err == nil {
+		t.Error("invalid setting accepted")
+	}
+}

@@ -1,0 +1,88 @@
+package cooling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func TestCDUTotal(t *testing.T) {
+	p := New(ARCHER2Config())
+	// Paper Table 2: 6 CDUs x 16 kW = 96 kW, load-independent.
+	if got := p.CDUTotalPower().Kilowatts(); math.Abs(got-96) > 1e-9 {
+		t.Fatalf("CDU total = %v kW, want 96", got)
+	}
+}
+
+func TestCabinetOverheadRange(t *testing.T) {
+	p := New(ARCHER2Config())
+	idle := p.CabinetOverhead(0).Kilowatts()
+	full := p.CabinetOverhead(1).Kilowatts()
+	// Paper Table 2: 100-200 kW idle band, 200 kW loaded.
+	if idle < 90 || idle > 210 {
+		t.Fatalf("idle overhead = %v kW", idle)
+	}
+	if math.Abs(full-207) > 10 {
+		t.Fatalf("loaded overhead = %v kW, want ~207 (23 x 9)", full)
+	}
+	if full <= idle {
+		t.Fatalf("overhead not increasing: %v -> %v", idle, full)
+	}
+}
+
+func TestCabinetOverheadClamps(t *testing.T) {
+	p := New(ARCHER2Config())
+	if p.CabinetOverhead(-1) != p.CabinetOverhead(0) {
+		t.Fatal("negative load not clamped")
+	}
+	if p.CabinetOverhead(2) != p.CabinetOverhead(1) {
+		t.Fatal("overload not clamped")
+	}
+}
+
+func TestTotalPower(t *testing.T) {
+	p := New(ARCHER2Config())
+	got := p.TotalPower(1).Kilowatts()
+	want := p.CDUTotalPower().Kilowatts() + p.CabinetOverhead(1).Kilowatts()
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+}
+
+func TestPUE(t *testing.T) {
+	p := New(ARCHER2Config())
+	// 3.2 MW IT at full load: PUE ~ 1 + ~300kW/3200kW ~ 1.09. Liquid-cooled
+	// systems have low PUE.
+	pue := p.PUE(units.Megawatts(3.2), 1)
+	if pue < 1.05 || pue > 1.15 {
+		t.Fatalf("PUE = %v, want ~1.09", pue)
+	}
+	if got := p.PUE(0, 1); got != 0 {
+		t.Fatalf("PUE with zero IT power = %v", got)
+	}
+}
+
+// Property: plant power is monotone in load and PUE > 1 for positive IT.
+func TestPropertyPlantMonotone(t *testing.T) {
+	p := New(ARCHER2Config())
+	f := func(a, b uint8, itKW uint16) bool {
+		la, lb := float64(a)/255, float64(b)/255
+		if la > lb {
+			la, lb = lb, la
+		}
+		if p.TotalPower(la).Watts() > p.TotalPower(lb).Watts()+1e-9 {
+			return false
+		}
+		if itKW > 0 {
+			if p.PUE(units.Kilowatts(float64(itKW)), la) <= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package des is a minimal discrete-event simulation kernel: a virtual
+// clock, a priority queue of timed events, and periodic process helpers.
+//
+// The facility twin advances in virtual time from the first job submission
+// to the end of the measurement window; everything that happens (job
+// arrival, job completion, telemetry sampling, operational policy changes)
+// is an event on a single Engine.
+//
+// Determinism: events at identical timestamps fire in the order they were
+// scheduled (FIFO tie-break via a monotonically increasing sequence
+// number), so simulations are reproducible regardless of map iteration or
+// scheduling jitter. The engine is not goroutine-safe by design; the
+// simulation core is single-threaded and parallelism belongs at the
+// experiment-sweep level (many independent engines).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled at a virtual time.
+type Event func(now time.Time)
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	seq uint64
+}
+
+type item struct {
+	at     time.Time
+	seq    uint64
+	fn     Event
+	cancel bool
+}
+
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*item)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulation engine.
+type Engine struct {
+	now      time.Time
+	queue    eventQueue
+	seq      uint64
+	byHandle map[uint64]*item
+	running  bool
+	fired    uint64
+}
+
+// NewEngine creates an engine whose clock starts at the given time.
+func NewEngine(start time.Time) *Engine {
+	return &Engine{now: start, byHandle: make(map[uint64]*item)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Time { return e.now }
+
+// Pending returns the number of events waiting in the queue (including any
+// cancelled-but-unpopped entries' live peers; cancelled events are excluded).
+func (e *Engine) Pending() int { return len(e.byHandle) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn at absolute virtual time t. Scheduling in the past (before
+// Now) panics: it always indicates a model bug.
+func (e *Engine) At(t time.Time, fn Event) Handle {
+	if t.Before(e.now) {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
+	}
+	e.seq++
+	it := &item{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, it)
+	e.byHandle[it.seq] = it
+	return Handle{seq: it.seq}
+}
+
+// After schedules fn after delay d from now.
+func (e *Engine) After(d time.Duration, fn Event) Handle {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(h Handle) bool {
+	it, ok := e.byHandle[h.seq]
+	if !ok {
+		return false
+	}
+	it.cancel = true
+	delete(e.byHandle, h.seq)
+	return true
+}
+
+// Every schedules fn at now+d, then repeatedly every d, until `until`
+// (exclusive) or cancellation of the returned ticker.
+func (e *Engine) Every(d time.Duration, until time.Time, fn Event) *Ticker {
+	if d <= 0 {
+		panic("des: non-positive tick interval")
+	}
+	t := &Ticker{engine: e, period: d, until: until, fn: fn}
+	t.scheduleNext()
+	return t
+}
+
+// Ticker is a repeating event created by Every.
+type Ticker struct {
+	engine  *Engine
+	period  time.Duration
+	until   time.Time
+	fn      Event
+	handle  Handle
+	stopped bool
+}
+
+func (t *Ticker) scheduleNext() {
+	next := t.engine.now.Add(t.period)
+	if !next.Before(t.until) {
+		t.stopped = true
+		return
+	}
+	t.handle = t.engine.At(next, func(now time.Time) {
+		t.fn(now)
+		if !t.stopped {
+			t.scheduleNext()
+		}
+	})
+}
+
+// Stop cancels future ticks.
+func (t *Ticker) Stop() {
+	if !t.stopped {
+		t.stopped = true
+		t.engine.Cancel(t.handle)
+	}
+}
+
+// Step executes the next event, advancing the clock to its timestamp.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*item)
+		if it.cancel {
+			continue
+		}
+		delete(e.byHandle, it.seq)
+		e.now = it.at
+		e.fired++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the queue is empty or the next event would
+// be at or after deadline; the clock is then advanced to deadline.
+func (e *Engine) RunUntil(deadline time.Time) {
+	if deadline.Before(e.now) {
+		panic("des: RunUntil deadline in the past")
+	}
+	for len(e.queue) > 0 {
+		// Peek.
+		it := e.queue[0]
+		if it.cancel {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if !it.at.Before(deadline) {
+			break
+		}
+		e.Step()
+	}
+	e.now = deadline
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}

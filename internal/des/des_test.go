@@ -1,0 +1,242 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine(t0)
+	var order []int
+	e.At(t0.Add(2*time.Hour), func(time.Time) { order = append(order, 2) })
+	e.At(t0.Add(1*time.Hour), func(time.Time) { order = append(order, 1) })
+	e.At(t0.Add(3*time.Hour), func(time.Time) { order = append(order, 3) })
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	if !e.Now().Equal(t0.Add(3 * time.Hour)) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	e := NewEngine(t0)
+	var order []int
+	at := t0.Add(time.Hour)
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(at, func(time.Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break order = %v", order)
+		}
+	}
+}
+
+func TestAfterAndClock(t *testing.T) {
+	e := NewEngine(t0)
+	var seen time.Time
+	e.After(90*time.Minute, func(now time.Time) { seen = now })
+	e.Run()
+	if !seen.Equal(t0.Add(90 * time.Minute)) {
+		t.Fatalf("event time = %v", seen)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine(t0)
+	e.At(t0.Add(time.Hour), func(time.Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(t0.Add(30*time.Minute), func(time.Time) {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine(t0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	e.After(-time.Second, func(time.Time) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(t0)
+	fired := false
+	h := e.After(time.Hour, func(time.Time) { fired = true })
+	if !e.Cancel(h) {
+		t.Fatal("cancel returned false for live event")
+	}
+	if e.Cancel(h) {
+		t.Fatal("double-cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("pending = %d", e.Pending())
+	}
+}
+
+func TestScheduleDuringEvent(t *testing.T) {
+	e := NewEngine(t0)
+	var hits []time.Duration
+	e.After(time.Hour, func(now time.Time) {
+		hits = append(hits, now.Sub(t0))
+		e.After(time.Hour, func(now time.Time) {
+			hits = append(hits, now.Sub(t0))
+		})
+	})
+	e.Run()
+	if len(hits) != 2 || hits[0] != time.Hour || hits[1] != 2*time.Hour {
+		t.Fatalf("hits = %v", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(t0)
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(t0.Add(time.Duration(i)*time.Hour), func(time.Time) { count++ })
+	}
+	e.RunUntil(t0.Add(5 * time.Hour)) // events at 1..4h fire; 5h is excluded
+	if count != 4 {
+		t.Fatalf("count = %d, want 4", count)
+	}
+	if !e.Now().Equal(t0.Add(5 * time.Hour)) {
+		t.Fatalf("clock = %v", e.Now())
+	}
+	e.RunUntil(t0.Add(100 * time.Hour))
+	if count != 10 {
+		t.Fatalf("count after full run = %d", count)
+	}
+	if !e.Now().Equal(t0.Add(100 * time.Hour)) {
+		t.Fatalf("final clock = %v", e.Now())
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	e := NewEngine(t0)
+	e.RunUntil(t0.Add(time.Hour))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil in the past did not panic")
+		}
+	}()
+	e.RunUntil(t0)
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine(t0)
+	var ticks []time.Duration
+	e.Every(15*time.Minute, t0.Add(time.Hour+time.Minute), func(now time.Time) {
+		ticks = append(ticks, now.Sub(t0))
+	})
+	e.Run()
+	want := []time.Duration{15 * time.Minute, 30 * time.Minute, 45 * time.Minute, 60 * time.Minute}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("tick %d = %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestTickerStop(t *testing.T) {
+	e := NewEngine(t0)
+	count := 0
+	var tk *Ticker
+	tk = e.Every(time.Minute, t0.Add(time.Hour), func(time.Time) {
+		count++
+		if count == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine(t0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero period did not panic")
+		}
+	}()
+	e.Every(0, t0.Add(time.Hour), func(time.Time) {})
+}
+
+// Property: events fire in non-decreasing time order, and same-time events in
+// scheduling order, for arbitrary schedules.
+func TestPropertyEventOrder(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(t0)
+		type rec struct {
+			at  time.Time
+			seq int
+		}
+		var fired []rec
+		for i, d := range delays {
+			i := i
+			at := t0.Add(time.Duration(d) * time.Second)
+			e.At(at, func(now time.Time) { fired = append(fired, rec{now, i}) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i].at.Before(fired[i-1].at) {
+				return false
+			}
+			if fired[i].at.Equal(fired[i-1].at) && fired[i].seq < fired[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the clock never moves backwards.
+func TestPropertyClockMonotone(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine(t0)
+		prev := e.Now()
+		ok := true
+		for _, d := range delays {
+			e.After(time.Duration(d)*time.Second, func(now time.Time) {
+				if now.Before(prev) {
+					ok = false
+				}
+				prev = now
+			})
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

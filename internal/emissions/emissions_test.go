@@ -1,0 +1,192 @@
+package emissions
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func TestDefaultsCrossoverInModerateBand(t *testing.T) {
+	// The calibration requirement from §2: at the facility's mean draw, the
+	// scope2=scope3 crossover lies inside the 30-100 gCO2/kWh band.
+	p := ARCHER2Defaults()
+	x := p.CrossoverIntensity(units.Megawatts(3.5)).GramsPerKWh()
+	if x < 30 || x > 100 {
+		t.Fatalf("crossover = %v g/kWh, want within [30, 100]", x)
+	}
+	// And close to the band middle (~65).
+	if math.Abs(x-65) > 15 {
+		t.Fatalf("crossover = %v g/kWh, want ~65", x)
+	}
+}
+
+func TestAmortisedScope3(t *testing.T) {
+	p := ARCHER2Defaults()
+	year := p.AmortisedScope3(365 * 24 * time.Hour)
+	if got := year.Tonnes(); math.Abs(got-2000) > 20 {
+		t.Fatalf("annual scope 3 = %v t, want ~2000", got)
+	}
+	if p.AmortisedScope3(0) != 0 {
+		t.Fatal("zero window nonzero scope 3")
+	}
+	if p.AmortisedScope3(-time.Hour) != 0 {
+		t.Fatal("negative window nonzero scope 3")
+	}
+	// Full lifetime returns the whole embodied mass.
+	full := p.AmortisedScope3(p.Lifetime)
+	if math.Abs(full.Grams()-p.Embodied.Grams()) > 1 {
+		t.Fatal("lifetime amortisation != embodied total")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := ARCHER2Defaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Params{Embodied: units.Tonnes(-1), Lifetime: time.Hour}).Validate(); err == nil {
+		t.Error("negative embodied accepted")
+	}
+	if err := (Params{Embodied: units.Tonnes(1)}).Validate(); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+}
+
+func TestAccountWindow(t *testing.T) {
+	p := ARCHER2Defaults()
+	w := p.Account(units.Megawatts(3.5), 365*24*time.Hour, units.GramsPerKWh(200))
+	// 30.66 GWh * 200 g/kWh = 6132 t scope 2.
+	if got := w.Scope2.Tonnes(); math.Abs(got-6132) > 10 {
+		t.Fatalf("scope 2 = %v t, want ~6132", got)
+	}
+	if got := w.Total.Grams(); math.Abs(got-(w.Scope2.Grams()+w.Scope3.Grams())) > 1 {
+		t.Fatal("total != scope2 + scope3")
+	}
+	if s := w.Scope2Share(); s < 0.7 || s > 0.8 {
+		t.Fatalf("scope 2 share = %v, want ~0.75", s)
+	}
+	if (Window{}).Scope2Share() != 0 {
+		t.Fatal("empty window share nonzero")
+	}
+}
+
+func TestPaperRegimeBands(t *testing.T) {
+	// The paper's three bands must map to the three regimes at the
+	// facility's operating point.
+	p := ARCHER2Defaults()
+	power := units.Megawatts(3.5)
+	year := 365 * 24 * time.Hour
+	cases := []struct {
+		g    float64
+		want Regime
+	}{
+		{5, Scope3Dominated},
+		{20, Scope3Dominated},
+		{65, Balanced},
+		{150, Scope2Dominated},
+		{250, Scope2Dominated},
+	}
+	for _, c := range cases {
+		w := p.Account(power, year, units.GramsPerKWh(c.g))
+		if got := RegimeOf(w); got != c.want {
+			t.Errorf("regime at %v g/kWh = %v, want %v (s2=%v s3=%v)",
+				c.g, got, c.want, w.Scope2, w.Scope3)
+		}
+	}
+}
+
+func TestRegimeStringsAndStrategies(t *testing.T) {
+	for _, r := range []Regime{Scope3Dominated, Balanced, Scope2Dominated, Regime(9)} {
+		if r.String() == "" || r.Strategy() == "" {
+			t.Fatalf("empty text for regime %d", int(r))
+		}
+	}
+	// Strategy phrasing matches the paper's direction of optimisation.
+	if s := Scope3Dominated.Strategy(); s == Scope2Dominated.Strategy() {
+		t.Fatal("regime strategies indistinct")
+	}
+}
+
+func TestCrossoverZeroPower(t *testing.T) {
+	if got := ARCHER2Defaults().CrossoverIntensity(0); got != 0 {
+		t.Fatalf("crossover at 0 power = %v", got)
+	}
+}
+
+func TestComputeEfficiency(t *testing.T) {
+	// 1000 node-hours, 1 MWh, 2 t total.
+	e := ComputeEfficiency(1000, units.MegawattHours(1), units.Tonnes(2))
+	if math.Abs(e.NodeHoursPerTonne-500) > 1e-9 {
+		t.Errorf("nodeh/t = %v", e.NodeHoursPerTonne)
+	}
+	if math.Abs(e.NodeHoursPerMWh-1000) > 1e-9 {
+		t.Errorf("nodeh/MWh = %v", e.NodeHoursPerMWh)
+	}
+	if math.Abs(e.KWhPerNodeHour-1) > 1e-9 {
+		t.Errorf("kWh/nodeh = %v", e.KWhPerNodeHour)
+	}
+	z := ComputeEfficiency(0, 0, 0)
+	if z.NodeHoursPerTonne != 0 || z.NodeHoursPerMWh != 0 || z.KWhPerNodeHour != 0 {
+		t.Fatal("zero inputs produced nonzero metrics")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	p := ARCHER2Defaults()
+	intensities := []float64{5, 20, 40, 65, 100, 150, 250}
+	pts := p.Sweep(units.Megawatts(3.5), intensities)
+	if len(pts) != len(intensities) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Window.Total.Grams() <= pts[i-1].Window.Total.Grams() {
+			t.Fatal("total emissions not increasing with intensity")
+		}
+		if pts[i].Regime < pts[i-1].Regime {
+			t.Fatal("regime not monotone in intensity")
+		}
+	}
+	// Endpoints hit the extreme regimes.
+	if pts[0].Regime != Scope3Dominated || pts[len(pts)-1].Regime != Scope2Dominated {
+		t.Fatalf("endpoint regimes: %v .. %v", pts[0].Regime, pts[len(pts)-1].Regime)
+	}
+}
+
+// Property: emissions accounting is additive over windows.
+func TestPropertyWindowAdditivity(t *testing.T) {
+	p := ARCHER2Defaults()
+	f := func(kw uint16, hoursA, hoursB uint8, g uint16) bool {
+		power := units.Kilowatts(float64(kw))
+		ci := units.GramsPerKWh(float64(g % 400))
+		da := time.Duration(hoursA) * time.Hour
+		db := time.Duration(hoursB) * time.Hour
+		wa := p.Account(power, da, ci)
+		wb := p.Account(power, db, ci)
+		wab := p.Account(power, da+db, ci)
+		sum := wa.Total.Grams() + wb.Total.Grams()
+		return math.Abs(sum-wab.Total.Grams()) < 1e-3*(1+wab.Total.Grams())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: scope-2 share increases with carbon intensity.
+func TestPropertyScope2ShareMonotone(t *testing.T) {
+	p := ARCHER2Defaults()
+	f := func(a, b uint16) bool {
+		ga, gb := float64(a%500), float64(b%500)
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		year := 365 * 24 * time.Hour
+		wa := p.Account(units.Megawatts(3.5), year, units.GramsPerKWh(ga))
+		wb := p.Account(units.Megawatts(3.5), year, units.GramsPerKWh(gb))
+		return wa.Scope2Share() <= wb.Scope2Share()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,166 @@
+package emissions
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// This file implements the lifetime scenario modelling the paper announces
+// as follow-up work ("a detailed audit of the emissions from ARCHER2 and
+// emissions scenario modelling are underway", §2): cumulative emissions of
+// a service over a multi-year horizon under a decarbonising grid, and the
+// replacement question — when does retiring hardware early for a more
+// efficient successor pay back its embodied emissions?
+
+// Trajectory models grid carbon intensity declining over calendar years.
+type Trajectory struct {
+	// Start is the intensity in year 0.
+	Start units.CarbonIntensity
+	// AnnualDecline is the fractional reduction per year (e.g. 0.08 for
+	// the GB grid's trend); applied geometrically.
+	AnnualDecline float64
+	// Floor is the residual intensity the grid asymptotes to.
+	Floor units.CarbonIntensity
+}
+
+// GBTrajectory returns a GB-like decarbonisation path: ~200 g/kWh in 2022
+// declining 9%/year toward a 20 g/kWh floor.
+func GBTrajectory() Trajectory {
+	return Trajectory{Start: units.GramsPerKWh(200), AnnualDecline: 0.09, Floor: units.GramsPerKWh(20)}
+}
+
+// Validate checks the trajectory.
+func (tr Trajectory) Validate() error {
+	if tr.Start.GramsPerKWh() < 0 || tr.Floor.GramsPerKWh() < 0 ||
+		tr.AnnualDecline < 0 || tr.AnnualDecline >= 1 ||
+		tr.Floor.GramsPerKWh() > tr.Start.GramsPerKWh() {
+		return fmt.Errorf("emissions: invalid trajectory %+v", tr)
+	}
+	return nil
+}
+
+// YearIntensity returns the mean intensity in year y (0-based).
+func (tr Trajectory) YearIntensity(y int) units.CarbonIntensity {
+	ci := tr.Start.GramsPerKWh()
+	for i := 0; i < y; i++ {
+		ci *= 1 - tr.AnnualDecline
+	}
+	if ci < tr.Floor.GramsPerKWh() {
+		ci = tr.Floor.GramsPerKWh()
+	}
+	return units.GramsPerKWh(ci)
+}
+
+// YearAccount is the emissions of one service year.
+type YearAccount struct {
+	Year   int
+	CI     units.CarbonIntensity
+	Scope2 units.Mass
+	Scope3 units.Mass
+	Total  units.Mass
+	Regime Regime
+}
+
+// LifetimeAccount evaluates a facility drawing meanPower for `years` under
+// the trajectory, with this Params' embodied emissions amortised linearly.
+func (p Params) LifetimeAccount(meanPower units.Power, years int, tr Trajectory) ([]YearAccount, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if years <= 0 {
+		return nil, fmt.Errorf("emissions: non-positive year count %d", years)
+	}
+	yearDur := 365 * 24 * time.Hour
+	out := make([]YearAccount, years)
+	for y := 0; y < years; y++ {
+		ci := tr.YearIntensity(y)
+		w := p.Account(meanPower, yearDur, ci)
+		out[y] = YearAccount{
+			Year:   y,
+			CI:     ci,
+			Scope2: w.Scope2,
+			Scope3: w.Scope3,
+			Total:  w.Total,
+			Regime: RegimeOf(w),
+		}
+	}
+	return out, nil
+}
+
+// SumTotal returns the cumulative total over the accounts.
+func SumTotal(accounts []YearAccount) units.Mass {
+	var g float64
+	for _, a := range accounts {
+		g += a.Total.Grams()
+	}
+	return units.Grams(g)
+}
+
+// ReplacementOption describes a candidate successor system.
+type ReplacementOption struct {
+	Name string
+	// Embodied is the successor's scope-3 cost.
+	Embodied units.Mass
+	// Lifetime of the successor.
+	Lifetime time.Duration
+	// PowerRatio is successor power draw relative to the incumbent for the
+	// SAME scientific output rate (<1 = more efficient hardware).
+	PowerRatio float64
+}
+
+// Validate checks the option.
+func (r ReplacementOption) Validate() error {
+	if r.Name == "" || r.Embodied.Grams() < 0 || r.Lifetime <= 0 || r.PowerRatio <= 0 {
+		return fmt.Errorf("emissions: invalid replacement option %+v", r)
+	}
+	return nil
+}
+
+// ReplacementAnalysis compares keeping the incumbent for `horizon` years
+// versus replacing it immediately with the option (same output rate),
+// under the trajectory. It answers §2's core tension quantitatively: new
+// hardware buys operational efficiency at an embodied cost, and the
+// cleaner the grid gets, the harder that purchase is to justify.
+//
+// The incumbent's embodied emissions are sunk — they were incurred at
+// manufacture and are identical in both branches — so the comparison
+// counts only what the decision changes: the incumbent's scope 2 over the
+// horizon against the successor's scope 2 plus the horizon's amortised
+// share of its NEW embodied emissions.
+type ReplacementAnalysis struct {
+	KeepTotal    units.Mass
+	ReplaceTotal units.Mass
+	// Advantage = KeepTotal - ReplaceTotal (positive: replacing wins).
+	Advantage units.Mass
+}
+
+// CompareReplacement runs the analysis over `horizon` years. The receiver
+// supplies the incumbent's profile (only its scope 2 matters; see above).
+func (p Params) CompareReplacement(meanPower units.Power, horizon int, tr Trajectory, opt ReplacementOption) (ReplacementAnalysis, error) {
+	if err := opt.Validate(); err != nil {
+		return ReplacementAnalysis{}, err
+	}
+	// Keep: sunk embodied excluded, so a zero-embodied Params with the
+	// incumbent's power gives exactly the scope-2 stream.
+	keepP := Params{Embodied: 0, Lifetime: p.Lifetime}
+	keep, err := keepP.LifetimeAccount(meanPower, horizon, tr)
+	if err != nil {
+		return ReplacementAnalysis{}, err
+	}
+	succ := Params{Embodied: opt.Embodied, Lifetime: opt.Lifetime}
+	repl, err := succ.LifetimeAccount(meanPower.Scale(opt.PowerRatio), horizon, tr)
+	if err != nil {
+		return ReplacementAnalysis{}, err
+	}
+	k, r := SumTotal(keep), SumTotal(repl)
+	return ReplacementAnalysis{
+		KeepTotal:    k,
+		ReplaceTotal: r,
+		Advantage:    units.Mass(k.Grams() - r.Grams()),
+	}, nil
+}

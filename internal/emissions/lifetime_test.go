@@ -1,0 +1,154 @@
+package emissions
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func TestTrajectoryDecline(t *testing.T) {
+	tr := GBTrajectory()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.YearIntensity(0); got != tr.Start {
+		t.Fatalf("year 0 = %v", got)
+	}
+	// Monotone non-increasing, floored.
+	prev := tr.YearIntensity(0).GramsPerKWh()
+	for y := 1; y <= 40; y++ {
+		ci := tr.YearIntensity(y).GramsPerKWh()
+		if ci > prev {
+			t.Fatalf("intensity rose at year %d", y)
+		}
+		prev = ci
+	}
+	if got := tr.YearIntensity(40).GramsPerKWh(); got != tr.Floor.GramsPerKWh() {
+		t.Fatalf("year 40 = %v, want floor %v", got, tr.Floor)
+	}
+	// Year 1 = start*(1-decline).
+	want := 200 * 0.91
+	if got := tr.YearIntensity(1).GramsPerKWh(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("year 1 = %v, want %v", got, want)
+	}
+}
+
+func TestTrajectoryValidate(t *testing.T) {
+	bad := []Trajectory{
+		{Start: units.GramsPerKWh(-1), Floor: units.GramsPerKWh(0)},
+		{Start: units.GramsPerKWh(100), Floor: units.GramsPerKWh(200)},
+		{Start: units.GramsPerKWh(100), Floor: units.GramsPerKWh(10), AnnualDecline: 1.0},
+		{Start: units.GramsPerKWh(100), Floor: units.GramsPerKWh(10), AnnualDecline: -0.1},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trajectory %d accepted", i)
+		}
+	}
+}
+
+func TestLifetimeAccount(t *testing.T) {
+	p := ARCHER2Defaults()
+	accounts, err := p.LifetimeAccount(units.Megawatts(3.5), 6, GBTrajectory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(accounts) != 6 {
+		t.Fatalf("years = %d", len(accounts))
+	}
+	// Scope 3 constant; scope 2 declines with the grid.
+	for y := 1; y < 6; y++ {
+		if accounts[y].Scope3 != accounts[0].Scope3 {
+			t.Fatal("scope 3 not constant")
+		}
+		if accounts[y].Scope2.Grams() >= accounts[y-1].Scope2.Grams() {
+			t.Fatal("scope 2 not declining")
+		}
+	}
+	// Year 0 on a 200 g/kWh grid is scope-2 dominated.
+	if accounts[0].Regime != Scope2Dominated {
+		t.Fatalf("year 0 regime = %v", accounts[0].Regime)
+	}
+	// Totals sum.
+	total := SumTotal(accounts)
+	var want float64
+	for _, a := range accounts {
+		want += a.Total.Grams()
+	}
+	if math.Abs(total.Grams()-want) > 1 {
+		t.Fatal("SumTotal mismatch")
+	}
+}
+
+func TestLifetimeAccountErrors(t *testing.T) {
+	p := ARCHER2Defaults()
+	if _, err := p.LifetimeAccount(units.Megawatts(3.5), 0, GBTrajectory()); err == nil {
+		t.Error("zero years accepted")
+	}
+	bad := GBTrajectory()
+	bad.AnnualDecline = 2
+	if _, err := p.LifetimeAccount(units.Megawatts(3.5), 5, bad); err == nil {
+		t.Error("bad trajectory accepted")
+	}
+	badP := Params{Embodied: units.Tonnes(-1), Lifetime: time.Hour}
+	if _, err := badP.LifetimeAccount(units.Megawatts(3.5), 5, GBTrajectory()); err == nil {
+		t.Error("bad params accepted")
+	}
+}
+
+func TestCompareReplacementHighCarbonGrid(t *testing.T) {
+	// On a high-carbon, slowly-decarbonising grid, a 30% more efficient
+	// successor with modest embodied cost wins over a 6-year horizon.
+	p := ARCHER2Defaults()
+	tr := Trajectory{Start: units.GramsPerKWh(300), AnnualDecline: 0.02, Floor: units.GramsPerKWh(50)}
+	opt := ReplacementOption{
+		Name:       "next-gen",
+		Embodied:   units.Kilotonnes(12),
+		Lifetime:   6 * 365 * 24 * time.Hour,
+		PowerRatio: 0.70,
+	}
+	res, err := p.CompareReplacement(units.Megawatts(3.5), 6, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Advantage.Grams() <= 0 {
+		t.Fatalf("efficient successor lost on dirty grid: %+v", res)
+	}
+	if math.Abs(res.Advantage.Grams()-(res.KeepTotal.Grams()-res.ReplaceTotal.Grams())) > 1 {
+		t.Fatal("advantage inconsistent")
+	}
+}
+
+func TestCompareReplacementCleanGrid(t *testing.T) {
+	// On an already-clean grid the same successor cannot pay back its
+	// embodied emissions: §2's scope-3-dominated logic.
+	p := ARCHER2Defaults()
+	tr := Trajectory{Start: units.GramsPerKWh(25), AnnualDecline: 0.05, Floor: units.GramsPerKWh(10)}
+	opt := ReplacementOption{
+		Name:       "next-gen",
+		Embodied:   units.Kilotonnes(12),
+		Lifetime:   6 * 365 * 24 * time.Hour,
+		PowerRatio: 0.70,
+	}
+	res, err := p.CompareReplacement(units.Megawatts(3.5), 6, tr, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Advantage.Grams() >= 0 {
+		t.Fatalf("successor won on clean grid: %+v", res)
+	}
+}
+
+func TestCompareReplacementErrors(t *testing.T) {
+	p := ARCHER2Defaults()
+	bad := ReplacementOption{Name: "", Embodied: units.Tonnes(1), Lifetime: time.Hour, PowerRatio: 1}
+	if _, err := p.CompareReplacement(units.Megawatts(3.5), 5, GBTrajectory(), bad); err == nil {
+		t.Error("unnamed option accepted")
+	}
+	bad = ReplacementOption{Name: "x", Embodied: units.Tonnes(1), Lifetime: time.Hour, PowerRatio: 0}
+	if _, err := p.CompareReplacement(units.Megawatts(3.5), 5, GBTrajectory(), bad); err == nil {
+		t.Error("zero power ratio accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package facility composes the hardware substrates — compute nodes,
+// Slingshot fabric, storage fleet and cooling plant — into the full
+// ARCHER2 configuration (5,860 nodes / 750,080 cores / 23 cabinets), and
+// produces the per-component power breakdown of the paper's Table 2.
+package facility
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/cooling"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/interconnect"
+	"github.com/greenhpc/archertwin/internal/node"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/storage"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// TypicalLoadedActivity is the reference workload activity used for the
+// "loaded" column of Table 2: it puts a node at ~510 W under the stock
+// frequency setting in Power Determinism mode.
+var TypicalLoadedActivity = cpu.Activity{Core: 0.62, Uncore: 0.62}
+
+// Config describes a facility.
+type Config struct {
+	Name     string
+	Nodes    int
+	Cabinets int
+	CPU      *cpu.Spec
+
+	Interconnect interconnect.Config
+	Cooling      cooling.Config
+}
+
+// ARCHER2 returns the paper's Table 1 configuration.
+func ARCHER2() Config {
+	return Config{
+		Name:         "ARCHER2",
+		Nodes:        5860,
+		Cabinets:     23,
+		CPU:          cpu.EPYC7742(),
+		Interconnect: interconnect.ARCHER2Config(),
+		Cooling:      cooling.ARCHER2Config(),
+	}
+}
+
+// Facility is an instantiated system.
+type Facility struct {
+	cfg    Config
+	nodes  []*node.Node
+	fabric *interconnect.Fabric
+	fs     *storage.Fleet
+	plant  *cooling.Plant
+}
+
+// New builds a facility at virtual time `at`, with per-node die variation
+// seeded from r.
+func New(cfg Config, r *rng.Stream, at time.Time) (*Facility, error) {
+	if cfg.Nodes <= 0 || cfg.Cabinets <= 0 || cfg.CPU == nil {
+		return nil, fmt.Errorf("facility: invalid config (nodes=%d cabinets=%d)", cfg.Nodes, cfg.Cabinets)
+	}
+	fabric, err := interconnect.New(cfg.Interconnect)
+	if err != nil {
+		return nil, err
+	}
+	f := &Facility{
+		cfg:    cfg,
+		nodes:  make([]*node.Node, cfg.Nodes),
+		fabric: fabric,
+		fs:     storage.ARCHER2Fleet(),
+		plant:  cooling.New(cfg.Cooling),
+	}
+	nodeStream := r.Split("nodes")
+	for i := range f.nodes {
+		f.nodes[i] = node.New(i, cfg.CPU, nodeStream.SplitIndexed("node", i), at)
+	}
+	return f, nil
+}
+
+// Config returns the facility configuration.
+func (f *Facility) Config() Config { return f.cfg }
+
+// NodeCount returns the number of compute nodes.
+func (f *Facility) NodeCount() int { return len(f.nodes) }
+
+// CoreCount returns the total compute core count (Table 1: 750,080).
+func (f *Facility) CoreCount() int {
+	return len(f.nodes) * node.SocketsPerNode * f.cfg.CPU.Cores
+}
+
+// Node returns node i.
+func (f *Facility) Node(i int) *node.Node { return f.nodes[i] }
+
+// Nodes returns the node slice (shared; callers must not reorder it).
+func (f *Facility) Nodes() []*node.Node { return f.nodes }
+
+// Fabric returns the interconnect.
+func (f *Facility) Fabric() *interconnect.Fabric { return f.fabric }
+
+// Storage returns the file-system fleet.
+func (f *Facility) Storage() *storage.Fleet { return f.fs }
+
+// Plant returns the cooling plant.
+func (f *Facility) Plant() *cooling.Plant { return f.plant }
+
+// CabinetOfNode returns the cabinet index housing node i (nodes are packed
+// in ID order).
+func (f *Facility) CabinetOfNode(i int) int {
+	c := i * f.cfg.Cabinets / len(f.nodes)
+	if c >= f.cfg.Cabinets {
+		c = f.cfg.Cabinets - 1
+	}
+	return c
+}
+
+// ComputeNodePower returns the instantaneous power of all compute nodes.
+func (f *Facility) ComputeNodePower() units.Power {
+	var w float64
+	for _, n := range f.nodes {
+		w += n.Power().Watts()
+	}
+	return units.Watts(w)
+}
+
+// Utilisation returns the fraction of Up nodes that are busy.
+func (f *Facility) Utilisation() float64 {
+	up, busy := 0, 0
+	for _, n := range f.nodes {
+		if n.State() == node.Up || n.State() == node.Draining {
+			up++
+			if n.Busy() {
+				busy++
+			}
+		}
+	}
+	if up == 0 {
+		return 0
+	}
+	return float64(busy) / float64(up)
+}
+
+// CabinetPower returns what the paper's Figures 1-3 measure: compute node
+// power plus interconnect switch power ("compute cabinets, which includes
+// all compute nodes and interconnect switches, approx. 90% of the total").
+func (f *Facility) CabinetPower() units.Power {
+	f.fabric.SetLoad(f.Utilisation())
+	return units.Watts(f.ComputeNodePower().Watts() + f.fabric.TotalPower().Watts())
+}
+
+// TotalPower returns the whole-facility power: cabinets + cabinet
+// overheads + CDUs + file systems.
+func (f *Facility) TotalPower() units.Power {
+	it := f.CabinetPower()
+	over := f.plant.TotalPower(f.Utilisation())
+	return units.Watts(it.Watts() + over.Watts() + f.fs.TotalPower().Watts())
+}
+
+// AccrueAll integrates node energy up to `at` (used before reading
+// facility-wide energy totals).
+func (f *Facility) AccrueAll(at time.Time) {
+	for _, n := range f.nodes {
+		n.Accrue(at)
+	}
+}
+
+// ComputeEnergy returns the cumulative compute-node energy.
+func (f *Facility) ComputeEnergy() units.Energy {
+	var j float64
+	for _, n := range f.nodes {
+		j += n.Energy().Joules()
+	}
+	return units.Joules(j)
+}
+
+// SetModeAll switches the BIOS determinism mode on every node, as the
+// ARCHER2 operators did across the system in May 2022.
+func (f *Facility) SetModeAll(m cpu.Mode, at time.Time) {
+	for _, n := range f.nodes {
+		n.SetMode(m, at)
+	}
+}
+
+// SetDefaultFrequencyAll changes the frequency setting of every node. The
+// per-job override policy is layered on top by the policy package.
+func (f *Facility) SetDefaultFrequencyAll(fs cpu.FreqSetting, at time.Time) error {
+	if err := f.cfg.CPU.ValidateSetting(fs); err != nil {
+		return err
+	}
+	for _, n := range f.nodes {
+		if err := n.SetFrequency(fs, at); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ComponentRow is one row of the Table 2 breakdown.
+type ComponentRow struct {
+	Component string
+	Count     int
+	Idle      units.Power
+	Loaded    units.Power
+	// PercentLoaded is this component's share of the loaded total.
+	PercentLoaded float64
+}
+
+// Breakdown reproduces the paper's Table 2: spec-level idle and loaded
+// power per component with percentage shares. These are static estimates
+// (as in the paper, which combined measurements and vendor estimates),
+// independent of the current simulation state.
+func (f *Facility) Breakdown() []ComponentRow {
+	spec := f.cfg.CPU
+	idleNode := node.IdlePower(spec).Watts()
+	loadedNode := node.ExpectedPower(spec, spec.DefaultSetting(),
+		TypicalLoadedActivity, cpu.PowerDeterminism).Watts()
+
+	rows := []ComponentRow{
+		{
+			Component: "Compute nodes",
+			Count:     len(f.nodes),
+			Idle:      units.Watts(idleNode * float64(len(f.nodes))),
+			Loaded:    units.Watts(loadedNode * float64(len(f.nodes))),
+		},
+		{
+			Component: "Slingshot interconnect",
+			Count:     f.fabric.SwitchCount(),
+			Idle:      f.fabric.IdleTotalPower(),
+			Loaded:    f.fabric.LoadedTotalPower(),
+		},
+		{
+			Component: "Other cabinet overheads",
+			Count:     f.cfg.Cabinets,
+			Idle:      f.plant.CabinetOverhead(0),
+			Loaded:    f.plant.CabinetOverhead(1),
+		},
+		{
+			Component: "Coolant distribution units",
+			Count:     f.plant.Config().CDUs,
+			Idle:      f.plant.CDUTotalPower(),
+			Loaded:    f.plant.CDUTotalPower(),
+		},
+		{
+			Component: "File systems",
+			Count:     f.fs.Count(),
+			Idle:      f.fs.TotalPower(),
+			Loaded:    f.fs.TotalPower(),
+		},
+	}
+	var total float64
+	for _, r := range rows {
+		total += r.Loaded.Watts()
+	}
+	for i := range rows {
+		rows[i].PercentLoaded = rows[i].Loaded.Watts() / total * 100
+	}
+	return rows
+}
+
+// BreakdownTotals returns the idle and loaded totals of the Table 2 rows.
+func BreakdownTotals(rows []ComponentRow) (idle, loaded units.Power) {
+	var iw, lw float64
+	for _, r := range rows {
+		iw += r.Idle.Watts()
+		lw += r.Loaded.Watts()
+	}
+	return units.Watts(iw), units.Watts(lw)
+}

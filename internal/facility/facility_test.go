@@ -1,0 +1,227 @@
+package facility
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/node"
+	"github.com/greenhpc/archertwin/internal/rng"
+)
+
+var t0 = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func newFacility(t *testing.T, cfg Config) *Facility {
+	t.Helper()
+	f, err := New(cfg, rng.New(1), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// small returns a scaled-down config for fast tests.
+func small() Config {
+	cfg := ARCHER2()
+	cfg.Nodes = 100
+	return cfg
+}
+
+func TestTable1Inventory(t *testing.T) {
+	f := newFacility(t, ARCHER2())
+	if f.NodeCount() != 5860 {
+		t.Errorf("nodes = %d, want 5860", f.NodeCount())
+	}
+	if f.CoreCount() != 750080 {
+		t.Errorf("cores = %d, want 750080", f.CoreCount())
+	}
+	if f.Fabric().SwitchCount() != 768 {
+		t.Errorf("switches = %d, want 768", f.Fabric().SwitchCount())
+	}
+	if f.Storage().Count() != 5 {
+		t.Errorf("file systems = %d, want 5", f.Storage().Count())
+	}
+	if f.Config().Cabinets != 23 {
+		t.Errorf("cabinets = %d, want 23", f.Config().Cabinets)
+	}
+}
+
+func TestTable2Breakdown(t *testing.T) {
+	f := newFacility(t, ARCHER2())
+	rows := f.Breakdown()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byName := map[string]ComponentRow{}
+	for _, r := range rows {
+		byName[r.Component] = r
+	}
+
+	// Paper Table 2 values, with tolerance for the model's rounding.
+	nodes := byName["Compute nodes"]
+	if got := nodes.Idle.Kilowatts(); math.Abs(got-1350) > 30 {
+		t.Errorf("compute idle = %v kW, want ~1350", got)
+	}
+	if got := nodes.Loaded.Kilowatts(); math.Abs(got-3000) > 60 {
+		t.Errorf("compute loaded = %v kW, want ~3000", got)
+	}
+	if nodes.PercentLoaded < 83 || nodes.PercentLoaded > 88 {
+		t.Errorf("compute share = %v%%, want ~86%%", nodes.PercentLoaded)
+	}
+
+	sw := byName["Slingshot interconnect"]
+	if got := sw.Loaded.Kilowatts(); math.Abs(got-200) > 15 {
+		t.Errorf("interconnect loaded = %v kW, want ~200", got)
+	}
+	if sw.PercentLoaded < 4 || sw.PercentLoaded > 8 {
+		t.Errorf("interconnect share = %v%%, want ~6%%", sw.PercentLoaded)
+	}
+
+	cdu := byName["Coolant distribution units"]
+	if got := cdu.Loaded.Kilowatts(); math.Abs(got-96) > 1e-9 {
+		t.Errorf("CDU loaded = %v kW, want 96", got)
+	}
+	fs := byName["File systems"]
+	if got := fs.Loaded.Kilowatts(); math.Abs(got-40) > 1e-9 {
+		t.Errorf("FS loaded = %v kW, want 40", got)
+	}
+
+	idle, loaded := BreakdownTotals(rows)
+	if got := idle.Kilowatts(); math.Abs(got-1800) > 100 {
+		t.Errorf("idle total = %v kW, want ~1800", got)
+	}
+	if got := loaded.Kilowatts(); math.Abs(got-3500) > 100 {
+		t.Errorf("loaded total = %v kW, want ~3500", got)
+	}
+}
+
+func TestInvalidConfig(t *testing.T) {
+	cfg := ARCHER2()
+	cfg.Nodes = 0
+	if _, err := New(cfg, rng.New(1), t0); err == nil {
+		t.Fatal("zero-node config accepted")
+	}
+	cfg = ARCHER2()
+	cfg.CPU = nil
+	if _, err := New(cfg, rng.New(1), t0); err == nil {
+		t.Fatal("nil CPU config accepted")
+	}
+}
+
+func TestCabinetOfNode(t *testing.T) {
+	f := newFacility(t, ARCHER2())
+	if c := f.CabinetOfNode(0); c != 0 {
+		t.Errorf("first node cabinet = %d", c)
+	}
+	if c := f.CabinetOfNode(5859); c != 22 {
+		t.Errorf("last node cabinet = %d", c)
+	}
+	// Monotone, all cabinets populated.
+	prev := 0
+	seen := map[int]bool{}
+	for i := 0; i < f.NodeCount(); i++ {
+		c := f.CabinetOfNode(i)
+		if c < prev {
+			t.Fatalf("cabinet assignment not monotone at node %d", i)
+		}
+		prev = c
+		seen[c] = true
+	}
+	if len(seen) != 23 {
+		t.Fatalf("cabinets populated = %d, want 23", len(seen))
+	}
+}
+
+func TestUtilisationAndPower(t *testing.T) {
+	f := newFacility(t, small())
+	if u := f.Utilisation(); u != 0 {
+		t.Fatalf("idle utilisation = %v", u)
+	}
+	idleCab := f.CabinetPower().Kilowatts()
+
+	// Load half the nodes.
+	for i := 0; i < 50; i++ {
+		f.Node(i).StartWork(TypicalLoadedActivity, t0)
+	}
+	if u := f.Utilisation(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilisation = %v, want 0.5", u)
+	}
+	halfCab := f.CabinetPower().Kilowatts()
+	if halfCab <= idleCab {
+		t.Fatalf("cabinet power did not rise: %v -> %v", idleCab, halfCab)
+	}
+	if f.TotalPower().Watts() <= f.CabinetPower().Watts() {
+		t.Fatal("total power not above cabinet power")
+	}
+}
+
+func TestUtilisationExcludesDownNodes(t *testing.T) {
+	f := newFacility(t, small())
+	for i := 0; i < 50; i++ {
+		f.Node(i).StartWork(TypicalLoadedActivity, t0)
+	}
+	for i := 50; i < 100; i++ {
+		f.Node(i).SetState(node.Down, t0)
+	}
+	if u := f.Utilisation(); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("utilisation with down nodes = %v, want 1.0", u)
+	}
+}
+
+func TestSetModeAllReducesPower(t *testing.T) {
+	f := newFacility(t, small())
+	for i := 0; i < 100; i++ {
+		f.Node(i).StartWork(TypicalLoadedActivity, t0)
+	}
+	before := f.ComputeNodePower().Watts()
+	f.SetModeAll(cpu.PerformanceDeterminism, t0.Add(time.Minute))
+	after := f.ComputeNodePower().Watts()
+	rel := (before - after) / before
+	// Core dynamic is ~36% of a typical loaded node; an 18% die-factor cut
+	// gives ~6-8% node power reduction.
+	if rel < 0.03 || rel > 0.12 {
+		t.Fatalf("mode change reduction = %v, want ~0.06", rel)
+	}
+}
+
+func TestSetDefaultFrequencyAll(t *testing.T) {
+	f := newFacility(t, small())
+	for i := 0; i < 100; i++ {
+		f.Node(i).StartWork(TypicalLoadedActivity, t0)
+	}
+	f.SetModeAll(cpu.PerformanceDeterminism, t0)
+	before := f.ComputeNodePower().Watts()
+	if err := f.SetDefaultFrequencyAll(f.Config().CPU.CappedSetting(), t0.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	after := f.ComputeNodePower().Watts()
+	if after >= before {
+		t.Fatalf("frequency cap did not reduce power: %v -> %v", before, after)
+	}
+	bad := cpu.FreqSetting{Base: f.Config().CPU.PStates[0].Freq, Boost: true}
+	if err := f.SetDefaultFrequencyAll(bad, t0.Add(2*time.Minute)); err == nil {
+		t.Fatal("invalid setting accepted")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	f := newFacility(t, small())
+	p := f.ComputeNodePower()
+	f.AccrueAll(t0.Add(time.Hour))
+	got := f.ComputeEnergy().KilowattHours()
+	want := p.EnergyOver(time.Hour).KilowattHours()
+	if math.Abs(got-want) > 1e-6 {
+		t.Fatalf("energy = %v kWh, want %v", got, want)
+	}
+}
+
+func TestDeterministicConstruction(t *testing.T) {
+	a := newFacility(t, small())
+	b := newFacility(t, small())
+	a.SetModeAll(cpu.PerformanceDeterminism, t0)
+	b.SetModeAll(cpu.PerformanceDeterminism, t0)
+	if a.ComputeNodePower() != b.ComputeNodePower() {
+		t.Fatal("same-seed facilities differ")
+	}
+}

@@ -1,0 +1,195 @@
+// Package grid provides a synthetic model of the electricity grid the
+// facility draws from: a carbon-intensity trace generator with the
+// seasonal, diurnal and stochastic (wind-driven) structure of the GB
+// grid, plus grid-stress event generation for demand-response studies.
+//
+// The paper's emissions analysis (§2) needs carbon-intensity scenarios
+// spanning <30, 30-100 and >100 gCO2/kWh; real trace data is a gated
+// external service, so the generator is calibrated to the published GB
+// statistics instead (2022 annual mean ~200 gCO2/kWh, winter evening
+// peaks >300, windy summer nights <50).
+package grid
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/timeseries"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// IntensityModel generates carbon-intensity traces.
+type IntensityModel struct {
+	// Base is the annual mean intensity (gCO2/kWh).
+	Base float64
+	// SeasonalAmp is the winter-summer swing amplitude.
+	SeasonalAmp float64
+	// DiurnalAmp is the day-night swing amplitude.
+	DiurnalAmp float64
+	// NoiseSigma is the stationary standard deviation of the
+	// Ornstein-Uhlenbeck wind term.
+	NoiseSigma float64
+	// NoiseTau is the OU relaxation time (weather system scale).
+	NoiseTau time.Duration
+	// Min and Max clamp the output.
+	Min, Max float64
+}
+
+// GB2022 returns a model calibrated to published GB grid statistics for
+// the paper's period.
+func GB2022() IntensityModel {
+	return IntensityModel{
+		Base:        200,
+		SeasonalAmp: 40,
+		DiurnalAmp:  45,
+		NoiseSigma:  55,
+		NoiseTau:    18 * time.Hour,
+		Min:         25,
+		Max:         420,
+	}
+}
+
+// Scaled returns a copy of m with the deterministic components scaled so
+// the annual mean becomes `mean` — a simple way to build low-carbon future
+// scenarios ("what if the grid averaged 50 gCO2/kWh?").
+func (m IntensityModel) Scaled(mean float64) IntensityModel {
+	if m.Base <= 0 {
+		return m
+	}
+	k := mean / m.Base
+	out := m
+	out.Base = mean
+	out.SeasonalAmp *= k
+	out.DiurnalAmp *= k
+	out.NoiseSigma *= k
+	out.Min *= k
+	out.Max *= k
+	return out
+}
+
+// Validate checks the parameters.
+func (m IntensityModel) Validate() error {
+	if m.Base <= 0 || m.Min < 0 || m.Max <= m.Min || m.NoiseTau <= 0 {
+		return fmt.Errorf("grid: invalid intensity model %+v", m)
+	}
+	return nil
+}
+
+// deterministic returns the season+diurnal component at t.
+func (m IntensityModel) deterministic(t time.Time) float64 {
+	yearFrac := float64(t.YearDay()-1) / 365
+	// Peak in mid-January (yearFrac ~ 0.04).
+	seasonal := m.SeasonalAmp * math.Cos(2*math.Pi*(yearFrac-0.04))
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	// Evening peak ~18:00, night trough ~03:00.
+	diurnal := m.DiurnalAmp * math.Cos(2*math.Pi*(hour-18)/24)
+	return m.Base + seasonal + diurnal
+}
+
+// Trace generates an intensity series from `from` to `to` (exclusive) at
+// the given step, using stream r for the wind term.
+func (m IntensityModel) Trace(from, to time.Time, step time.Duration, r *rng.Stream) (*timeseries.Series, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if step <= 0 || !to.After(from) {
+		return nil, fmt.Errorf("grid: invalid trace window [%v, %v) step %v", from, to, step)
+	}
+	s := timeseries.New("carbon_intensity", "gCO2/kWh")
+	// Exact OU discretisation: x' = x*a + sigma*sqrt(1-a^2)*N(0,1).
+	a := math.Exp(-step.Seconds() / m.NoiseTau.Seconds())
+	q := m.NoiseSigma * math.Sqrt(1-a*a)
+	x := r.Normal(0, m.NoiseSigma) // stationary start
+	for t := from; t.Before(to); t = t.Add(step) {
+		v := m.deterministic(t) + x
+		if v < m.Min {
+			v = m.Min
+		}
+		if v > m.Max {
+			v = m.Max
+		}
+		s.MustAppend(t, v)
+		x = x*a + q*r.Normal(0, 1)
+	}
+	return s, nil
+}
+
+// MeanIntensity returns the series mean as a typed carbon intensity.
+func MeanIntensity(s *timeseries.Series) units.CarbonIntensity {
+	return units.GramsPerKWh(s.Mean())
+}
+
+// StressEvent is a period of grid stress (scarce capacity, high prices),
+// like the GB winter 2022/23 margin notices that motivated the paper's
+// power reductions.
+type StressEvent struct {
+	Start time.Time
+	End   time.Time
+}
+
+// Duration returns the event length.
+func (e StressEvent) Duration() time.Duration { return e.End.Sub(e.Start) }
+
+// StressEvents generates winter weekday evening stress events between from
+// and to: on cold-season weekdays, with probability p, a 17:00-20:00 local
+// event occurs.
+func StressEvents(from, to time.Time, p float64, r *rng.Stream) []StressEvent {
+	var out []StressEvent
+	day := time.Date(from.Year(), from.Month(), from.Day(), 0, 0, 0, 0, from.Location())
+	for ; day.Before(to); day = day.AddDate(0, 0, 1) {
+		m := day.Month()
+		cold := m == time.November || m == time.December || m == time.January || m == time.February
+		if !cold || day.Weekday() == time.Saturday || day.Weekday() == time.Sunday {
+			continue
+		}
+		if r.Float64() >= p {
+			continue
+		}
+		start := day.Add(17 * time.Hour)
+		if start.Before(from) || !day.Add(20*time.Hour).Before(to) {
+			continue
+		}
+		out = append(out, StressEvent{Start: start, End: day.Add(20 * time.Hour)})
+	}
+	return out
+}
+
+// IntensityBand classifies an intensity into the paper's §2 bands.
+type IntensityBand int
+
+const (
+	// VeryLowCarbon: < 30 gCO2/kWh — scope 3 dominates.
+	VeryLowCarbon IntensityBand = iota
+	// ModerateCarbon: 30-100 gCO2/kWh — scope 2 and 3 comparable.
+	ModerateCarbon
+	// HighCarbon: > 100 gCO2/kWh — scope 2 dominates.
+	HighCarbon
+)
+
+// String implements fmt.Stringer.
+func (b IntensityBand) String() string {
+	switch b {
+	case VeryLowCarbon:
+		return "very-low-carbon (<30 g/kWh)"
+	case ModerateCarbon:
+		return "moderate-carbon (30-100 g/kWh)"
+	case HighCarbon:
+		return "high-carbon (>100 g/kWh)"
+	default:
+		return fmt.Sprintf("IntensityBand(%d)", int(b))
+	}
+}
+
+// BandOf returns the paper's band for an intensity.
+func BandOf(ci units.CarbonIntensity) IntensityBand {
+	switch g := ci.GramsPerKWh(); {
+	case g < 30:
+		return VeryLowCarbon
+	case g <= 100:
+		return ModerateCarbon
+	default:
+		return HighCarbon
+	}
+}

@@ -1,0 +1,189 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+var t0 = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestGB2022TraceStatistics(t *testing.T) {
+	m := GB2022()
+	s, err := m.Trace(t0, t0.AddDate(1, 0, 0), time.Hour, rng.New(1).Split("grid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 8760 {
+		t.Fatalf("samples = %d, want 8760", s.Len())
+	}
+	sum := s.Summary()
+	// Annual mean near the GB 2022 figure.
+	if math.Abs(sum.Mean-200) > 15 {
+		t.Fatalf("annual mean = %v, want ~200", sum.Mean)
+	}
+	if sum.Min < m.Min-1e-9 || sum.Max > m.Max+1e-9 {
+		t.Fatalf("trace escapes clamps: [%v, %v]", sum.Min, sum.Max)
+	}
+	// The grid must visit all three paper bands over a year.
+	low, mid, high := 0, 0, 0
+	for _, smp := range s.Samples() {
+		switch BandOf(units.GramsPerKWh(smp.V)) {
+		case VeryLowCarbon:
+			low++
+		case ModerateCarbon:
+			mid++
+		default:
+			high++
+		}
+	}
+	if low == 0 || mid == 0 || high == 0 {
+		t.Fatalf("bands not all visited: low=%d mid=%d high=%d", low, mid, high)
+	}
+	if high < low {
+		t.Fatalf("2022 GB grid should be mostly high-carbon: low=%d high=%d", low, high)
+	}
+}
+
+func TestSeasonalStructure(t *testing.T) {
+	m := GB2022()
+	m.NoiseSigma = 0 // isolate the deterministic components
+	s, err := m.Trace(t0, t0.AddDate(1, 0, 0), time.Hour, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jan := s.MeanBetween(t0, t0.AddDate(0, 1, 0))
+	jun := s.MeanBetween(t0.AddDate(0, 5, 0), t0.AddDate(0, 6, 0))
+	if jan <= jun {
+		t.Fatalf("winter %v not above summer %v", jan, jun)
+	}
+}
+
+func TestDiurnalStructure(t *testing.T) {
+	m := GB2022()
+	m.NoiseSigma = 0
+	day := time.Date(2022, 6, 15, 0, 0, 0, 0, time.UTC)
+	s, err := m.Trace(day, day.AddDate(0, 0, 1), 30*time.Minute, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evening, _ := s.ValueAt(day.Add(18 * time.Hour))
+	night, _ := s.ValueAt(day.Add(3 * time.Hour))
+	if evening <= night {
+		t.Fatalf("evening peak %v not above night trough %v", evening, night)
+	}
+}
+
+func TestScaled(t *testing.T) {
+	m := GB2022().Scaled(50)
+	s, err := m.Trace(t0, t0.AddDate(1, 0, 0), time.Hour, rng.New(4).Split("grid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean := s.Mean(); math.Abs(mean-50) > 5 {
+		t.Fatalf("scaled mean = %v, want ~50", mean)
+	}
+	// Degenerate base returns unchanged.
+	z := IntensityModel{}.Scaled(50)
+	if z.Base != 0 {
+		t.Fatal("zero-base Scaled changed Base")
+	}
+}
+
+func TestTraceErrors(t *testing.T) {
+	m := GB2022()
+	if _, err := m.Trace(t0, t0, time.Hour, rng.New(1)); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := m.Trace(t0, t0.Add(time.Hour), 0, rng.New(1)); err == nil {
+		t.Error("zero step accepted")
+	}
+	bad := m
+	bad.Base = -1
+	if _, err := bad.Trace(t0, t0.Add(time.Hour), time.Minute, rng.New(1)); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestTraceDeterminism(t *testing.T) {
+	m := GB2022()
+	a, err := m.Trace(t0, t0.AddDate(0, 0, 7), time.Hour, rng.New(5).Split("grid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Trace(t0, t0.AddDate(0, 0, 7), time.Hour, rng.New(5).Split("grid"))
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestMeanIntensity(t *testing.T) {
+	m := GB2022()
+	s, err := m.Trace(t0, t0.AddDate(0, 1, 0), time.Hour, rng.New(6).Split("grid"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := MeanIntensity(s)
+	if ci.GramsPerKWh() <= 0 {
+		t.Fatalf("mean intensity = %v", ci)
+	}
+}
+
+func TestBandOf(t *testing.T) {
+	cases := []struct {
+		g    float64
+		want IntensityBand
+	}{
+		{10, VeryLowCarbon}, {29.9, VeryLowCarbon}, {30, ModerateCarbon},
+		{65, ModerateCarbon}, {100, ModerateCarbon}, {100.1, HighCarbon}, {250, HighCarbon},
+	}
+	for _, c := range cases {
+		if got := BandOf(units.GramsPerKWh(c.g)); got != c.want {
+			t.Errorf("BandOf(%v) = %v, want %v", c.g, got, c.want)
+		}
+	}
+	for _, b := range []IntensityBand{VeryLowCarbon, ModerateCarbon, HighCarbon, IntensityBand(9)} {
+		if b.String() == "" {
+			t.Error("empty band string")
+		}
+	}
+}
+
+func TestStressEvents(t *testing.T) {
+	from := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	events := StressEvents(from, to, 0.3, rng.New(7).Split("stress"))
+	if len(events) == 0 {
+		t.Fatal("no stress events in winter window")
+	}
+	for _, e := range events {
+		if e.Duration() != 3*time.Hour {
+			t.Fatalf("event duration = %v", e.Duration())
+		}
+		if e.Start.Hour() != 17 {
+			t.Fatalf("event starts at %v", e.Start)
+		}
+		wd := e.Start.Weekday()
+		if wd == time.Saturday || wd == time.Sunday {
+			t.Fatal("weekend stress event")
+		}
+		m := e.Start.Month()
+		if m != time.November && m != time.December && m != time.January && m != time.February {
+			t.Fatalf("event in month %v", m)
+		}
+	}
+	// Probability 0 -> none.
+	if got := StressEvents(from, to, 0, rng.New(7)); len(got) != 0 {
+		t.Fatalf("p=0 produced %d events", len(got))
+	}
+	// Summer window -> none.
+	s0 := time.Date(2022, 6, 1, 0, 0, 0, 0, time.UTC)
+	if got := StressEvents(s0, s0.AddDate(0, 2, 0), 1, rng.New(7)); len(got) != 0 {
+		t.Fatalf("summer produced %d events", len(got))
+	}
+}

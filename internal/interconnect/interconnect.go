@@ -1,0 +1,151 @@
+// Package interconnect models the ARCHER2 Slingshot network: 768 switches
+// in a dragonfly topology, with the load-insensitive switch power behaviour
+// the paper reports ("steady at 200-250 W irrespective of system load",
+// §5) and enough topology structure (groups, global/local links, hop
+// counts) to support communication-aware application models and ablations.
+package interconnect
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// Config describes a dragonfly fabric.
+type Config struct {
+	// Switches is the total switch count (ARCHER2: 768).
+	Switches int
+	// Groups is the number of dragonfly groups.
+	Groups int
+	// NodesPerSwitch is the number of compute-node endpoints per switch
+	// (each ARCHER2 node has 2 NICs; 16 nodes' NICs land on each switch).
+	NodesPerSwitch int
+
+	// SwitchIdlePower is a switch's draw with no traffic. The paper gives
+	// the fleet range 100-200 kW idle for 768 switches (130-260 W each).
+	SwitchIdlePower units.Power
+	// SwitchLoadedPower is a switch's draw under load (paper: ~250 W,
+	// 200 kW fleet). The gap to idle is deliberately small: Slingshot
+	// switch power is essentially load-independent.
+	SwitchLoadedPower units.Power
+}
+
+// ARCHER2Config returns the paper's Slingshot deployment: 768 switches in a
+// dragonfly over 23 cabinet-groups.
+func ARCHER2Config() Config {
+	return Config{
+		Switches:          768,
+		Groups:            23,
+		NodesPerSwitch:    8, // 5860 nodes / 768 switches ~ 7.6, rounded up
+		SwitchIdlePower:   units.Watts(200),
+		SwitchLoadedPower: units.Watts(260),
+	}
+}
+
+// Fabric is an instantiated dragonfly network.
+type Fabric struct {
+	cfg Config
+	// switchGroup[i] is the group of switch i.
+	switchGroup []int
+	// load is the current fleet-wide traffic level in [0, 1].
+	load float64
+}
+
+// New builds a fabric from cfg. It returns an error for inconsistent
+// configurations.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Switches <= 0 || cfg.Groups <= 0 || cfg.Groups > cfg.Switches {
+		return nil, fmt.Errorf("interconnect: invalid topology %d switches / %d groups",
+			cfg.Switches, cfg.Groups)
+	}
+	if cfg.SwitchLoadedPower.Watts() < cfg.SwitchIdlePower.Watts() {
+		return nil, fmt.Errorf("interconnect: loaded power %v below idle %v",
+			cfg.SwitchLoadedPower, cfg.SwitchIdlePower)
+	}
+	f := &Fabric{cfg: cfg, switchGroup: make([]int, cfg.Switches)}
+	for i := range f.switchGroup {
+		f.switchGroup[i] = i * cfg.Groups / cfg.Switches
+	}
+	return f, nil
+}
+
+// Config returns the fabric configuration.
+func (f *Fabric) Config() Config { return f.cfg }
+
+// SwitchCount returns the number of switches.
+func (f *Fabric) SwitchCount() int { return f.cfg.Switches }
+
+// GroupOfSwitch returns the dragonfly group of switch i.
+func (f *Fabric) GroupOfSwitch(i int) int { return f.switchGroup[i] }
+
+// SwitchesInGroup returns how many switches are in group g.
+func (f *Fabric) SwitchesInGroup(g int) int {
+	n := 0
+	for _, sg := range f.switchGroup {
+		if sg == g {
+			n++
+		}
+	}
+	return n
+}
+
+// GroupOfNode maps a compute node index to its dragonfly group, assuming
+// nodes are packed into groups in ID order (as in cabinet wiring).
+func (f *Fabric) GroupOfNode(nodeID, totalNodes int) int {
+	if totalNodes <= 0 {
+		return 0
+	}
+	g := nodeID * f.cfg.Groups / totalNodes
+	if g >= f.cfg.Groups {
+		g = f.cfg.Groups - 1
+	}
+	return g
+}
+
+// Hops returns the minimal dragonfly hop count between two groups:
+// 1 within a switch's reach, 2 within a group, 3 across groups (local -
+// global - local).
+func (f *Fabric) Hops(groupA, groupB int) int {
+	if groupA == groupB {
+		return 2
+	}
+	return 3
+}
+
+// SetLoad updates the fleet traffic level (clamped to [0, 1]). The paper's
+// observation is that power barely responds; modelling it lets the
+// telemetry show that insensitivity rather than assume it.
+func (f *Fabric) SetLoad(l float64) {
+	if l < 0 {
+		l = 0
+	}
+	if l > 1 {
+		l = 1
+	}
+	f.load = l
+}
+
+// Load returns the current traffic level.
+func (f *Fabric) Load() float64 { return f.load }
+
+// SwitchPower returns one switch's current power draw.
+func (f *Fabric) SwitchPower() units.Power {
+	idle := f.cfg.SwitchIdlePower.Watts()
+	loaded := f.cfg.SwitchLoadedPower.Watts()
+	return units.Watts(idle + f.load*(loaded-idle))
+}
+
+// TotalPower returns the whole fabric's power draw.
+func (f *Fabric) TotalPower() units.Power {
+	return units.Watts(f.SwitchPower().Watts() * float64(f.cfg.Switches))
+}
+
+// IdleTotalPower returns the fabric draw at zero load.
+func (f *Fabric) IdleTotalPower() units.Power {
+	return units.Watts(f.cfg.SwitchIdlePower.Watts() * float64(f.cfg.Switches))
+}
+
+// LoadedTotalPower returns the fabric draw at full load.
+func (f *Fabric) LoadedTotalPower() units.Power {
+	return units.Watts(f.cfg.SwitchLoadedPower.Watts() * float64(f.cfg.Switches))
+}

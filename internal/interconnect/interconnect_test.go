@@ -1,0 +1,168 @@
+package interconnect
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func mustNew(t *testing.T) *Fabric {
+	t.Helper()
+	f, err := New(ARCHER2Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestARCHER2Config(t *testing.T) {
+	f := mustNew(t)
+	if f.SwitchCount() != 768 {
+		t.Fatalf("switches = %d, want 768", f.SwitchCount())
+	}
+	// Paper Table 2: interconnect loaded fleet power ~200 kW.
+	got := f.LoadedTotalPower().Kilowatts()
+	if got < 150 || got > 250 {
+		t.Fatalf("loaded fleet power = %v kW, want ~200", got)
+	}
+	// Idle in the paper's 100-200 kW band.
+	idle := f.IdleTotalPower().Kilowatts()
+	if idle < 100 || idle > 200 {
+		t.Fatalf("idle fleet power = %v kW, want 100-200", idle)
+	}
+}
+
+func TestInvalidConfigs(t *testing.T) {
+	bad := []Config{
+		{Switches: 0, Groups: 1},
+		{Switches: 4, Groups: 0},
+		{Switches: 4, Groups: 8},
+		{Switches: 4, Groups: 2,
+			SwitchIdlePower: units.Watts(250), SwitchLoadedPower: units.Watts(200)},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPowerLoadInsensitivity(t *testing.T) {
+	// Paper §5: switch power steady at 200-250 W irrespective of load.
+	f := mustNew(t)
+	f.SetLoad(0)
+	p0 := f.SwitchPower().Watts()
+	f.SetLoad(1)
+	p1 := f.SwitchPower().Watts()
+	if p0 < 200 || p1 > 260 {
+		t.Fatalf("switch power range %v-%v outside 200-260 W", p0, p1)
+	}
+	// The swing is under 30% of the idle level: near-constant.
+	if (p1-p0)/p0 > 0.3 {
+		t.Fatalf("switch power too load-sensitive: %v -> %v", p0, p1)
+	}
+}
+
+func TestSetLoadClamps(t *testing.T) {
+	f := mustNew(t)
+	f.SetLoad(-1)
+	if f.Load() != 0 {
+		t.Fatalf("load = %v", f.Load())
+	}
+	f.SetLoad(2)
+	if f.Load() != 1 {
+		t.Fatalf("load = %v", f.Load())
+	}
+	f.SetLoad(0.5)
+	mid := f.SwitchPower().Watts()
+	want := (200.0 + 260.0) / 2
+	if math.Abs(mid-want) > 1e-9 {
+		t.Fatalf("mid-load power = %v, want %v", mid, want)
+	}
+}
+
+func TestTotalPowerScalesWithCount(t *testing.T) {
+	f := mustNew(t)
+	f.SetLoad(0.3)
+	want := f.SwitchPower().Watts() * 768
+	if got := f.TotalPower().Watts(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("total = %v, want %v", got, want)
+	}
+}
+
+func TestGroupAssignment(t *testing.T) {
+	f := mustNew(t)
+	// Every switch belongs to a valid group and groups are balanced.
+	counts := make(map[int]int)
+	for i := 0; i < f.SwitchCount(); i++ {
+		g := f.GroupOfSwitch(i)
+		if g < 0 || g >= f.Config().Groups {
+			t.Fatalf("switch %d in invalid group %d", i, g)
+		}
+		counts[g]++
+	}
+	if len(counts) != f.Config().Groups {
+		t.Fatalf("only %d groups populated", len(counts))
+	}
+	min, max := 1<<30, 0
+	for g := 0; g < f.Config().Groups; g++ {
+		c := f.SwitchesInGroup(g)
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("group sizes unbalanced: min %d max %d", min, max)
+	}
+}
+
+func TestGroupOfNode(t *testing.T) {
+	f := mustNew(t)
+	total := 5860
+	if g := f.GroupOfNode(0, total); g != 0 {
+		t.Fatalf("first node group = %d", g)
+	}
+	if g := f.GroupOfNode(total-1, total); g != f.Config().Groups-1 {
+		t.Fatalf("last node group = %d", g)
+	}
+	if g := f.GroupOfNode(0, 0); g != 0 {
+		t.Fatalf("degenerate GroupOfNode = %d", g)
+	}
+}
+
+func TestHops(t *testing.T) {
+	f := mustNew(t)
+	if got := f.Hops(3, 3); got != 2 {
+		t.Fatalf("intra-group hops = %d", got)
+	}
+	if got := f.Hops(1, 5); got != 3 {
+		t.Fatalf("inter-group hops = %d", got)
+	}
+}
+
+// Property: fabric power is monotone in load and bounded by idle/loaded
+// totals.
+func TestPropertyPowerBounds(t *testing.T) {
+	f := mustNew(t)
+	prop := func(a, b uint8) bool {
+		la, lb := float64(a)/255, float64(b)/255
+		if la > lb {
+			la, lb = lb, la
+		}
+		f.SetLoad(la)
+		pa := f.TotalPower().Watts()
+		f.SetLoad(lb)
+		pb := f.TotalPower().Watts()
+		return pa <= pb+1e-9 &&
+			pa >= f.IdleTotalPower().Watts()-1e-9 &&
+			pb <= f.LoadedTotalPower().Watts()+1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

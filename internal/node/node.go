@@ -1,0 +1,195 @@
+// Package node models an ARCHER2 compute node: two EPYC sockets, board
+// components (memory DIMMs, Slingshot NICs, baseboard), per-node frequency
+// and BIOS-mode state, and cumulative energy accounting.
+//
+// With the default EPYC7742 socket spec, a node idles at 230 W (2x85 W
+// sockets + 60 W board) and draws around 510 W under a typical mixed load
+// at the stock 2.25 GHz + boost setting, matching the paper's Table 2.
+package node
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// SocketsPerNode is the socket count of an ARCHER2 compute node.
+const SocketsPerNode = 2
+
+// BoardPower is the frequency-independent power of node components outside
+// the CPU sockets (DIMMs at idle, NICs, baseboard, fans' share).
+var BoardPower = units.Watts(60)
+
+// State is a node's administrative state.
+type State int
+
+const (
+	// Up: available for scheduling.
+	Up State = iota
+	// Draining: running work finishes but no new work starts.
+	Draining
+	// Down: failed or administratively removed.
+	Down
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Up:
+		return "up"
+	case Draining:
+		return "draining"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Node is one compute node.
+type Node struct {
+	ID   int
+	Spec *cpu.Spec
+
+	setting cpu.FreqSetting
+	mode    cpu.Mode
+	state   State
+
+	// Per-node die silicon-quality factors, re-drawn when the BIOS mode
+	// changes (they are a property of (die, mode)).
+	dieFactor  float64
+	perfFactor float64
+	rng        *rng.Stream
+
+	// Current workload activity (zero when idle).
+	activity cpu.Activity
+	busy     bool
+
+	energy     units.Energy
+	lastUpdate time.Time
+}
+
+// New creates a node with the given ID using spec, initialised at the
+// spec's default frequency setting in Power Determinism mode. The stream r
+// seeds the node's die-variation draws; it is retained.
+func New(id int, spec *cpu.Spec, r *rng.Stream, at time.Time) *Node {
+	n := &Node{
+		ID:         id,
+		Spec:       spec,
+		setting:    spec.DefaultSetting(),
+		mode:       cpu.PowerDeterminism,
+		rng:        r,
+		lastUpdate: at,
+	}
+	n.redraw()
+	return n
+}
+
+func (n *Node) redraw() {
+	n.dieFactor = n.Spec.DrawDieFactor(n.mode, n.rng)
+	n.perfFactor = n.Spec.DrawPerfFactor(n.mode, n.rng)
+}
+
+// Setting returns the node's current frequency setting.
+func (n *Node) Setting() cpu.FreqSetting { return n.setting }
+
+// Mode returns the node's current BIOS determinism mode.
+func (n *Node) Mode() cpu.Mode { return n.mode }
+
+// State returns the node's administrative state.
+func (n *Node) State() State { return n.state }
+
+// SetState updates the administrative state (accrues energy first so the
+// transition is accounted at the right power level).
+func (n *Node) SetState(s State, at time.Time) {
+	n.Accrue(at)
+	n.state = s
+}
+
+// Busy reports whether a job is currently running on the node.
+func (n *Node) Busy() bool { return n.busy }
+
+// SetFrequency changes the node's frequency setting, accruing energy at the
+// old setting first. It returns an error for unsupported settings.
+func (n *Node) SetFrequency(fs cpu.FreqSetting, at time.Time) error {
+	if err := n.Spec.ValidateSetting(fs); err != nil {
+		return err
+	}
+	n.Accrue(at)
+	n.setting = fs
+	return nil
+}
+
+// SetMode changes the BIOS determinism mode. The die factors are redrawn
+// because they are mode-dependent silicon behaviour. Energy is accrued at
+// the old mode first.
+func (n *Node) SetMode(m cpu.Mode, at time.Time) {
+	if m == n.mode {
+		return
+	}
+	n.Accrue(at)
+	n.mode = m
+	n.redraw()
+}
+
+// StartWork marks the node busy with the given activity (from the
+// application model). It accrues idle energy up to `at` first.
+func (n *Node) StartWork(a cpu.Activity, at time.Time) {
+	n.Accrue(at)
+	n.activity = a
+	n.busy = true
+}
+
+// StopWork marks the node idle, accruing the work period's energy.
+func (n *Node) StopWork(at time.Time) {
+	n.Accrue(at)
+	n.activity = cpu.Activity{}
+	n.busy = false
+}
+
+// PerfFactor returns the node's current per-die performance factor.
+func (n *Node) PerfFactor() float64 { return n.perfFactor }
+
+// Power returns the node's current power draw: both sockets plus board.
+// A Down node draws no power (powered off); Draining nodes draw normally.
+func (n *Node) Power() units.Power {
+	if n.state == Down {
+		return 0
+	}
+	socket := n.Spec.Power(n.setting, n.activity, n.dieFactor)
+	return units.Watts(SocketsPerNode*socket.Watts() + BoardPower.Watts())
+}
+
+// Accrue integrates energy at the current power level from the last update
+// to `at`. Callers mutating power-relevant state must Accrue first; the
+// state-changing methods on Node do this automatically.
+func (n *Node) Accrue(at time.Time) {
+	if at.Before(n.lastUpdate) {
+		panic(fmt.Sprintf("node %d: accrue time %v before last update %v", n.ID, at, n.lastUpdate))
+	}
+	d := at.Sub(n.lastUpdate)
+	if d > 0 {
+		n.energy += n.Power().EnergyOver(d)
+	}
+	n.lastUpdate = at
+}
+
+// Energy returns cumulative node energy up to the last accrual.
+func (n *Node) Energy() units.Energy { return n.energy }
+
+// IdlePower returns the node's idle power draw (state- and mode-independent
+// baseline: 2 sockets idle + board).
+func IdlePower(spec *cpu.Spec) units.Power {
+	return units.Watts(SocketsPerNode*spec.IdlePower.Watts() + BoardPower.Watts())
+}
+
+// ExpectedPower returns the fleet-expectation node power for the given
+// application activity, setting and mode, using mean die factors rather
+// than sampled ones. Calibration and the analytic tables use this.
+func ExpectedPower(spec *cpu.Spec, fs cpu.FreqSetting, a cpu.Activity, m cpu.Mode) units.Power {
+	socket := spec.Power(fs, a, spec.MeanDieFactor(m))
+	return units.Watts(SocketsPerNode*socket.Watts() + BoardPower.Watts())
+}

@@ -1,0 +1,153 @@
+// Package report renders the twin's outputs as aligned ASCII tables and
+// chart blocks — the terminal equivalents of the paper's tables and
+// figures — including side-by-side paper-vs-simulated comparisons.
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/greenhpc/archertwin/internal/timeseries"
+)
+
+// Table is a simple column-aligned ASCII table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; short rows are padded with empty cells and long
+// rows are truncated to the header width.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells, each rendered with %v.
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = fmt.Sprint(c)
+	}
+	t.AddRow(out...)
+}
+
+// RowCount returns the number of data rows.
+func (t *Table) RowCount() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Pct formats a fraction as a signed percentage, e.g. -0.065 -> "-6.5%".
+func Pct(frac float64) string {
+	return fmt.Sprintf("%+.1f%%", frac*100)
+}
+
+// KW formats a power in kW with thousands precision matching the paper.
+func KW(kw float64) string {
+	return fmt.Sprintf("%.0f kW", kw)
+}
+
+// Ratio formats a perf/energy ratio in the paper's two-decimal style.
+func Ratio(r float64) string { return fmt.Sprintf("%.2f", r) }
+
+// Comparison builds a paper-vs-simulated table.
+type Comparison struct {
+	t *Table
+}
+
+// NewComparison creates a comparison table.
+func NewComparison(title string) *Comparison {
+	return &Comparison{t: NewTable(title, "metric", "paper", "simulated", "deviation")}
+}
+
+// Add records one metric. Deviation is (sim-paper)/paper when paper != 0.
+func (c *Comparison) Add(metric string, paper, sim float64, format func(float64) string) {
+	dev := "n/a"
+	if paper != 0 {
+		dev = Pct((sim - paper) / paper)
+	}
+	c.t.AddRow(metric, format(paper), format(sim), dev)
+}
+
+// String renders the comparison.
+func (c *Comparison) String() string { return c.t.String() }
+
+// RowCount returns the number of comparison rows.
+func (c *Comparison) RowCount() int { return c.t.RowCount() }
+
+// Figure renders a time series as the paper renders its power figures: an
+// ASCII chart plus window-mean annotations.
+type Figure struct {
+	Title  string
+	Series *timeseries.Series
+	Notes  []string
+}
+
+// AddNote appends an annotation line (e.g. a window mean).
+func (f *Figure) AddNote(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the figure.
+func (f *Figure) String() string {
+	var b strings.Builder
+	if f.Title != "" {
+		fmt.Fprintf(&b, "%s\n", f.Title)
+	}
+	if f.Series != nil {
+		b.WriteString(f.Series.RenderASCII(12, 72))
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "  %s\n", n)
+	}
+	return b.String()
+}

@@ -1,0 +1,113 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/timeseries"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X: demo", "component", "idle", "loaded")
+	tb.AddRow("Compute nodes", "1350", "3000")
+	tb.AddRow("Interconnect", "150", "200")
+	out := tb.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "component") || !strings.Contains(out, "Compute nodes") {
+		t.Error("missing content")
+	}
+	// Columns aligned: every data line starts at the same offset for col 2.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if tb.RowCount() != 2 {
+		t.Fatalf("rows = %d", tb.RowCount())
+	}
+}
+
+func TestTableRowPadding(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	tb.AddRow("x", "y", "z", "overflow")
+	out := tb.String()
+	if strings.Contains(out, "overflow") {
+		t.Error("overflow cell not truncated")
+	}
+	if tb.RowCount() != 2 {
+		t.Fatal("rows lost")
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := NewTable("", "n", "v")
+	tb.AddRowf(42, 3.14)
+	if !strings.Contains(tb.String(), "42") || !strings.Contains(tb.String(), "3.14") {
+		t.Error("formatted cells missing")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := Pct(-0.065); got != "-6.5%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0.214); got != "+21.4%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := KW(3220.4); got != "3220 kW" {
+		t.Errorf("KW = %q", got)
+	}
+	if got := Ratio(0.9); got != "0.90" {
+		t.Errorf("Ratio = %q", got)
+	}
+}
+
+func TestComparison(t *testing.T) {
+	c := NewComparison("Figure 1")
+	c.Add("baseline mean", 3220, 3217, KW)
+	c.Add("zero paper", 0, 5, KW)
+	out := c.String()
+	if !strings.Contains(out, "3220 kW") || !strings.Contains(out, "3217 kW") {
+		t.Error("values missing")
+	}
+	if !strings.Contains(out, "-0.1%") {
+		t.Errorf("deviation missing:\n%s", out)
+	}
+	if !strings.Contains(out, "n/a") {
+		t.Error("zero-paper deviation not n/a")
+	}
+	if c.RowCount() != 2 {
+		t.Fatalf("rows = %d", c.RowCount())
+	}
+}
+
+func TestFigure(t *testing.T) {
+	s := timeseries.New("power", "kW")
+	t0 := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		v := 3220.0
+		if i > 50 {
+			v = 3010
+		}
+		s.MustAppend(t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	f := Figure{Title: "Figure 2: cabinet power", Series: s}
+	f.AddNote("before mean %s", KW(3220))
+	f.AddNote("after mean %s", KW(3010))
+	out := f.String()
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "before mean 3220 kW") {
+		t.Errorf("figure missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no chart body")
+	}
+	// Nil series renders notes only.
+	empty := Figure{Title: "t"}
+	empty.AddNote("n")
+	if !strings.Contains(empty.String(), "n") {
+		t.Error("nil-series figure broken")
+	}
+}

@@ -1,0 +1,72 @@
+// Package roofline provides the two-phase performance model used for every
+// application in the twin: a job's runtime is split into a compute-bound
+// fraction that scales inversely with core frequency and a memory/
+// communication-bound remainder that does not.
+//
+// Normalised to the reference operating point (effective boost frequency
+// f_ref), the runtime multiplier at frequency f is
+//
+//	T(f) = c * (f_ref/f) + (1 - c)
+//
+// with c the compute-bound fraction. This is the textbook first-order DVFS
+// response and exactly the structure the paper invokes in §4.2 ("if
+// application performance is limited by data transfer rates from memory
+// ... this may not have a large detrimental effect").
+package roofline
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// Kernel characterises an application's frequency sensitivity.
+type Kernel struct {
+	// ComputeFraction is the fraction of reference runtime spent
+	// instruction-throughput-bound, in [0, 1].
+	ComputeFraction float64
+}
+
+// Validate reports whether the kernel parameters are in range.
+func (k Kernel) Validate() error {
+	if k.ComputeFraction < 0 || k.ComputeFraction > 1 {
+		return fmt.Errorf("roofline: compute fraction %v outside [0,1]", k.ComputeFraction)
+	}
+	return nil
+}
+
+// TimeMultiplier returns T(f): the runtime multiplier at frequency f
+// relative to the reference frequency fref. It panics on non-positive
+// frequencies.
+func (k Kernel) TimeMultiplier(f, fref units.Frequency) float64 {
+	if f.Hertz() <= 0 || fref.Hertz() <= 0 {
+		panic("roofline: non-positive frequency")
+	}
+	return k.ComputeFraction*fref.Ratio(f) + (1 - k.ComputeFraction)
+}
+
+// PerfRatio returns performance at f relative to fref (the paper's "perf
+// ratio" convention: < 1 means slower).
+func (k Kernel) PerfRatio(f, fref units.Frequency) float64 {
+	return 1 / k.TimeMultiplier(f, fref)
+}
+
+// ComputeFractionFromPerfRatio inverts the model: given an observed perf
+// ratio r at frequency f (relative to fref), it returns the compute
+// fraction c that reproduces it. This is how the paper's Table 4 perf
+// columns are turned into kernel parameters. An error is returned when the
+// ratio is outside the achievable range (r must be in (f/fref, 1]).
+func ComputeFractionFromPerfRatio(r float64, f, fref units.Frequency) (float64, error) {
+	if f.Hertz() <= 0 || fref.Hertz() <= 0 {
+		return 0, fmt.Errorf("roofline: non-positive frequency")
+	}
+	if fref.Hertz() <= f.Hertz() {
+		return 0, fmt.Errorf("roofline: fref %v must exceed f %v", fref, f)
+	}
+	lo := f.Ratio(fref) // perf ratio of a fully compute-bound code
+	if r <= lo || r > 1 {
+		return 0, fmt.Errorf("roofline: perf ratio %v outside achievable (%v, 1]", r, lo)
+	}
+	c := (1/r - 1) / (fref.Ratio(f) - 1)
+	return c, nil
+}

@@ -1,0 +1,145 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+var (
+	f20  = units.Gigahertz(2.0)
+	fref = units.Gigahertz(2.8)
+)
+
+func TestTimeMultiplierEndpoints(t *testing.T) {
+	// Fully memory-bound: no slowdown at any frequency.
+	k := Kernel{ComputeFraction: 0}
+	if got := k.TimeMultiplier(f20, fref); got != 1 {
+		t.Errorf("memory-bound multiplier = %v", got)
+	}
+	// Fully compute-bound: slowdown is the frequency ratio.
+	k = Kernel{ComputeFraction: 1}
+	if got := k.TimeMultiplier(f20, fref); math.Abs(got-1.4) > 1e-12 {
+		t.Errorf("compute-bound multiplier = %v, want 1.4", got)
+	}
+	// At the reference frequency the multiplier is 1 for any c.
+	k = Kernel{ComputeFraction: 0.5}
+	if got := k.TimeMultiplier(fref, fref); got != 1 {
+		t.Errorf("reference multiplier = %v", got)
+	}
+}
+
+func TestPerfRatio(t *testing.T) {
+	k := Kernel{ComputeFraction: 0.878} // LAMMPS-like
+	r := k.PerfRatio(f20, fref)
+	if math.Abs(r-0.74) > 0.005 {
+		t.Fatalf("LAMMPS-like perf ratio = %v, want ~0.74", r)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Kernel{ComputeFraction: 0.5}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{-0.01, 1.01} {
+		if err := (Kernel{ComputeFraction: c}).Validate(); err == nil {
+			t.Errorf("c=%v accepted", c)
+		}
+	}
+}
+
+func TestComputeFractionInversion(t *testing.T) {
+	// Paper Table 4 perf ratios invert to sensible compute fractions.
+	cases := []struct {
+		name string
+		r    float64
+	}{
+		{"CASTEP", 0.93}, {"CP2K", 0.91}, {"GROMACS", 0.83},
+		{"LAMMPS", 0.74}, {"Nektar", 0.80}, {"ONETEP", 0.92}, {"VASP", 0.95},
+	}
+	for _, c := range cases {
+		got, err := ComputeFractionFromPerfRatio(c.r, f20, fref)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got <= 0 || got >= 1 {
+			t.Fatalf("%s: c = %v out of range", c.name, got)
+		}
+		// Round trip: the kernel reproduces the observed ratio.
+		k := Kernel{ComputeFraction: got}
+		if back := k.PerfRatio(f20, fref); math.Abs(back-c.r) > 1e-9 {
+			t.Fatalf("%s: round trip %v != %v", c.name, back, c.r)
+		}
+	}
+}
+
+func TestComputeFractionErrors(t *testing.T) {
+	// Below the compute-bound floor (2.0/2.8 = 0.714).
+	if _, err := ComputeFractionFromPerfRatio(0.70, f20, fref); err == nil {
+		t.Error("infeasible ratio accepted")
+	}
+	if _, err := ComputeFractionFromPerfRatio(1.01, f20, fref); err == nil {
+		t.Error("ratio > 1 accepted")
+	}
+	if _, err := ComputeFractionFromPerfRatio(0.9, fref, f20); err == nil {
+		t.Error("fref < f accepted")
+	}
+	if _, err := ComputeFractionFromPerfRatio(0.9, units.Gigahertz(0), fref); err == nil {
+		t.Error("zero frequency accepted")
+	}
+}
+
+func TestPanicsOnZeroFreq(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero frequency did not panic")
+		}
+	}()
+	Kernel{ComputeFraction: 0.5}.TimeMultiplier(units.Hertz(0), fref)
+}
+
+// Property: T is strictly decreasing in f for c > 0 (higher frequency never
+// slows a run), and T >= 1 for f <= fref.
+func TestPropertyMonotone(t *testing.T) {
+	prop := func(cRaw, aRaw, bRaw uint8) bool {
+		c := float64(cRaw) / 255
+		k := Kernel{ComputeFraction: c}
+		fa := units.Gigahertz(1.0 + 1.8*float64(aRaw)/255)
+		fb := units.Gigahertz(1.0 + 1.8*float64(bRaw)/255)
+		if fa > fb {
+			fa, fb = fb, fa
+		}
+		ta := k.TimeMultiplier(fa, fref)
+		tb := k.TimeMultiplier(fb, fref)
+		if tb > ta+1e-12 {
+			return false
+		}
+		if fa <= fref && ta < 1-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inversion round-trips for any feasible (c, f) pair.
+func TestPropertyInversionRoundTrip(t *testing.T) {
+	prop := func(cRaw, fRaw uint8) bool {
+		c := 0.01 + 0.98*float64(cRaw)/255
+		f := units.Gigahertz(1.5 + 1.0*float64(fRaw)/255) // below fref
+		k := Kernel{ComputeFraction: c}
+		r := k.PerfRatio(f, fref)
+		got, err := ComputeFractionFromPerfRatio(r, f, fref)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-c) < 1e-9
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,576 @@
+// Package sched implements the batch scheduler of the facility twin: FCFS
+// with EASY backfill over the compute-node pool, driven by the
+// discrete-event engine. It owns job lifecycle (queue -> running ->
+// completed), node allocation, per-job energy accounting and the
+// utilisation bookkeeping behind the paper's ">90% utilisation in all
+// periods" statement.
+//
+// Operating-point selection is delegated to a SettingsProvider (the policy
+// package): when a job starts, its nodes are switched to the provider's
+// frequency setting and BIOS mode, and the job's runtime is stretched by
+// the application's roofline response. Jobs keep the operating point they
+// started with; system-wide changes therefore roll through the fleet over
+// roughly one job-lifetime, which is exactly how the real changes appear
+// in the paper's cabinet power figures.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/des"
+	"github.com/greenhpc/archertwin/internal/facility"
+	"github.com/greenhpc/archertwin/internal/node"
+	"github.com/greenhpc/archertwin/internal/units"
+	"github.com/greenhpc/archertwin/internal/workload"
+)
+
+// JobState is a job's lifecycle state.
+type JobState int
+
+const (
+	// Queued: waiting for nodes.
+	Queued JobState = iota
+	// Running: allocated and executing.
+	Running
+	// Completed: finished normally.
+	Completed
+	// Failed: terminated early by a node failure.
+	Failed
+	// Dropped: rejected at submission (queue full or impossible size).
+	Dropped
+)
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case Queued:
+		return "queued"
+	case Running:
+		return "running"
+	case Completed:
+		return "completed"
+	case Failed:
+		return "failed"
+	case Dropped:
+		return "dropped"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// Job is a scheduled instance of a workload.JobSpec.
+type Job struct {
+	Spec  workload.JobSpec
+	State JobState
+
+	Submit time.Time
+	Start  time.Time
+	End    time.Time
+
+	// Nodes allocated (valid while Running and after completion).
+	Nodes []int
+	// Setting and Mode are the operating point the job ran at.
+	Setting cpu.FreqSetting
+	Mode    cpu.Mode
+	// Override records whether a per-application module override changed
+	// the setting away from the system default.
+	Override bool
+	// Runtime is the stretched wall-clock runtime.
+	Runtime time.Duration
+	// Energy is the compute-node energy attributed to the job.
+	Energy units.Energy
+
+	// perf is the mean per-die performance factor of the allocation.
+	perf float64
+	// actualPowerW is the allocation's summed node power, maintained for
+	// the scheduler's power-cap ledger.
+	actualPowerW float64
+	// energyAccrued is energy accounted up to the last reclock.
+	energyAccrued units.Energy
+	// reclockedAt is the start of the current operating-point segment.
+	reclockedAt time.Time
+
+	endEvent des.Handle
+}
+
+// WaitTime returns how long the job queued before starting (0 if it never
+// started).
+func (j *Job) WaitTime() time.Duration {
+	if j.Start.IsZero() {
+		return 0
+	}
+	return j.Start.Sub(j.Submit)
+}
+
+// SettingsProvider selects the operating point for a job's application at
+// start time.
+type SettingsProvider interface {
+	// JobSettings returns the frequency setting, BIOS mode and whether a
+	// per-app override (away from the system default) was applied.
+	JobSettings(app *apps.App) (cpu.FreqSetting, cpu.Mode, bool)
+}
+
+// Config holds scheduler tunables.
+type Config struct {
+	// BackfillDepth is the number of queued jobs scanned for EASY
+	// backfill behind a blocked head (0 disables backfill).
+	BackfillDepth int
+	// MaxQueue bounds the backlog; arrivals beyond it are dropped. A
+	// saturated national service always has a deep queue, but the twin
+	// must not grow it without bound.
+	MaxQueue int
+}
+
+// DefaultConfig returns production-like scheduler settings.
+func DefaultConfig() Config {
+	return Config{BackfillDepth: 64, MaxQueue: 4000}
+}
+
+// Stats aggregates scheduler activity.
+type Stats struct {
+	Submitted     int
+	StartedJobs   int
+	Completed     int
+	Failed        int
+	Dropped       int
+	NodeHoursUsed float64 // actual wall-clock node-hours delivered
+	TotalWait     time.Duration
+	TotalEnergy   units.Energy
+}
+
+// MeanWait returns the average queue wait of started jobs.
+func (s Stats) MeanWait() time.Duration {
+	if s.StartedJobs == 0 {
+		return 0
+	}
+	return s.TotalWait / time.Duration(s.StartedJobs)
+}
+
+// Scheduler is the batch system.
+type Scheduler struct {
+	eng      *des.Engine
+	fac      *facility.Facility
+	provider SettingsProvider
+	cfg      Config
+
+	free    []int // free Up node IDs, kept sorted ascending
+	queue   []*Job
+	running []*Job // sorted by End ascending
+	byNode  map[int]*Job
+
+	stats   Stats
+	onEnd   []func(*Job)
+	busy    int
+	upNodes int
+
+	// powerCap is the admission-control limit (0 = none); estBusyW tracks
+	// the committed busy-node power in watts.
+	powerCap units.Power
+	estBusyW float64
+}
+
+// New creates a scheduler over the facility's nodes.
+func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg Config) *Scheduler {
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 1 << 30
+	}
+	s := &Scheduler{
+		eng:      eng,
+		fac:      fac,
+		provider: provider,
+		cfg:      cfg,
+		byNode:   make(map[int]*Job),
+		upNodes:  fac.NodeCount(),
+	}
+	s.free = make([]int, fac.NodeCount())
+	for i := range s.free {
+		s.free[i] = i
+	}
+	return s
+}
+
+// Stats returns a copy of the aggregate statistics.
+func (s *Scheduler) Stats() Stats { return s.stats }
+
+// QueueDepth returns the number of queued jobs.
+func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// RunningJobs returns the number of running jobs.
+func (s *Scheduler) RunningJobs() int { return len(s.running) }
+
+// BusyNodes returns the number of nodes currently running jobs.
+func (s *Scheduler) BusyNodes() int { return s.busy }
+
+// UpNodes returns the number of schedulable (not Down) nodes.
+func (s *Scheduler) UpNodes() int { return s.upNodes }
+
+// Utilisation returns busy/up nodes.
+func (s *Scheduler) Utilisation() float64 {
+	if s.upNodes == 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(s.upNodes)
+}
+
+// OnJobEnd registers a callback invoked when a job completes or fails.
+func (s *Scheduler) OnJobEnd(fn func(*Job)) { s.onEnd = append(s.onEnd, fn) }
+
+// Submit enqueues a job at the current simulation time and attempts to
+// schedule. It returns the job (possibly already Running, or Dropped).
+func (s *Scheduler) Submit(spec workload.JobSpec) *Job {
+	now := s.eng.Now()
+	j := &Job{Spec: spec, State: Queued, Submit: now}
+	s.stats.Submitted++
+	if spec.Nodes > s.fac.NodeCount() || len(s.queue) >= s.cfg.MaxQueue {
+		j.State = Dropped
+		s.stats.Dropped++
+		return j
+	}
+	s.queue = append(s.queue, j)
+	s.trySchedule(now)
+	return j
+}
+
+// SetPowerCap limits the estimated busy-node power the scheduler will
+// commit: jobs whose start would push the estimate over the cap wait even
+// if nodes are free. Zero removes the cap. This is the "free up grid
+// capacity" lever applied at admission rather than by reclocking running
+// work; the two compose. Setting a cap re-evaluates the queue.
+func (s *Scheduler) SetPowerCap(cap units.Power) {
+	s.powerCap = cap
+	s.trySchedule(s.eng.Now())
+}
+
+// PowerCap returns the current cap (0 = none).
+func (s *Scheduler) PowerCap() units.Power { return s.powerCap }
+
+// EstimatedBusyPower returns the scheduler's running estimate of committed
+// busy-node power (expected node power of every running job's allocation).
+func (s *Scheduler) EstimatedBusyPower() units.Power {
+	return units.Watts(s.estBusyW)
+}
+
+// PowerEstimator is an optional interface a SettingsProvider can implement
+// to expose a side-effect-free view of the operating point it would choose
+// (no counters, no revert randomness). Admission control uses it when
+// available; otherwise the stock setting is assumed, which over-estimates
+// and therefore errs on the safe side of the cap.
+type PowerEstimator interface {
+	PeekSettings(app *apps.App) (cpu.FreqSetting, cpu.Mode)
+}
+
+// estimateJobPower returns the expected busy power of starting j now.
+func (s *Scheduler) estimateJobPower(j *Job) float64 {
+	spec := s.fac.Config().CPU
+	fs, m := spec.DefaultSetting(), cpu.PowerDeterminism
+	if pe, ok := s.provider.(PowerEstimator); ok {
+		fs, m = pe.PeekSettings(j.Spec.App)
+	}
+	return node.ExpectedPower(spec, fs, j.Spec.App.Activity(), m).Watts() *
+		float64(j.Spec.Nodes)
+}
+
+// withinPowerCap reports whether starting j keeps the estimate under cap.
+func (s *Scheduler) withinPowerCap(j *Job) bool {
+	if s.powerCap.Watts() <= 0 {
+		return true
+	}
+	return s.estBusyW+s.estimateJobPower(j) <= s.powerCap.Watts()
+}
+
+// trySchedule starts the queue head while it fits, then EASY-backfills.
+func (s *Scheduler) trySchedule(now time.Time) {
+	for len(s.queue) > 0 && s.queue[0].Spec.Nodes <= len(s.free) && s.withinPowerCap(s.queue[0]) {
+		j := s.queue[0]
+		s.queue = s.queue[1:]
+		s.start(j, now)
+	}
+	if len(s.queue) > 1 && s.cfg.BackfillDepth > 0 {
+		s.backfill(now)
+	}
+}
+
+// backfill implements EASY: compute the head job's shadow start time from
+// running-job end times, then start any later queued job that fits now and
+// either finishes before the shadow time or uses only nodes the head will
+// not need.
+func (s *Scheduler) backfill(now time.Time) {
+	head := s.queue[0]
+	avail := len(s.free)
+	shadow := time.Time{}
+	extra := 0
+	// running is sorted by End; accumulate releases until the head fits.
+	cum := avail
+	for _, rj := range s.running {
+		cum += len(rj.Nodes)
+		if cum >= head.Spec.Nodes {
+			shadow = rj.End
+			extra = cum - head.Spec.Nodes
+			break
+		}
+	}
+	if shadow.IsZero() {
+		// Head can never fit (should have been dropped at submit).
+		return
+	}
+	depth := s.cfg.BackfillDepth
+	for i := 1; i < len(s.queue) && depth > 0; depth-- {
+		j := s.queue[i]
+		if j.Spec.Nodes > len(s.free) || !s.withinPowerCap(j) {
+			i++
+			continue
+		}
+		// Predict runtime at the current operating point.
+		fs, m, _ := s.provider.JobSettings(j.Spec.App)
+		rt := j.Spec.App.Runtime(s.fac.Config().CPU, j.Spec.RefRuntime, fs, m)
+		endsBeforeShadow := !now.Add(rt).After(shadow)
+		if endsBeforeShadow || j.Spec.Nodes <= extra {
+			if !endsBeforeShadow {
+				extra -= j.Spec.Nodes
+			}
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.start(j, now)
+			// Do not advance i: the next candidate shifted into position i.
+			continue
+		}
+		i++
+	}
+}
+
+// start allocates nodes and begins execution.
+func (s *Scheduler) start(j *Job, now time.Time) {
+	n := j.Spec.Nodes
+	alloc := s.free[:n]
+	s.free = s.free[n:]
+	j.Nodes = append([]int(nil), alloc...)
+
+	fs, m, override := s.provider.JobSettings(j.Spec.App)
+	j.Setting, j.Mode, j.Override = fs, m, override
+
+	activity := j.Spec.App.Activity()
+	var perfSum float64
+	var powerSum float64
+	for _, id := range j.Nodes {
+		nd := s.fac.Node(id)
+		nd.SetMode(m, now)
+		if err := nd.SetFrequency(fs, now); err != nil {
+			panic(fmt.Sprintf("sched: provider returned invalid setting: %v", err))
+		}
+		nd.StartWork(activity, now)
+		perfSum += nd.PerfFactor()
+		powerSum += nd.Power().Watts()
+		s.byNode[id] = j
+	}
+	perf := perfSum / float64(n)
+
+	kernelMult := j.Spec.App.Kernel.TimeMultiplier(
+		s.fac.Config().CPU.EffectiveFrequency(fs), s.fac.Config().CPU.BoostFreq)
+	j.Runtime = time.Duration(float64(j.Spec.RefRuntime) * kernelMult / perf)
+	if j.Runtime <= 0 {
+		j.Runtime = time.Second
+	}
+	j.State = Running
+	j.Start = now
+	j.End = now.Add(j.Runtime)
+	j.Energy = units.Watts(powerSum).EnergyOver(j.Runtime)
+	j.perf = perf
+	j.reclockedAt = now
+
+	s.busy += n
+	s.stats.StartedJobs++
+	s.stats.TotalWait += j.WaitTime()
+	j.actualPowerW = powerSum
+	s.estBusyW += powerSum
+
+	s.insertRunning(j)
+	j.endEvent = s.eng.At(j.End, func(at time.Time) { s.finish(j, at, Completed) })
+}
+
+// insertRunning keeps s.running sorted by End.
+func (s *Scheduler) insertRunning(j *Job) {
+	i := sort.Search(len(s.running), func(k int) bool {
+		return s.running[k].End.After(j.End)
+	})
+	s.running = append(s.running, nil)
+	copy(s.running[i+1:], s.running[i:])
+	s.running[i] = j
+}
+
+func (s *Scheduler) removeRunning(j *Job) {
+	for i, rj := range s.running {
+		if rj == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
+}
+
+// finish releases a job's nodes and records statistics.
+func (s *Scheduler) finish(j *Job, now time.Time, final JobState) {
+	if j.State != Running {
+		return
+	}
+	j.State = final
+	if final == Failed {
+		// Early termination: recompute actuals.
+		j.End = now
+		j.Runtime = now.Sub(j.Start)
+		var powerSum float64
+		for _, id := range j.Nodes {
+			powerSum += s.fac.Node(id).Power().Watts()
+		}
+		j.Energy = units.Watts(powerSum).EnergyOver(j.Runtime)
+	}
+	for _, id := range j.Nodes {
+		nd := s.fac.Node(id)
+		nd.StopWork(now)
+		delete(s.byNode, id)
+		if nd.State() == node.Up {
+			s.returnNode(id)
+		}
+	}
+	s.busy -= len(j.Nodes)
+	s.estBusyW -= j.actualPowerW
+	s.removeRunning(j)
+
+	switch final {
+	case Completed:
+		s.stats.Completed++
+	case Failed:
+		s.stats.Failed++
+	}
+	s.stats.NodeHoursUsed += float64(len(j.Nodes)) * j.Runtime.Hours()
+	s.stats.TotalEnergy += j.Energy
+	for _, fn := range s.onEnd {
+		fn(j)
+	}
+	s.trySchedule(now)
+}
+
+// returnNode puts a node back in the free list, keeping it sorted.
+func (s *Scheduler) returnNode(id int) {
+	i := sort.SearchInts(s.free, id)
+	s.free = append(s.free, 0)
+	copy(s.free[i+1:], s.free[i:])
+	s.free[i] = id
+}
+
+// FailNode marks a node Down at the current time. If a job is running on
+// it, that job fails immediately (its other nodes are released).
+func (s *Scheduler) FailNode(id int) error {
+	if id < 0 || id >= s.fac.NodeCount() {
+		return fmt.Errorf("sched: no node %d", id)
+	}
+	nd := s.fac.Node(id)
+	if nd.State() == node.Down {
+		return nil
+	}
+	now := s.eng.Now()
+	// Mark Down first so finish() does not return the node to the free
+	// list, then terminate any job running on it.
+	nd.SetState(node.Down, now)
+	s.upNodes--
+	if j, ok := s.byNode[id]; ok {
+		s.eng.Cancel(j.endEvent)
+		s.finish(j, now, Failed)
+	} else {
+		// Remove from the free list.
+		i := sort.SearchInts(s.free, id)
+		if i < len(s.free) && s.free[i] == id {
+			s.free = append(s.free[:i], s.free[i+1:]...)
+		}
+	}
+	return nil
+}
+
+// RepairNode returns a Down node to service.
+func (s *Scheduler) RepairNode(id int) error {
+	if id < 0 || id >= s.fac.NodeCount() {
+		return fmt.Errorf("sched: no node %d", id)
+	}
+	nd := s.fac.Node(id)
+	if nd.State() != node.Down {
+		return nil
+	}
+	now := s.eng.Now()
+	nd.SetState(node.Up, now)
+	s.upNodes++
+	s.returnNode(id)
+	s.trySchedule(now)
+	return nil
+}
+
+// QueuedJobs returns a snapshot of the queue contents.
+func (s *Scheduler) QueuedJobs() []*Job {
+	out := make([]*Job, len(s.queue))
+	copy(out, s.queue)
+	return out
+}
+
+// ReclockRunning switches every running job to the given frequency setting
+// immediately — the emergency demand-response lever the paper's grid-
+// citizenship discussion motivates. Each job's remaining work is
+// re-stretched by the roofline model, its end event rescheduled and its
+// energy account patched. New jobs are unaffected (use the policy provider
+// to change the default for those). It returns the number of jobs
+// reclocked.
+func (s *Scheduler) ReclockRunning(fs cpu.FreqSetting) (int, error) {
+	spec := s.fac.Config().CPU
+	if err := spec.ValidateSetting(fs); err != nil {
+		return 0, err
+	}
+	now := s.eng.Now()
+	jobs := append([]*Job(nil), s.running...)
+	n := 0
+	for _, j := range jobs {
+		if j.Setting == fs {
+			continue
+		}
+		oldMult := j.Spec.App.Kernel.TimeMultiplier(
+			spec.EffectiveFrequency(j.Setting), spec.BoostFreq) / j.perf
+		newMult := j.Spec.App.Kernel.TimeMultiplier(
+			spec.EffectiveFrequency(fs), spec.BoostFreq) / j.perf
+
+		// Work completed so far, in reference-time units.
+		segment := now.Sub(j.reclockedAt)
+		var oldPower float64
+		for _, id := range j.Nodes {
+			oldPower += s.fac.Node(id).Power().Watts()
+		}
+		j.energyAccrued += units.Watts(oldPower).EnergyOver(segment)
+
+		refRemaining := j.End.Sub(now).Seconds() / oldMult
+		newRemaining := time.Duration(refRemaining * newMult * float64(time.Second))
+		if newRemaining < 0 {
+			newRemaining = 0
+		}
+
+		var newPower float64
+		for _, id := range j.Nodes {
+			nd := s.fac.Node(id)
+			if err := nd.SetFrequency(fs, now); err != nil {
+				return n, err
+			}
+			newPower += nd.Power().Watts()
+		}
+		j.Setting = fs
+		j.reclockedAt = now
+		j.End = now.Add(newRemaining)
+		j.Runtime = j.End.Sub(j.Start)
+		j.Energy = j.energyAccrued + units.Watts(newPower).EnergyOver(newRemaining)
+		s.estBusyW += newPower - j.actualPowerW
+		j.actualPowerW = newPower
+
+		s.eng.Cancel(j.endEvent)
+		jj := j
+		j.endEvent = s.eng.At(j.End, func(at time.Time) { s.finish(jj, at, Completed) })
+		n++
+	}
+	// Ends changed: rebuild the sorted running list.
+	sort.Slice(s.running, func(a, b int) bool { return s.running[a].End.Before(s.running[b].End) })
+	return n, nil
+}

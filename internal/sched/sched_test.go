@@ -1,0 +1,513 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/des"
+	"github.com/greenhpc/archertwin/internal/facility"
+	"github.com/greenhpc/archertwin/internal/node"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/units"
+	"github.com/greenhpc/archertwin/internal/workload"
+)
+
+var t0 = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+
+// stockProvider always uses the stock operating point.
+type stockProvider struct{ spec *cpu.Spec }
+
+func (p stockProvider) JobSettings(*apps.App) (cpu.FreqSetting, cpu.Mode, bool) {
+	return p.spec.DefaultSetting(), cpu.PowerDeterminism, false
+}
+
+type rig struct {
+	eng *des.Engine
+	fac *facility.Facility
+	s   *Scheduler
+	app *apps.App
+}
+
+func newRig(t *testing.T, nodes int, cfg Config) *rig {
+	t.Helper()
+	fcfg := facility.ARCHER2()
+	fcfg.Nodes = nodes
+	fac, err := facility.New(fcfg, rng.New(5), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine(t0)
+	s := New(eng, fac, stockProvider{fcfg.CPU}, cfg)
+	app := &apps.App{
+		Name:    "test-app",
+		Kernel:  roofline.Kernel{ComputeFraction: 0.5},
+		ActCore: 0.6, ActUncore: 0.6,
+	}
+	return &rig{eng: eng, fac: fac, s: s, app: app}
+}
+
+func (r *rig) spec(id, nodes int, runtime time.Duration) workload.JobSpec {
+	return workload.JobSpec{ID: id, Class: "test", App: r.app, Nodes: nodes, RefRuntime: runtime}
+}
+
+func TestSingleJobLifecycle(t *testing.T) {
+	r := newRig(t, 10, DefaultConfig())
+	j := r.s.Submit(r.spec(1, 4, time.Hour))
+	if j.State != Running {
+		t.Fatalf("state = %v, want running", j.State)
+	}
+	if r.s.BusyNodes() != 4 || math.Abs(r.s.Utilisation()-0.4) > 1e-9 {
+		t.Fatalf("busy = %d util = %v", r.s.BusyNodes(), r.s.Utilisation())
+	}
+	if len(j.Nodes) != 4 {
+		t.Fatalf("allocated = %v", j.Nodes)
+	}
+	// Lowest IDs first, deterministic.
+	for i, id := range j.Nodes {
+		if id != i {
+			t.Fatalf("allocation = %v, want [0 1 2 3]", j.Nodes)
+		}
+	}
+	r.eng.Run()
+	if j.State != Completed {
+		t.Fatalf("final state = %v", j.State)
+	}
+	if r.s.BusyNodes() != 0 || r.s.RunningJobs() != 0 {
+		t.Fatal("scheduler not empty after completion")
+	}
+	st := r.s.Stats()
+	if st.Completed != 1 || st.Submitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if j.Energy.Joules() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	// Runtime at the reference point equals the reference runtime up to the
+	// sampled per-die performance spread (sigma 0.8%).
+	if math.Abs(j.Runtime.Hours()-1) > 0.03 {
+		t.Fatalf("runtime = %v, want ~1h", j.Runtime)
+	}
+	if math.Abs(st.NodeHoursUsed-4*j.Runtime.Hours()) > 1e-9 {
+		t.Fatalf("node hours = %v, want %v", st.NodeHoursUsed, 4*j.Runtime.Hours())
+	}
+}
+
+func TestFCFSQueueing(t *testing.T) {
+	r := newRig(t, 10, Config{BackfillDepth: 0, MaxQueue: 100})
+	j1 := r.s.Submit(r.spec(1, 8, time.Hour))
+	j2 := r.s.Submit(r.spec(2, 8, time.Hour))
+	if j1.State != Running || j2.State != Queued {
+		t.Fatalf("states = %v, %v", j1.State, j2.State)
+	}
+	r.eng.Run()
+	if j2.State != Completed {
+		t.Fatalf("j2 = %v", j2.State)
+	}
+	if j2.Start.Before(j1.End) {
+		t.Fatalf("j2 started %v before j1 ended %v", j2.Start, j1.End)
+	}
+	// Wait equals j1's (die-spread-adjusted) runtime, ~1h +/- 3%.
+	if got := j2.WaitTime(); math.Abs(got.Hours()-1) > 0.03 {
+		t.Fatalf("j2 wait = %v, want ~1h", got)
+	}
+}
+
+func TestEASYBackfill(t *testing.T) {
+	// 10 nodes. j1 takes 8 for 2h. j2 (head, blocked) wants 10.
+	// j3 wants 2 nodes for 1h: fits now and ends before j1 frees nodes,
+	// so EASY must start it immediately.
+	r := newRig(t, 10, DefaultConfig())
+	j1 := r.s.Submit(r.spec(1, 8, 2*time.Hour))
+	j2 := r.s.Submit(r.spec(2, 10, time.Hour))
+	j3 := r.s.Submit(r.spec(3, 2, time.Hour))
+	if j1.State != Running {
+		t.Fatalf("j1 = %v", j1.State)
+	}
+	if j2.State != Queued {
+		t.Fatalf("j2 = %v", j2.State)
+	}
+	if j3.State != Running {
+		t.Fatalf("j3 = %v (backfill failed)", j3.State)
+	}
+	r.eng.Run()
+	// j2 must not have been delayed beyond j1's end.
+	if !j2.Start.Equal(j1.End) {
+		t.Fatalf("j2 started %v, want %v", j2.Start, j1.End)
+	}
+}
+
+func TestBackfillDoesNotDelayHead(t *testing.T) {
+	// j3 would fit now but runs past the shadow time and needs nodes the
+	// head will use: it must NOT be backfilled.
+	r := newRig(t, 10, DefaultConfig())
+	j1 := r.s.Submit(r.spec(1, 8, 2*time.Hour))
+	j2 := r.s.Submit(r.spec(2, 10, time.Hour))
+	j3 := r.s.Submit(r.spec(3, 2, 10*time.Hour))
+	if j3.State != Queued {
+		t.Fatalf("j3 = %v, should wait (would delay head)", j3.State)
+	}
+	r.eng.Run()
+	if !j2.Start.Equal(j1.End) {
+		t.Fatalf("head delayed: started %v, want %v", j2.Start, j1.End)
+	}
+}
+
+func TestBackfillUsesExtraNodes(t *testing.T) {
+	// Head needs 8 after j1's 4-node job ends; 10-node system: free now =
+	// 6, so shadow leaves extra = (6+4)-8 = 2 nodes. A long 2-node job can
+	// backfill even though it outlives the shadow time.
+	r := newRig(t, 10, DefaultConfig())
+	j1 := r.s.Submit(r.spec(1, 4, 2*time.Hour))
+	j2 := r.s.Submit(r.spec(2, 8, time.Hour))
+	j3 := r.s.Submit(r.spec(3, 2, 24*time.Hour))
+	if j1.State != Running || j2.State != Queued {
+		t.Fatalf("setup wrong: j1=%v j2=%v", j1.State, j2.State)
+	}
+	if j3.State != Running {
+		t.Fatalf("j3 = %v, want backfilled on extra nodes", j3.State)
+	}
+	r.eng.Run()
+	if !j2.Start.Equal(j1.End) {
+		t.Fatalf("head delayed to %v", j2.Start)
+	}
+}
+
+func TestDropOversizedAndOverflow(t *testing.T) {
+	r := newRig(t, 10, Config{BackfillDepth: 0, MaxQueue: 2})
+	if j := r.s.Submit(r.spec(1, 11, time.Hour)); j.State != Dropped {
+		t.Fatalf("oversized job = %v", j.State)
+	}
+	r.s.Submit(r.spec(2, 10, time.Hour)) // running
+	r.s.Submit(r.spec(3, 10, time.Hour)) // queued
+	r.s.Submit(r.spec(4, 10, time.Hour)) // queued
+	if j := r.s.Submit(r.spec(5, 1, time.Hour)); j.State != Dropped {
+		t.Fatalf("overflow job = %v", j.State)
+	}
+	if r.s.Stats().Dropped != 2 {
+		t.Fatalf("dropped = %d", r.s.Stats().Dropped)
+	}
+}
+
+func TestNodeConservation(t *testing.T) {
+	// Property-style stress: random-ish job stream; at every completion
+	// the invariant busy+free+down == total holds and no node is double
+	// allocated.
+	r := newRig(t, 50, DefaultConfig())
+	seen := func() {
+		inUse := map[int]bool{}
+		for _, j := range r.s.running {
+			for _, id := range j.Nodes {
+				if inUse[id] {
+					t.Fatalf("node %d double-allocated", id)
+				}
+				inUse[id] = true
+			}
+		}
+		if len(inUse) != r.s.BusyNodes() {
+			t.Fatalf("busy count %d != allocated %d", r.s.BusyNodes(), len(inUse))
+		}
+		if r.s.BusyNodes()+len(r.s.free) != r.s.UpNodes() {
+			t.Fatalf("conservation: busy %d + free %d != up %d",
+				r.s.BusyNodes(), len(r.s.free), r.s.UpNodes())
+		}
+	}
+	r.s.OnJobEnd(func(*Job) { seen() })
+	stream := rng.New(77)
+	for i := 0; i < 200; i++ {
+		nodes := 1 + stream.Intn(20)
+		rt := time.Duration(1+stream.Intn(8)) * time.Hour
+		r.s.Submit(r.spec(i, nodes, rt))
+		seen()
+	}
+	r.eng.Run()
+	st := r.s.Stats()
+	if st.Completed != 200 {
+		t.Fatalf("completed = %d, want 200", st.Completed)
+	}
+	if r.s.BusyNodes() != 0 || len(r.s.free) != 50 {
+		t.Fatal("not all nodes returned")
+	}
+}
+
+func TestFailNodeIdle(t *testing.T) {
+	r := newRig(t, 10, DefaultConfig())
+	if err := r.s.FailNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.s.UpNodes() != 9 {
+		t.Fatalf("up = %d", r.s.UpNodes())
+	}
+	// A 10-node job can no longer run; 9-node job can and avoids node 3.
+	j := r.s.Submit(r.spec(1, 9, time.Hour))
+	if j.State != Running {
+		t.Fatalf("9-node job = %v", j.State)
+	}
+	for _, id := range j.Nodes {
+		if id == 3 {
+			t.Fatal("failed node allocated")
+		}
+	}
+	// Repair and reuse.
+	r.eng.Run()
+	if err := r.s.RepairNode(3); err != nil {
+		t.Fatal(err)
+	}
+	if r.s.UpNodes() != 10 {
+		t.Fatalf("up after repair = %d", r.s.UpNodes())
+	}
+	j2 := r.s.Submit(r.spec(2, 10, time.Hour))
+	if j2.State != Running {
+		t.Fatalf("10-node job after repair = %v", j2.State)
+	}
+}
+
+func TestFailNodeKillsJob(t *testing.T) {
+	r := newRig(t, 10, DefaultConfig())
+	j := r.s.Submit(r.spec(1, 4, 10*time.Hour))
+	r.eng.RunUntil(t0.Add(2 * time.Hour))
+	if err := r.s.FailNode(j.Nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != Failed {
+		t.Fatalf("job state = %v, want failed", j.State)
+	}
+	if j.Runtime != 2*time.Hour {
+		t.Fatalf("failed job runtime = %v, want 2h", j.Runtime)
+	}
+	// Other three nodes are free again; the failed one is down.
+	if r.s.UpNodes() != 9 || len(r.s.free) != 9-0 {
+		t.Fatalf("up = %d free = %d", r.s.UpNodes(), len(r.s.free))
+	}
+	if r.fac.Node(j.Nodes[0]).State() != node.Down {
+		t.Fatal("failed node not down")
+	}
+	if r.s.Stats().Failed != 1 {
+		t.Fatalf("failed stat = %d", r.s.Stats().Failed)
+	}
+	// Double-fail and out-of-range are handled.
+	if err := r.s.FailNode(j.Nodes[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.s.FailNode(-1); err == nil {
+		t.Fatal("negative node accepted")
+	}
+	if err := r.s.RepairNode(9999); err == nil {
+		t.Fatal("out-of-range repair accepted")
+	}
+}
+
+func TestRuntimeStretchedByOperatingPoint(t *testing.T) {
+	// A capped provider must stretch runtimes per the roofline model.
+	fcfg := facility.ARCHER2()
+	fcfg.Nodes = 10
+	fac, err := facility.New(fcfg, rng.New(5), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine(t0)
+	s := New(eng, fac, cappedProvider{fcfg.CPU}, DefaultConfig())
+	app := &apps.App{Name: "x", Kernel: roofline.Kernel{ComputeFraction: 1.0}, ActCore: 1, ActUncore: 0.2}
+	j := s.Submit(workload.JobSpec{ID: 1, App: app, Nodes: 2, RefRuntime: time.Hour})
+	if j.State != Running {
+		t.Fatalf("state = %v", j.State)
+	}
+	// Fully compute-bound at 2.0 vs 2.8 boost: 1.4x, divided by the
+	// perf-det factor 0.99.
+	want := 1.4 / 0.99
+	got := float64(j.Runtime) / float64(time.Hour)
+	if math.Abs(got-want) > 0.001 {
+		t.Fatalf("stretch = %v, want %v", got, want)
+	}
+	if j.Mode != cpu.PerformanceDeterminism || j.Setting.Boost {
+		t.Fatalf("operating point = %v/%v", j.Setting, j.Mode)
+	}
+}
+
+type cappedProvider struct{ spec *cpu.Spec }
+
+func (p cappedProvider) JobSettings(*apps.App) (cpu.FreqSetting, cpu.Mode, bool) {
+	return p.spec.CappedSetting(), cpu.PerformanceDeterminism, false
+}
+
+func TestMeanWait(t *testing.T) {
+	var st Stats
+	if st.MeanWait() != 0 {
+		t.Fatal("zero-jobs mean wait nonzero")
+	}
+	st.StartedJobs = 2
+	st.TotalWait = 3 * time.Hour
+	if st.MeanWait() != 90*time.Minute {
+		t.Fatalf("mean wait = %v", st.MeanWait())
+	}
+}
+
+func TestJobStateString(t *testing.T) {
+	for _, s := range []JobState{Queued, Running, Completed, Failed, Dropped, JobState(42)} {
+		if s.String() == "" {
+			t.Fatal("empty state string")
+		}
+	}
+}
+
+func TestReclockRunning(t *testing.T) {
+	r := newRig(t, 20, DefaultConfig())
+	// Fully compute-bound app so the stretch is exactly the frequency ratio.
+	app := &apps.App{Name: "cb", Kernel: roofline.Kernel{ComputeFraction: 1.0},
+		ActCore: 1.0, ActUncore: 0.2}
+	j := r.s.Submit(workload.JobSpec{ID: 1, App: app, Nodes: 4, RefRuntime: 4 * time.Hour})
+	if j.State != Running {
+		t.Fatal("setup: job not running")
+	}
+	runtimeBefore := j.Runtime
+	powerBefore := 0.0
+	for _, id := range j.Nodes {
+		powerBefore += r.fac.Node(id).Power().Watts()
+	}
+
+	// Halfway through, cap to 2.0 GHz.
+	half := j.Start.Add(j.Runtime / 2)
+	r.eng.RunUntil(half)
+	n, err := r.s.ReclockRunning(r.fac.Config().CPU.CappedSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reclocked %d jobs", n)
+	}
+	powerAfter := 0.0
+	for _, id := range j.Nodes {
+		powerAfter += r.fac.Node(id).Power().Watts()
+	}
+	if powerAfter >= powerBefore {
+		t.Fatalf("reclock did not cut power: %v -> %v", powerBefore, powerAfter)
+	}
+	// Remaining half stretches by 2.8/2.0 = 1.4: total = 0.5 + 0.5*1.4.
+	wantTotal := time.Duration(float64(runtimeBefore) * (0.5 + 0.5*1.4))
+	if math.Abs(float64(j.Runtime-wantTotal)) > float64(time.Minute) {
+		t.Fatalf("runtime after reclock = %v, want ~%v", j.Runtime, wantTotal)
+	}
+	// Job still completes, at the adjusted end.
+	r.eng.Run()
+	if j.State != Completed {
+		t.Fatalf("state = %v", j.State)
+	}
+	if !j.End.Equal(j.Start.Add(j.Runtime)) {
+		t.Fatal("end/runtime inconsistent")
+	}
+	// Energy combines both segments: between full-rate (fast, hot) and
+	// capped-rate (slow, cool) single-point totals.
+	if j.Energy.Joules() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+func TestReclockRunningRestore(t *testing.T) {
+	r := newRig(t, 20, DefaultConfig())
+	app := &apps.App{Name: "cb", Kernel: roofline.Kernel{ComputeFraction: 0.5},
+		ActCore: 0.8, ActUncore: 0.5}
+	j := r.s.Submit(workload.JobSpec{ID: 1, App: app, Nodes: 2, RefRuntime: 6 * time.Hour})
+	spec := r.fac.Config().CPU
+	r.eng.RunUntil(j.Start.Add(time.Hour))
+	if _, err := r.s.ReclockRunning(spec.CappedSetting()); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.RunUntil(r.eng.Now().Add(time.Hour))
+	// Restore to stock: reclock back.
+	if _, err := r.s.ReclockRunning(spec.DefaultSetting()); err != nil {
+		t.Fatal(err)
+	}
+	if j.Setting != spec.DefaultSetting() {
+		t.Fatalf("setting = %v", j.Setting)
+	}
+	// Reclocking to the current setting is a no-op.
+	n, err := r.s.ReclockRunning(spec.DefaultSetting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("no-op reclock touched %d jobs", n)
+	}
+	r.eng.Run()
+	if j.State != Completed {
+		t.Fatalf("state = %v", j.State)
+	}
+}
+
+func TestReclockInvalidSetting(t *testing.T) {
+	r := newRig(t, 10, DefaultConfig())
+	bad := cpu.FreqSetting{Base: units.Gigahertz(5)}
+	if _, err := r.s.ReclockRunning(bad); err == nil {
+		t.Fatal("invalid reclock setting accepted")
+	}
+}
+
+func TestPowerCapAdmission(t *testing.T) {
+	r := newRig(t, 20, DefaultConfig())
+	// Each 4-node test-app job draws 4 x ~500 W = ~2 kW.
+	perJob := 4 * 500.0
+	r.s.SetPowerCap(units.Watts(2.2 * perJob)) // room for two jobs
+	j1 := r.s.Submit(r.spec(1, 4, time.Hour))
+	j2 := r.s.Submit(r.spec(2, 4, 3*time.Hour))
+	j3 := r.s.Submit(r.spec(3, 4, 3*time.Hour))
+	if j1.State != Running || j2.State != Running {
+		t.Fatalf("first two jobs: %v, %v", j1.State, j2.State)
+	}
+	if j3.State != Queued {
+		t.Fatalf("third job = %v, want queued under power cap (est %v, cap %v)",
+			j3.State, r.s.EstimatedBusyPower(), r.s.PowerCap())
+	}
+	// Nodes are free (12 of 20), so the block is the cap, not capacity.
+	if len(r.s.free) < j3.Spec.Nodes {
+		t.Fatal("test premise broken: nodes are not free")
+	}
+	// When j1 ends, j3 starts.
+	r.eng.RunUntil(j1.End.Add(time.Minute))
+	if j3.State != Running {
+		t.Fatalf("j3 after release = %v", j3.State)
+	}
+	// Removing the cap opens the gates.
+	j4 := r.s.Submit(r.spec(4, 4, time.Hour))
+	if j4.State != Queued {
+		t.Fatalf("j4 = %v, want queued (cap still on)", j4.State)
+	}
+	r.s.SetPowerCap(0)
+	if j4.State != Running {
+		t.Fatalf("j4 after cap removal = %v", j4.State)
+	}
+}
+
+func TestPowerCapLedgerBalances(t *testing.T) {
+	r := newRig(t, 30, DefaultConfig())
+	for i := 0; i < 10; i++ {
+		r.s.Submit(r.spec(i, 3, time.Duration(1+i)*time.Hour))
+	}
+	if est := r.s.EstimatedBusyPower().Watts(); est <= 0 {
+		t.Fatal("no committed power tracked")
+	}
+	r.eng.Run()
+	if est := r.s.EstimatedBusyPower().Watts(); math.Abs(est) > 1e-6 {
+		t.Fatalf("ledger nonzero after drain: %v W", est)
+	}
+}
+
+func TestPowerCapWithReclock(t *testing.T) {
+	r := newRig(t, 20, DefaultConfig())
+	j := r.s.Submit(r.spec(1, 8, 4*time.Hour))
+	before := r.s.EstimatedBusyPower().Watts()
+	r.eng.RunUntil(j.Start.Add(time.Hour))
+	if _, err := r.s.ReclockRunning(r.fac.Config().CPU.CappedSetting()); err != nil {
+		t.Fatal(err)
+	}
+	after := r.s.EstimatedBusyPower().Watts()
+	if after >= before {
+		t.Fatalf("ledger did not fall on reclock: %v -> %v", before, after)
+	}
+	r.eng.Run()
+	if est := r.s.EstimatedBusyPower().Watts(); math.Abs(est) > 1e-6 {
+		t.Fatalf("ledger nonzero after drain: %v W", est)
+	}
+}

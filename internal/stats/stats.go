@@ -1,0 +1,279 @@
+// Package stats provides the small statistical toolkit used by the facility
+// model: summary statistics, percentiles, histograms, rolling windows and a
+// simple ordinary-least-squares fit for trend detection in power telemetry.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// WeightedMean returns sum(w_i x_i)/sum(w_i). It returns 0 when the weights
+// sum to zero or the slices are empty, and panics on mismatched lengths.
+func WeightedMean(xs, ws []float64) float64 {
+	if len(xs) != len(ws) {
+		panic("stats: WeightedMean length mismatch")
+	}
+	var num, den float64
+	for i, x := range xs {
+		num += x * ws[i]
+		den += ws[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Variance returns the population variance of xs, or 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the minimum and maximum of xs. It returns (0, 0) for an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using linear
+// interpolation between order statistics. It returns 0 for an empty slice
+// and panics for p outside [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Summary holds the summary statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Summarize computes the Summary of xs.
+func Summarize(xs []float64) Summary {
+	min, max := MinMax(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    min,
+		P25:    Percentile(xs, 25),
+		Median: Median(xs),
+		P75:    Percentile(xs, 75),
+		Max:    max,
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.3g min=%.4g p50=%.4g max=%.4g",
+		s.N, s.Mean, s.StdDev, s.Min, s.Median, s.Max)
+}
+
+// LinearFit is the result of an ordinary least squares fit y = Slope*x +
+// Intercept.
+type LinearFit struct {
+	Slope, Intercept float64
+	R2               float64
+}
+
+// FitLine fits a least-squares line through (xs[i], ys[i]). It panics on
+// mismatched lengths and returns a zero fit for fewer than two points or
+// degenerate (constant-x) input.
+func FitLine(xs, ys []float64) LinearFit {
+	if len(xs) != len(ys) {
+		panic("stats: FitLine length mismatch")
+	}
+	n := float64(len(xs))
+	if len(xs) < 2 {
+		return LinearFit{}
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}
+	}
+	slope := sxy / sxx
+	fit := LinearFit{Slope: slope, Intercept: my - slope*mx}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // constant y perfectly fit by zero slope
+	}
+	_ = n
+	return fit
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+	under  int
+	over   int
+	total  int
+}
+
+// NewHistogram creates a histogram with the given bounds and bin count.
+// It panics if hi <= lo or bins <= 0.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if hi <= lo || bins <= 0 {
+		panic("stats: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins)}
+}
+
+// Add records a value. Values outside [Lo, Hi) go to the under/overflow
+// counters.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.under++
+	case x >= h.Hi:
+		h.over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Counts)))
+		if i == len(h.Counts) { // rounding guard
+			i--
+		}
+		h.Counts[i]++
+	}
+}
+
+// Total returns the number of values recorded, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// OutOfRange returns the number of values below Lo and at-or-above Hi.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// BinCenter returns the centre of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Rolling maintains a fixed-size rolling window with O(1) mean queries.
+type Rolling struct {
+	buf  []float64
+	next int
+	full bool
+	sum  float64
+}
+
+// NewRolling creates a rolling window of size n. It panics if n <= 0.
+func NewRolling(n int) *Rolling {
+	if n <= 0 {
+		panic("stats: rolling window size must be positive")
+	}
+	return &Rolling{buf: make([]float64, n)}
+}
+
+// Push adds a value, evicting the oldest when full.
+func (r *Rolling) Push(x float64) {
+	if r.full {
+		r.sum -= r.buf[r.next]
+	}
+	r.buf[r.next] = x
+	r.sum += x
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Len returns the number of values currently in the window.
+func (r *Rolling) Len() int {
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Mean returns the mean of the values in the window, or 0 when empty.
+func (r *Rolling) Mean() float64 {
+	n := r.Len()
+	if n == 0 {
+		return 0
+	}
+	return r.sum / float64(n)
+}
+
+// RelativeChange returns (b-a)/a, or 0 when a == 0. Used for reporting
+// percentage power reductions.
+func RelativeChange(a, b float64) float64 {
+	if a == 0 {
+		return 0
+	}
+	return (b - a) / a
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/des"
+	"github.com/greenhpc/archertwin/internal/facility"
+	"github.com/greenhpc/archertwin/internal/rng"
+)
+
+func TestCabinetMetersSumMatchesFacility(t *testing.T) {
+	cfg := facility.ARCHER2()
+	cfg.Nodes = 230 // 10 nodes per cabinet
+	fac, err := facility.New(cfg, rng.New(7), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine(t0)
+	cm, err := NewCabinetMeters(eng, fac, 15*time.Minute, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Load the first 100 nodes.
+	for i := 0; i < 100; i++ {
+		fac.Node(i).StartWork(facility.TypicalLoadedActivity, t0)
+	}
+	eng.Run()
+
+	if cm.Cabinets() != 23 {
+		t.Fatalf("cabinets = %d", cm.Cabinets())
+	}
+	total, ok := cm.TotalAt(t0.Add(30 * time.Minute))
+	if !ok {
+		t.Fatal("no total at sample time")
+	}
+	want := fac.CabinetPower()
+	if math.Abs(total.Kilowatts()-want.Kilowatts()) > 0.5 {
+		t.Fatalf("cabinet sum %v != facility %v", total, want)
+	}
+}
+
+func TestCabinetImbalanceDetectsSkew(t *testing.T) {
+	cfg := facility.ARCHER2()
+	cfg.Nodes = 230
+	fac, err := facility.New(cfg, rng.New(7), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine(t0)
+	cm, err := NewCabinetMeters(eng, fac, 15*time.Minute, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle fleet: perfectly balanced.
+	eng.RunUntil(t0.Add(20 * time.Minute))
+	if got := cm.Imbalance(); got > 0.01 {
+		t.Fatalf("idle imbalance = %v", got)
+	}
+	// Load only cabinet 0's nodes: skew appears.
+	for i := 0; i < 10; i++ {
+		fac.Node(i).StartWork(facility.TypicalLoadedActivity, eng.Now())
+	}
+	eng.Run()
+	if got := cm.Imbalance(); got < 0.05 {
+		t.Fatalf("skewed imbalance = %v, want > 0.05", got)
+	}
+}
+
+func TestCabinetMetersInvalidInterval(t *testing.T) {
+	cfg := facility.ARCHER2()
+	cfg.Nodes = 46
+	fac, err := facility.New(cfg, rng.New(7), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine(t0)
+	if _, err := NewCabinetMeters(eng, fac, 0, t0.Add(time.Hour)); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestCabinetTotalBeforeSamples(t *testing.T) {
+	cfg := facility.ARCHER2()
+	cfg.Nodes = 46
+	fac, err := facility.New(cfg, rng.New(7), t0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := des.NewEngine(t0)
+	cm, err := NewCabinetMeters(eng, fac, 15*time.Minute, t0.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cm.TotalAt(t0); ok {
+		t.Fatal("total available before first sample")
+	}
+	if cm.Imbalance() != 0 {
+		t.Fatal("imbalance nonzero before samples")
+	}
+	eng.Run()
+	if cm.Series(0).Len() == 0 {
+		t.Fatal("cabinet 0 has no samples")
+	}
+}

@@ -1,0 +1,235 @@
+package telemetry
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/sched"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// JobLog retains a per-job accounting record for every finished job, in
+// the style of Slurm's sacct energy counters — the data source behind the
+// HPC-JEEP energy-use report the paper builds on. The log powers
+// per-application energy analyses and CSV export for external tooling.
+
+// JobRecord is one finished job's accounting row.
+type JobRecord struct {
+	ID       int
+	Class    string
+	App      string
+	Nodes    int
+	Submit   time.Time
+	Start    time.Time
+	End      time.Time
+	State    sched.JobState
+	Setting  string
+	Override bool
+	Energy   units.Energy
+}
+
+// NodeHours returns the record's delivered node-hours.
+func (r JobRecord) NodeHours() float64 {
+	return float64(r.Nodes) * r.End.Sub(r.Start).Hours()
+}
+
+// KWhPerNodeHour returns the job's energy intensity (0 for zero-length
+// jobs).
+func (r JobRecord) KWhPerNodeHour() float64 {
+	nh := r.NodeHours()
+	if nh == 0 {
+		return 0
+	}
+	return r.Energy.KilowattHours() / nh
+}
+
+// JobLog collects records from a scheduler.
+type JobLog struct {
+	records []JobRecord
+	cap     int
+}
+
+// NewJobLog registers a log on the scheduler. cap bounds memory (0 = no
+// bound); beyond it the earliest records are dropped FIFO.
+func NewJobLog(s *sched.Scheduler, cap int) *JobLog {
+	l := &JobLog{cap: cap}
+	s.OnJobEnd(func(j *sched.Job) {
+		l.append(JobRecord{
+			ID:       j.Spec.ID,
+			Class:    j.Spec.Class,
+			App:      j.Spec.App.Name,
+			Nodes:    len(j.Nodes),
+			Submit:   j.Submit,
+			Start:    j.Start,
+			End:      j.End,
+			State:    j.State,
+			Setting:  j.Setting.String(),
+			Override: j.Override,
+			Energy:   j.Energy,
+		})
+	})
+	return l
+}
+
+func (l *JobLog) append(r JobRecord) {
+	if l.cap > 0 && len(l.records) >= l.cap {
+		copy(l.records, l.records[1:])
+		l.records[len(l.records)-1] = r
+		return
+	}
+	l.records = append(l.records, r)
+}
+
+// Len returns the number of retained records.
+func (l *JobLog) Len() int { return len(l.records) }
+
+// Records returns the retained records (shared slice; do not mutate).
+func (l *JobLog) Records() []JobRecord { return l.records }
+
+// WriteCSV exports the log in sacct-like CSV form.
+func (l *JobLog) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"jobid", "class", "app", "nodes", "submit", "start",
+		"end", "state", "freq_setting", "override", "energy_kwh", "kwh_per_nodeh"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range l.records {
+		row := []string{
+			strconv.Itoa(r.ID),
+			r.Class,
+			r.App,
+			strconv.Itoa(r.Nodes),
+			r.Submit.UTC().Format(time.RFC3339),
+			r.Start.UTC().Format(time.RFC3339),
+			r.End.UTC().Format(time.RFC3339),
+			r.State.String(),
+			r.Setting,
+			strconv.FormatBool(r.Override),
+			strconv.FormatFloat(r.Energy.KilowattHours(), 'f', 3, 64),
+			strconv.FormatFloat(r.KWhPerNodeHour(), 'f', 4, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// EnergyByClass aggregates retained records into per-class intensity
+// statistics.
+func (l *JobLog) EnergyByClass() map[string]ClassUsage {
+	out := make(map[string]ClassUsage)
+	for _, r := range l.records {
+		cu := out[r.Class]
+		cu.Jobs++
+		cu.NodeHours += r.NodeHours()
+		cu.Energy += r.Energy
+		out[r.Class] = cu
+	}
+	return out
+}
+
+// TopConsumers returns the n records with the highest total energy,
+// descending (selection without full sort; n is small).
+func (l *JobLog) TopConsumers(n int) []JobRecord {
+	if n <= 0 {
+		return nil
+	}
+	picked := make([]JobRecord, 0, n)
+	used := make(map[int]bool, n)
+	for len(picked) < n && len(picked) < len(l.records) {
+		best := -1
+		for i, r := range l.records {
+			if used[i] {
+				continue
+			}
+			if best == -1 || r.Energy > l.records[best].Energy {
+				best = i
+			}
+		}
+		if best == -1 {
+			break
+		}
+		used[best] = true
+		picked = append(picked, l.records[best])
+	}
+	return picked
+}
+
+// String summarises the log.
+func (l *JobLog) String() string {
+	var e units.Energy
+	for _, r := range l.records {
+		e += r.Energy
+	}
+	return fmt.Sprintf("joblog: %d records, %v total", len(l.records), e)
+}
+
+// ReadJobRecords parses a CSV written by JobLog.WriteCSV, for offline
+// analysis tooling (cmd/jobsreport). The state and setting columns are
+// kept as written; energy is reconstructed from the kWh column.
+func ReadJobRecords(r io.Reader) ([]JobRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: reading job csv: %w", err)
+	}
+	if len(rows) == 0 || len(rows[0]) != 12 || rows[0][0] != "jobid" {
+		return nil, fmt.Errorf("telemetry: unrecognised job csv header")
+	}
+	out := make([]JobRecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: job csv row %d: bad id: %w", i+1, err)
+		}
+		nodes, err := strconv.Atoi(row[3])
+		if err != nil || nodes <= 0 {
+			return nil, fmt.Errorf("telemetry: job csv row %d: bad nodes %q", i+1, row[3])
+		}
+		parseT := func(s string) (time.Time, error) { return time.Parse(time.RFC3339, s) }
+		submit, err := parseT(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: job csv row %d: bad submit: %w", i+1, err)
+		}
+		start, err := parseT(row[5])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: job csv row %d: bad start: %w", i+1, err)
+		}
+		end, err := parseT(row[6])
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: job csv row %d: bad end: %w", i+1, err)
+		}
+		kwh, err := strconv.ParseFloat(row[10], 64)
+		if err != nil || kwh < 0 {
+			return nil, fmt.Errorf("telemetry: job csv row %d: bad energy %q", i+1, row[10])
+		}
+		rec := JobRecord{
+			ID:      id,
+			Class:   row[1],
+			App:     row[2],
+			Nodes:   nodes,
+			Submit:  submit,
+			Start:   start,
+			End:     end,
+			Setting: row[8],
+			Energy:  units.KilowattHours(kwh),
+		}
+		rec.Override, _ = strconv.ParseBool(row[9])
+		switch row[7] {
+		case "completed":
+			rec.State = sched.Completed
+		case "failed":
+			rec.State = sched.Failed
+		default:
+			return nil, fmt.Errorf("telemetry: job csv row %d: unknown state %q", i+1, row[7])
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/des"
+	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/sched"
+	"github.com/greenhpc/archertwin/internal/workload"
+)
+
+func logRig(t *testing.T) (*des.Engine, *sched.Scheduler, *JobLog, *apps.App) {
+	t.Helper()
+	fac := smallFacility(t)
+	eng := des.NewEngine(t0)
+	s := sched.New(eng, fac, stockProvider{fac.Config().CPU}, sched.DefaultConfig())
+	l := NewJobLog(s, 0)
+	app := &apps.App{Name: "logged-app", Kernel: roofline.Kernel{ComputeFraction: 0.4},
+		ActCore: 0.7, ActUncore: 0.5}
+	return eng, s, l, app
+}
+
+func TestJobLogRecords(t *testing.T) {
+	eng, s, l, app := logRig(t)
+	s.Submit(workload.JobSpec{ID: 1, Class: "a", App: app, Nodes: 4, RefRuntime: 2 * time.Hour})
+	s.Submit(workload.JobSpec{ID: 2, Class: "b", App: app, Nodes: 2, RefRuntime: time.Hour})
+	eng.Run()
+	if l.Len() != 2 {
+		t.Fatalf("records = %d", l.Len())
+	}
+	recs := l.Records()
+	for _, r := range recs {
+		if r.State != sched.Completed {
+			t.Errorf("job %d state = %v", r.ID, r.State)
+		}
+		if r.Energy.Joules() <= 0 || r.NodeHours() <= 0 {
+			t.Errorf("job %d empty accounting", r.ID)
+		}
+		// A busy node draws 0.3-0.8 kWh per node-hour.
+		if k := r.KWhPerNodeHour(); k < 0.2 || k > 1.0 {
+			t.Errorf("job %d intensity %v kWh/nodeh", r.ID, k)
+		}
+		if r.Setting == "" || r.App != "logged-app" {
+			t.Errorf("job %d metadata: %+v", r.ID, r)
+		}
+	}
+	if (JobRecord{}).KWhPerNodeHour() != 0 {
+		t.Error("zero-length record intensity nonzero")
+	}
+}
+
+func TestJobLogCapFIFO(t *testing.T) {
+	fac := smallFacility(t)
+	eng := des.NewEngine(t0)
+	s := sched.New(eng, fac, stockProvider{fac.Config().CPU}, sched.DefaultConfig())
+	l := NewJobLog(s, 3)
+	app := &apps.App{Name: "x", ActCore: 0.5, ActUncore: 0.5}
+	for i := 1; i <= 5; i++ {
+		s.Submit(workload.JobSpec{ID: i, Class: "c", App: app, Nodes: 1,
+			RefRuntime: time.Duration(i) * time.Hour})
+	}
+	eng.Run()
+	if l.Len() != 3 {
+		t.Fatalf("capped records = %d", l.Len())
+	}
+	// The three longest (latest-finishing) jobs remain: IDs 3, 4, 5.
+	for _, r := range l.Records() {
+		if r.ID < 3 {
+			t.Fatalf("old record %d retained", r.ID)
+		}
+	}
+}
+
+func TestJobLogCSV(t *testing.T) {
+	eng, s, l, app := logRig(t)
+	s.Submit(workload.JobSpec{ID: 7, Class: "alpha", App: app, Nodes: 3, RefRuntime: time.Hour})
+	eng.Run()
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "jobid,class,app,nodes,") {
+		t.Fatalf("bad header: %q", out[:40])
+	}
+	if !strings.Contains(out, "7,alpha,logged-app,3,") {
+		t.Fatalf("row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "completed") || !strings.Contains(out, "2.25 GHz+boost") {
+		t.Fatalf("state/setting missing:\n%s", out)
+	}
+}
+
+func TestJobLogAggregations(t *testing.T) {
+	eng, s, l, app := logRig(t)
+	s.Submit(workload.JobSpec{ID: 1, Class: "a", App: app, Nodes: 8, RefRuntime: 4 * time.Hour})
+	s.Submit(workload.JobSpec{ID: 2, Class: "a", App: app, Nodes: 1, RefRuntime: time.Hour})
+	s.Submit(workload.JobSpec{ID: 3, Class: "b", App: app, Nodes: 2, RefRuntime: time.Hour})
+	eng.Run()
+
+	by := l.EnergyByClass()
+	if by["a"].Jobs != 2 || by["b"].Jobs != 1 {
+		t.Fatalf("class jobs: %+v", by)
+	}
+	if by["a"].Energy <= by["b"].Energy {
+		t.Fatal("class a should dominate energy")
+	}
+
+	top := l.TopConsumers(2)
+	if len(top) != 2 {
+		t.Fatalf("top = %d", len(top))
+	}
+	if top[0].ID != 1 {
+		t.Fatalf("top consumer = job %d", top[0].ID)
+	}
+	if top[0].Energy < top[1].Energy {
+		t.Fatal("top consumers not descending")
+	}
+	if got := l.TopConsumers(0); got != nil {
+		t.Fatal("TopConsumers(0) nonzero")
+	}
+	if got := l.TopConsumers(10); len(got) != 3 {
+		t.Fatalf("TopConsumers(10) = %d", len(got))
+	}
+	if !strings.Contains(l.String(), "3 records") {
+		t.Fatalf("summary = %q", l.String())
+	}
+}
+
+func TestJobRecordsCSVRoundTrip(t *testing.T) {
+	eng, s, l, app := logRig(t)
+	s.Submit(workload.JobSpec{ID: 1, Class: "a", App: app, Nodes: 4, RefRuntime: 2 * time.Hour})
+	s.Submit(workload.JobSpec{ID: 2, Class: "b", App: app, Nodes: 2, RefRuntime: time.Hour})
+	eng.Run()
+
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJobRecords(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != l.Len() {
+		t.Fatalf("round trip %d != %d", len(back), l.Len())
+	}
+	for i, r := range back {
+		o := l.Records()[i]
+		if r.ID != o.ID || r.Class != o.Class || r.Nodes != o.Nodes ||
+			r.State != o.State || r.Setting != o.Setting {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, r, o)
+		}
+		// Energy preserved to CSV precision (3 decimals of kWh).
+		if d := r.Energy.KilowattHours() - o.Energy.KilowattHours(); d > 0.001 || d < -0.001 {
+			t.Fatalf("record %d energy drift %v", i, d)
+		}
+		if !r.Start.Equal(o.Start.Truncate(time.Second)) && !r.Start.Equal(o.Start) {
+			t.Fatalf("record %d start mismatch", i)
+		}
+	}
+}
+
+func TestReadJobRecordsErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"bad header": "x,y\n",
+		"bad id":     "jobid,class,app,nodes,submit,start,end,state,freq_setting,override,energy_kwh,kwh_per_nodeh\nxx,c,a,1,2022-01-01T00:00:00Z,2022-01-01T00:00:00Z,2022-01-01T01:00:00Z,completed,2 GHz,false,1.0,1.0\n",
+		"bad nodes":  "jobid,class,app,nodes,submit,start,end,state,freq_setting,override,energy_kwh,kwh_per_nodeh\n1,c,a,0,2022-01-01T00:00:00Z,2022-01-01T00:00:00Z,2022-01-01T01:00:00Z,completed,2 GHz,false,1.0,1.0\n",
+		"bad state":  "jobid,class,app,nodes,submit,start,end,state,freq_setting,override,energy_kwh,kwh_per_nodeh\n1,c,a,1,2022-01-01T00:00:00Z,2022-01-01T00:00:00Z,2022-01-01T01:00:00Z,queued,2 GHz,false,1.0,1.0\n",
+		"bad energy": "jobid,class,app,nodes,submit,start,end,state,freq_setting,override,energy_kwh,kwh_per_nodeh\n1,c,a,1,2022-01-01T00:00:00Z,2022-01-01T00:00:00Z,2022-01-01T01:00:00Z,completed,2 GHz,false,-1,1.0\n",
+		"bad time":   "jobid,class,app,nodes,submit,start,end,state,freq_setting,override,energy_kwh,kwh_per_nodeh\n1,c,a,1,nope,2022-01-01T00:00:00Z,2022-01-01T01:00:00Z,completed,2 GHz,false,1.0,1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJobRecords(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package telemetry is the twin's measurement pipeline, standing in for
+// the HPE PMDB cabinet power monitoring used in the paper: periodic
+// sampling of cabinet power and utilisation into time series (with
+// optional meter noise and sample dropout), and per-job energy accounting
+// in the style of Slurm's sacct energy counters.
+package telemetry
+
+import (
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/des"
+	"github.com/greenhpc/archertwin/internal/facility"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/sched"
+	"github.com/greenhpc/archertwin/internal/timeseries"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// MeterConfig parameterises a cabinet power meter.
+type MeterConfig struct {
+	// Interval between samples (ARCHER2 PMDB-like: 15 minutes).
+	Interval time.Duration
+	// NoiseSigma is multiplicative gaussian meter noise (e.g. 0.003 for
+	// 0.3%); 0 disables noise.
+	NoiseSigma float64
+	// DropoutProb is the probability a sample is lost (telemetry gap).
+	DropoutProb float64
+}
+
+// DefaultMeterConfig returns PMDB-like sampling.
+func DefaultMeterConfig() MeterConfig {
+	return MeterConfig{Interval: 15 * time.Minute, NoiseSigma: 0.003}
+}
+
+// Meter samples a facility on the simulation clock.
+type Meter struct {
+	cfg     MeterConfig
+	power   *timeseries.Series
+	util    *timeseries.Series
+	dropped int
+	r       *rng.Stream
+}
+
+// NewMeter attaches a meter to the facility on engine eng, sampling from
+// start+Interval until `until`. The stream r drives noise and dropout; it
+// may be nil when both are disabled.
+func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until time.Time, r *rng.Stream) *Meter {
+	m := &Meter{
+		cfg:   cfg,
+		power: timeseries.New("cabinet_power", "kW"),
+		util:  timeseries.New("utilisation", "fraction"),
+		r:     r,
+	}
+	eng.Every(cfg.Interval, until, func(now time.Time) {
+		if m.cfg.DropoutProb > 0 && m.r != nil && m.r.Float64() < m.cfg.DropoutProb {
+			m.dropped++
+			return
+		}
+		p := fac.CabinetPower().Kilowatts()
+		if m.cfg.NoiseSigma > 0 && m.r != nil {
+			p *= 1 + m.r.Normal(0, m.cfg.NoiseSigma)
+		}
+		m.power.MustAppend(now, p)
+		m.util.MustAppend(now, fac.Utilisation())
+	})
+	return m
+}
+
+// Power returns the cabinet power series (kW).
+func (m *Meter) Power() *timeseries.Series { return m.power }
+
+// Utilisation returns the utilisation series.
+func (m *Meter) Utilisation() *timeseries.Series { return m.util }
+
+// DroppedSamples returns how many samples were lost to dropout.
+func (m *Meter) DroppedSamples() int { return m.dropped }
+
+// ClassUsage aggregates delivered work and energy per workload class.
+type ClassUsage struct {
+	Jobs      int
+	NodeHours float64
+	Energy    units.Energy
+}
+
+// Accountant aggregates per-job accounting by workload class, in the style
+// of the service's accounting database.
+type Accountant struct {
+	byClass map[string]*ClassUsage
+	total   ClassUsage
+}
+
+// NewAccountant creates an Accountant and registers it on the scheduler.
+func NewAccountant(s *sched.Scheduler) *Accountant {
+	a := &Accountant{byClass: make(map[string]*ClassUsage)}
+	s.OnJobEnd(a.record)
+	return a
+}
+
+func (a *Accountant) record(j *sched.Job) {
+	cu := a.byClass[j.Spec.Class]
+	if cu == nil {
+		cu = &ClassUsage{}
+		a.byClass[j.Spec.Class] = cu
+	}
+	nh := float64(len(j.Nodes)) * j.Runtime.Hours()
+	cu.Jobs++
+	cu.NodeHours += nh
+	cu.Energy += j.Energy
+	a.total.Jobs++
+	a.total.NodeHours += nh
+	a.total.Energy += j.Energy
+}
+
+// Class returns usage for one class (zero value if unseen).
+func (a *Accountant) Class(name string) ClassUsage {
+	if cu, ok := a.byClass[name]; ok {
+		return *cu
+	}
+	return ClassUsage{}
+}
+
+// Classes returns the names of all recorded classes.
+func (a *Accountant) Classes() []string {
+	out := make([]string, 0, len(a.byClass))
+	for name := range a.byClass {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Total returns facility-wide usage.
+func (a *Accountant) Total() ClassUsage { return a.total }
+
+// EnergyPerNodeHour returns the fleet mean energy cost of a delivered
+// node-hour, the paper's core efficiency currency (kWh/nodeh). Returns 0
+// before any job completes.
+func (a *Accountant) EnergyPerNodeHour() float64 {
+	if a.total.NodeHours == 0 {
+		return 0
+	}
+	return a.total.Energy.KilowattHours() / a.total.NodeHours
+}

@@ -1,0 +1,320 @@
+// Package timeseries implements the time-series container used by the
+// facility telemetry pipeline: append-only (time, value) samples with
+// window statistics, resampling, step-change detection and export helpers.
+//
+// Timestamps are time.Time; samples must be appended in non-decreasing time
+// order, which is what a simulation clock naturally produces.
+package timeseries
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/stats"
+)
+
+// Sample is one (timestamp, value) observation.
+type Sample struct {
+	T time.Time
+	V float64
+}
+
+// Series is an ordered collection of samples with a name and a unit label.
+type Series struct {
+	Name string
+	Unit string
+
+	samples []Sample
+}
+
+// New creates an empty series.
+func New(name, unit string) *Series {
+	return &Series{Name: name, Unit: unit}
+}
+
+// Append adds a sample. It returns an error if t is before the last sample's
+// timestamp (equal timestamps are allowed: meters may batch-report).
+func (s *Series) Append(t time.Time, v float64) error {
+	if n := len(s.samples); n > 0 && t.Before(s.samples[n-1].T) {
+		return fmt.Errorf("timeseries %q: sample at %v precedes last sample %v",
+			s.Name, t, s.samples[n-1].T)
+	}
+	s.samples = append(s.samples, Sample{T: t, V: v})
+	return nil
+}
+
+// MustAppend is Append for callers that guarantee ordering (e.g. the DES
+// clock); it panics on out-of-order samples.
+func (s *Series) MustAppend(t time.Time, v float64) {
+	if err := s.Append(t, v); err != nil {
+		panic(err)
+	}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.samples) }
+
+// At returns sample i.
+func (s *Series) At(i int) Sample { return s.samples[i] }
+
+// Samples returns the backing sample slice (shared, not a copy). Callers
+// must not mutate it.
+func (s *Series) Samples() []Sample { return s.samples }
+
+// Values returns a copy of all sample values.
+func (s *Series) Values() []float64 {
+	vs := make([]float64, len(s.samples))
+	for i, smp := range s.samples {
+		vs[i] = smp.V
+	}
+	return vs
+}
+
+// Span returns the first and last timestamps. ok is false for an empty
+// series.
+func (s *Series) Span() (from, to time.Time, ok bool) {
+	if len(s.samples) == 0 {
+		return time.Time{}, time.Time{}, false
+	}
+	return s.samples[0].T, s.samples[len(s.samples)-1].T, true
+}
+
+// Slice returns a new series view containing samples with from <= t < to.
+// The returned series shares no mutable state with s beyond the sample
+// values themselves.
+func (s *Series) Slice(from, to time.Time) *Series {
+	lo := sort.Search(len(s.samples), func(i int) bool {
+		return !s.samples[i].T.Before(from)
+	})
+	hi := sort.Search(len(s.samples), func(i int) bool {
+		return !s.samples[i].T.Before(to)
+	})
+	out := New(s.Name, s.Unit)
+	out.samples = append(out.samples, s.samples[lo:hi]...)
+	return out
+}
+
+// Mean returns the arithmetic mean of all values (unweighted by spacing),
+// or 0 for an empty series.
+func (s *Series) Mean() float64 { return stats.Mean(s.Values()) }
+
+// MeanBetween returns the mean of samples with from <= t < to.
+func (s *Series) MeanBetween(from, to time.Time) float64 {
+	return s.Slice(from, to).Mean()
+}
+
+// Summary returns summary statistics over all values.
+func (s *Series) Summary() stats.Summary { return stats.Summarize(s.Values()) }
+
+// TimeWeightedMean integrates the series with a step-function (sample-and-
+// hold) interpretation over [from, to] and divides by the duration. Samples
+// outside the window bound the edge segments. It returns 0 when the window
+// is empty or no sample precedes or lies within it.
+func (s *Series) TimeWeightedMean(from, to time.Time) float64 {
+	if !to.After(from) || len(s.samples) == 0 {
+		return 0
+	}
+	// Find the first sample at or after `from`; the value in force at the
+	// window start is the previous sample (if any), else the first in-window
+	// sample applies from its own timestamp.
+	i := sort.Search(len(s.samples), func(i int) bool {
+		return !s.samples[i].T.Before(from)
+	})
+	var integral float64
+	cursor := from
+	var current float64
+	haveCurrent := false
+	if i > 0 {
+		current = s.samples[i-1].V
+		haveCurrent = true
+	}
+	for ; i < len(s.samples) && s.samples[i].T.Before(to); i++ {
+		t := s.samples[i].T
+		if haveCurrent {
+			integral += current * t.Sub(cursor).Seconds()
+		}
+		cursor = t
+		current = s.samples[i].V
+		haveCurrent = true
+	}
+	if !haveCurrent {
+		return 0
+	}
+	integral += current * to.Sub(cursor).Seconds()
+	denom := to.Sub(from).Seconds()
+	// If the first in-window sample started after `from` with no prior value,
+	// only average over the covered portion.
+	if s.samples[0].T.After(from) {
+		denom = to.Sub(s.samples[0].T).Seconds()
+		if denom <= 0 {
+			return 0
+		}
+	}
+	return integral / denom
+}
+
+// Resample returns a new series sampled every step using sample-and-hold
+// interpolation, starting at from (inclusive) and ending before to.
+func (s *Series) Resample(from, to time.Time, step time.Duration) *Series {
+	if step <= 0 {
+		panic("timeseries: non-positive resample step")
+	}
+	out := New(s.Name, s.Unit)
+	for t := from; t.Before(to); t = t.Add(step) {
+		v, ok := s.ValueAt(t)
+		if ok {
+			out.MustAppend(t, v)
+		}
+	}
+	return out
+}
+
+// ValueAt returns the sample-and-hold value in force at time t: the value of
+// the latest sample with timestamp <= t. ok is false if t precedes the first
+// sample.
+func (s *Series) ValueAt(t time.Time) (float64, bool) {
+	i := sort.Search(len(s.samples), func(i int) bool {
+		return s.samples[i].T.After(t)
+	})
+	if i == 0 {
+		return 0, false
+	}
+	return s.samples[i-1].V, true
+}
+
+// StepChange describes a detected level shift in a series.
+type StepChange struct {
+	At          time.Time
+	BeforeMean  float64
+	AfterMean   float64
+	RelativeChg float64
+}
+
+// DetectStep finds the split point that maximises the between-segment mean
+// difference, comparing the window means either side. It is a deliberately
+// simple estimator: the operational changes in the paper are large level
+// shifts, not subtle trends. Returns ok=false when fewer than 2*minSeg
+// samples exist or no shift exceeds threshold (relative).
+func (s *Series) DetectStep(minSeg int, threshold float64) (StepChange, bool) {
+	n := len(s.samples)
+	if minSeg < 1 || n < 2*minSeg {
+		return StepChange{}, false
+	}
+	vs := s.Values()
+	// Prefix sums for O(n) scanning.
+	prefix := make([]float64, n+1)
+	for i, v := range vs {
+		prefix[i+1] = prefix[i] + v
+	}
+	best := StepChange{}
+	bestAbs := 0.0
+	found := false
+	for k := minSeg; k <= n-minSeg; k++ {
+		mb := prefix[k] / float64(k)
+		ma := (prefix[n] - prefix[k]) / float64(n-k)
+		if mb == 0 {
+			continue
+		}
+		rel := (ma - mb) / mb
+		if math.Abs(rel) > bestAbs && math.Abs(rel) >= threshold {
+			bestAbs = math.Abs(rel)
+			best = StepChange{
+				At:          s.samples[k].T,
+				BeforeMean:  mb,
+				AfterMean:   ma,
+				RelativeChg: rel,
+			}
+			found = true
+		}
+	}
+	return best, found
+}
+
+// WriteCSV writes "time,value" rows with an optional header.
+func (s *Series) WriteCSV(w io.Writer, header bool) error {
+	if header {
+		if _, err := fmt.Fprintf(w, "time,%s_%s\n", csvSafe(s.Name), csvSafe(s.Unit)); err != nil {
+			return err
+		}
+	}
+	for _, smp := range s.samples {
+		if _, err := fmt.Fprintf(w, "%s,%.6g\n", smp.T.UTC().Format(time.RFC3339), smp.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvSafe(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ',', '\n', '\r':
+			return '_'
+		}
+		return r
+	}, s)
+}
+
+// RenderASCII draws the series as a rows x cols ASCII chart with a mean
+// line, in the spirit of the paper's Figures 1-3. It returns "" for series
+// with fewer than two samples.
+func (s *Series) RenderASCII(rows, cols int) string {
+	if len(s.samples) < 2 || rows < 3 || cols < 8 {
+		return ""
+	}
+	vs := s.Values()
+	min, max := stats.MinMax(vs)
+	if max == min {
+		max = min + 1
+	}
+	pad := (max - min) * 0.05
+	min, max = min-pad, max+pad
+	mean := stats.Mean(vs)
+
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cols))
+	}
+	// Bucket samples into columns and plot column means.
+	colSum := make([]float64, cols)
+	colN := make([]int, cols)
+	for i, smp := range s.samples {
+		c := i * cols / len(s.samples)
+		colSum[c] += smp.V
+		colN[c]++
+	}
+	rowOf := func(v float64) int {
+		r := int((max - v) / (max - min) * float64(rows-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		return r
+	}
+	meanRow := rowOf(mean)
+	for c := 0; c < cols; c++ {
+		if grid[meanRow][c] == ' ' {
+			grid[meanRow][c] = '-'
+		}
+	}
+	for c := 0; c < cols; c++ {
+		if colN[c] == 0 {
+			continue
+		}
+		grid[rowOf(colSum[c]/float64(colN[c]))][c] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s]  (mean %.4g, - marks mean)\n", s.Name, s.Unit, mean)
+	fmt.Fprintf(&b, "%10.4g |%s|\n", max, string(grid[0]))
+	for r := 1; r < rows-1; r++ {
+		fmt.Fprintf(&b, "%10s |%s|\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.4g |%s|\n", min, string(grid[rows-1]))
+	return b.String()
+}

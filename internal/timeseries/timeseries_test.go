@@ -1,0 +1,272 @@
+package timeseries
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2021, 12, 1, 0, 0, 0, 0, time.UTC)
+
+func mk(vals ...float64) *Series {
+	s := New("power", "kW")
+	for i, v := range vals {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	return s
+}
+
+func TestAppendOrdering(t *testing.T) {
+	s := New("x", "u")
+	if err := s.Append(t0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(t0, 2); err != nil { // equal timestamps allowed
+		t.Fatal(err)
+	}
+	if err := s.Append(t0.Add(-time.Second), 3); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestMustAppendPanics(t *testing.T) {
+	s := mk(1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustAppend out of order did not panic")
+		}
+	}()
+	s.MustAppend(t0.Add(-time.Hour), 0)
+}
+
+func TestMeanAndSpan(t *testing.T) {
+	s := mk(1, 2, 3, 4)
+	if got := s.Mean(); got != 2.5 {
+		t.Fatalf("mean = %v", got)
+	}
+	from, to, ok := s.Span()
+	if !ok || !from.Equal(t0) || !to.Equal(t0.Add(3*time.Hour)) {
+		t.Fatalf("span = %v %v %v", from, to, ok)
+	}
+	if _, _, ok := New("e", "u").Span(); ok {
+		t.Fatal("empty span reported ok")
+	}
+}
+
+func TestSliceAndMeanBetween(t *testing.T) {
+	s := mk(10, 20, 30, 40, 50)
+	sl := s.Slice(t0.Add(time.Hour), t0.Add(3*time.Hour))
+	if sl.Len() != 2 {
+		t.Fatalf("slice len = %d", sl.Len())
+	}
+	if got := sl.Mean(); got != 25 {
+		t.Fatalf("slice mean = %v", got)
+	}
+	if got := s.MeanBetween(t0.Add(3*time.Hour), t0.Add(100*time.Hour)); got != 45 {
+		t.Fatalf("MeanBetween = %v", got)
+	}
+}
+
+func TestValueAt(t *testing.T) {
+	s := mk(10, 20, 30)
+	if _, ok := s.ValueAt(t0.Add(-time.Second)); ok {
+		t.Fatal("value before first sample reported ok")
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 10}, {30 * time.Minute, 10}, {time.Hour, 20}, {5 * time.Hour, 30},
+	}
+	for _, c := range cases {
+		v, ok := s.ValueAt(t0.Add(c.at))
+		if !ok || v != c.want {
+			t.Errorf("ValueAt(+%v) = %v,%v want %v", c.at, v, ok, c.want)
+		}
+	}
+}
+
+func TestTimeWeightedMean(t *testing.T) {
+	// 10 kW for 1h then 30 kW for 1h -> 20 kW average over the 2h window.
+	s := mk(10, 30)
+	got := s.TimeWeightedMean(t0, t0.Add(2*time.Hour))
+	if got != 20 {
+		t.Fatalf("time-weighted mean = %v, want 20", got)
+	}
+	// Asymmetric window: 10 for 0.5h, 30 for 1h over 1.5h -> (5+30)/1.5.
+	got = s.TimeWeightedMean(t0.Add(30*time.Minute), t0.Add(2*time.Hour))
+	want := (10*0.5 + 30*1.0) / 1.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("asymmetric TW mean = %v, want %v", got, want)
+	}
+	if got := New("e", "u").TimeWeightedMean(t0, t0.Add(time.Hour)); got != 0 {
+		t.Fatalf("empty TW mean = %v", got)
+	}
+	if got := s.TimeWeightedMean(t0, t0); got != 0 {
+		t.Fatalf("zero-width TW mean = %v", got)
+	}
+}
+
+func TestTimeWeightedMeanWindowBeforeData(t *testing.T) {
+	s := mk(10, 30)
+	// Window starting 1h before data: only covered portion averaged.
+	got := s.TimeWeightedMean(t0.Add(-time.Hour), t0.Add(2*time.Hour))
+	if got != 20 {
+		t.Fatalf("partial-cover TW mean = %v, want 20", got)
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := mk(10, 20, 30)
+	r := s.Resample(t0, t0.Add(3*time.Hour), 30*time.Minute)
+	if r.Len() != 6 {
+		t.Fatalf("resample len = %d", r.Len())
+	}
+	want := []float64{10, 10, 20, 20, 30, 30}
+	for i, w := range want {
+		if r.At(i).V != w {
+			t.Errorf("resample[%d] = %v, want %v", i, r.At(i).V, w)
+		}
+	}
+}
+
+func TestDetectStep(t *testing.T) {
+	// 3220 -> 3010 style step.
+	s := New("p", "kW")
+	for i := 0; i < 50; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Hour), 3220)
+	}
+	for i := 50; i < 100; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Hour), 3010)
+	}
+	step, ok := s.DetectStep(10, 0.02)
+	if !ok {
+		t.Fatal("step not detected")
+	}
+	if math.Abs(step.BeforeMean-3220) > 1 || math.Abs(step.AfterMean-3010) > 1 {
+		t.Fatalf("step means = %v -> %v", step.BeforeMean, step.AfterMean)
+	}
+	if math.Abs(step.RelativeChg+0.0652) > 0.005 {
+		t.Fatalf("relative change = %v", step.RelativeChg)
+	}
+	if !step.At.Equal(t0.Add(50 * time.Hour)) {
+		t.Fatalf("step at %v", step.At)
+	}
+}
+
+func TestDetectStepNone(t *testing.T) {
+	s := mk(100, 100, 100, 100, 100, 100, 100, 100)
+	if _, ok := s.DetectStep(2, 0.01); ok {
+		t.Fatal("step detected in flat series")
+	}
+	if _, ok := mk(1).DetectStep(2, 0.01); ok {
+		t.Fatal("step detected in tiny series")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	s := mk(1.5, 2.5)
+	var b strings.Builder
+	if err := s.WriteCSV(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "time,power_kW\n") {
+		t.Fatalf("csv header missing: %q", out)
+	}
+	if !strings.Contains(out, "2021-12-01T00:00:00Z,1.5") {
+		t.Fatalf("csv row missing: %q", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 3 {
+		t.Fatalf("csv line count = %d", lines)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	s := New("p", "kW")
+	for i := 0; i < 200; i++ {
+		v := 3220.0
+		if i >= 100 {
+			v = 2530
+		}
+		s.MustAppend(t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	out := s.RenderASCII(10, 60)
+	if out == "" {
+		t.Fatal("empty render")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "kW") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	if got := mk(1).RenderASCII(10, 60); got != "" {
+		t.Fatal("render of single sample should be empty")
+	}
+}
+
+// Property: Slice(from,to) contains exactly the samples in [from, to).
+func TestPropertySliceBounds(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		s := New("x", "u")
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			s.MustAppend(t0.Add(time.Duration(i)*time.Minute), v)
+		}
+		lo, hi := int(a%64), int(b%64)
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		from, to := t0.Add(time.Duration(lo)*time.Minute), t0.Add(time.Duration(hi)*time.Minute)
+		sl := s.Slice(from, to)
+		for _, smp := range sl.Samples() {
+			if smp.T.Before(from) || !smp.T.Before(to) {
+				return false
+			}
+		}
+		// Count check.
+		want := 0
+		for _, smp := range s.Samples() {
+			if !smp.T.Before(from) && smp.T.Before(to) {
+				want++
+			}
+		}
+		return sl.Len() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: time-weighted mean lies within [min, max] of the involved values.
+func TestPropertyTWMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := New("x", "u")
+		min, max := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				v = 0
+			}
+			s.MustAppend(t0.Add(time.Duration(i)*time.Minute), v)
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		got := s.TimeWeightedMean(t0, t0.Add(time.Duration(len(raw))*time.Minute))
+		return got >= min-1e-9 && got <= max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

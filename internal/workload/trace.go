@@ -1,0 +1,153 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+)
+
+// Trace export/replay: generated job streams can be saved as CSV and
+// replayed exactly, so an experiment's workload can be pinned, shared and
+// re-run against different operating policies — the twin's equivalent of
+// replaying a production scheduler log.
+
+// TraceRecord is one job in a serialised trace.
+type TraceRecord struct {
+	ID         int
+	Class      string
+	Nodes      int
+	RefRuntime time.Duration
+	Submit     time.Time
+}
+
+// WriteTrace serialises records as CSV with a header.
+func WriteTrace(w io.Writer, records []TraceRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "class", "nodes", "ref_runtime_s", "submit"}); err != nil {
+		return err
+	}
+	for _, r := range records {
+		err := cw.Write([]string{
+			strconv.Itoa(r.ID),
+			r.Class,
+			strconv.Itoa(r.Nodes),
+			strconv.FormatFloat(r.RefRuntime.Seconds(), 'f', 3, 64),
+			r.Submit.UTC().Format(time.RFC3339Nano),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTrace parses a CSV trace written by WriteTrace.
+func ReadTrace(r io.Reader) ([]TraceRecord, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	if len(rows[0]) != 5 || rows[0][0] != "id" {
+		return nil, fmt.Errorf("workload: unrecognised trace header %v", rows[0])
+	}
+	out := make([]TraceRecord, 0, len(rows)-1)
+	for i, row := range rows[1:] {
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad id: %w", i+1, err)
+		}
+		nodes, err := strconv.Atoi(row[2])
+		if err != nil || nodes <= 0 {
+			return nil, fmt.Errorf("workload: trace row %d: bad node count %q", i+1, row[2])
+		}
+		secs, err := strconv.ParseFloat(row[3], 64)
+		if err != nil || secs <= 0 {
+			return nil, fmt.Errorf("workload: trace row %d: bad runtime %q", i+1, row[3])
+		}
+		submit, err := time.Parse(time.RFC3339Nano, row[4])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad submit time: %w", i+1, err)
+		}
+		out = append(out, TraceRecord{
+			ID:         id,
+			Class:      row[1],
+			Nodes:      nodes,
+			RefRuntime: time.Duration(secs * float64(time.Second)),
+			Submit:     submit,
+		})
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Submit.Before(out[b].Submit) })
+	return out, nil
+}
+
+// Recorder collects generated jobs into a trace.
+type Recorder struct {
+	records []TraceRecord
+}
+
+// Record appends a submitted job spec.
+func (r *Recorder) Record(spec JobSpec) {
+	r.records = append(r.records, TraceRecord{
+		ID:         spec.ID,
+		Class:      spec.Class,
+		Nodes:      spec.Nodes,
+		RefRuntime: spec.RefRuntime,
+		Submit:     spec.Submit,
+	})
+}
+
+// Records returns the collected trace.
+func (r *Recorder) Records() []TraceRecord { return r.records }
+
+// Replayer turns a trace back into JobSpecs, resolving class names against
+// an application mix.
+type Replayer struct {
+	records []TraceRecord
+	byClass map[string]*apps.App
+	next    int
+}
+
+// NewReplayer builds a replayer. Every class named in the trace must
+// resolve against the mix.
+func NewReplayer(records []TraceRecord, mix []apps.WeightedApp) (*Replayer, error) {
+	byClass := make(map[string]*apps.App, len(mix))
+	for _, wa := range mix {
+		byClass[wa.App.Name] = wa.App
+	}
+	for _, r := range records {
+		if byClass[r.Class] == nil {
+			return nil, fmt.Errorf("workload: trace class %q not in mix", r.Class)
+		}
+	}
+	return &Replayer{records: records, byClass: byClass}, nil
+}
+
+// Remaining returns how many jobs are left to replay.
+func (r *Replayer) Remaining() int { return len(r.records) - r.next }
+
+// Next returns the next job spec, or ok=false when exhausted.
+func (r *Replayer) Next() (JobSpec, bool) {
+	if r.next >= len(r.records) {
+		return JobSpec{}, false
+	}
+	rec := r.records[r.next]
+	r.next++
+	return JobSpec{
+		ID:         rec.ID,
+		Class:      rec.Class,
+		App:        r.byClass[rec.Class],
+		Nodes:      rec.Nodes,
+		RefRuntime: rec.RefRuntime,
+		Submit:     rec.Submit,
+	}, true
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+)
+
+func sampleRecords() []TraceRecord {
+	t0 := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	return []TraceRecord{
+		{ID: 1, Class: "materials-dft", Nodes: 4, RefRuntime: 2 * time.Hour, Submit: t0},
+		{ID: 2, Class: "climate-ocean", Nodes: 48, RefRuntime: 12 * time.Hour, Submit: t0.Add(10 * time.Minute)},
+		{ID: 3, Class: "materials-dft", Nodes: 8, RefRuntime: 90 * time.Minute, Submit: t0.Add(25 * time.Minute)},
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	var b strings.Builder
+	if err := WriteTrace(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("records = %d", len(back))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, back[i], recs[i])
+		}
+	}
+}
+
+func TestReadTraceSortsBySubmit(t *testing.T) {
+	recs := sampleRecords()
+	recs[0], recs[2] = recs[2], recs[0] // out of order
+	var b strings.Builder
+	if err := WriteTrace(&b, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(back); i++ {
+		if back[i].Submit.Before(back[i-1].Submit) {
+			t.Fatal("trace not sorted by submit time")
+		}
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "x,y\n1,2\n",
+		"bad id":      "id,class,nodes,ref_runtime_s,submit\nxx,c,4,60,2022-01-01T00:00:00Z\n",
+		"bad nodes":   "id,class,nodes,ref_runtime_s,submit\n1,c,0,60,2022-01-01T00:00:00Z\n",
+		"bad time":    "id,class,nodes,ref_runtime_s,submit\n1,c,4,60,notatime\n",
+		"bad runtime": "id,class,nodes,ref_runtime_s,submit\n1,c,4,-5,2022-01-01T00:00:00Z\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadTrace(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRecorderAndReplayer(t *testing.T) {
+	g := newGen(t, 31)
+	var rec Recorder
+	base := time.Date(2022, 2, 1, 0, 0, 0, 0, time.UTC)
+	now := base
+	var original []JobSpec
+	for i := 0; i < 50; i++ {
+		spec, gap := g.Next()
+		spec.Submit = now
+		now = now.Add(gap)
+		rec.Record(spec)
+		original = append(original, spec)
+	}
+	if len(rec.Records()) != 50 {
+		t.Fatalf("recorded = %d", len(rec.Records()))
+	}
+
+	rep, err := NewReplayer(rec.Records(), calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Remaining() != 50 {
+		t.Fatalf("remaining = %d", rep.Remaining())
+	}
+	for i := 0; ; i++ {
+		spec, ok := rep.Next()
+		if !ok {
+			if i != 50 {
+				t.Fatalf("replayed %d jobs", i)
+			}
+			break
+		}
+		o := original[i]
+		if spec.ID != o.ID || spec.Class != o.Class || spec.Nodes != o.Nodes ||
+			spec.RefRuntime != o.RefRuntime || !spec.Submit.Equal(o.Submit) {
+			t.Fatalf("job %d mismatch: %+v vs %+v", i, spec, o)
+		}
+		if spec.App == nil || spec.App.Name != o.Class {
+			t.Fatalf("job %d app not resolved: %+v", i, spec.App)
+		}
+	}
+}
+
+func TestReplayerUnknownClass(t *testing.T) {
+	recs := []TraceRecord{{ID: 1, Class: "no-such-class", Nodes: 1,
+		RefRuntime: time.Hour, Submit: time.Now()}}
+	if _, err := NewReplayer(recs, apps.FleetMix()); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}

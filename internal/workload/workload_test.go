@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func calibratedMix(t *testing.T) []apps.WeightedApp {
+	t.Helper()
+	s := cpu.EPYC7742()
+	mix, _, err := apps.CalibrateMixToBusyPower(s, apps.FleetMix(),
+		s.DefaultSetting(), cpu.PowerDeterminism, units.Watts(540))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mix
+}
+
+func newGen(t *testing.T, seed uint64) *Generator {
+	t.Helper()
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(cfg, rng.New(seed).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CalibrateArrivalRate(5860, 1.1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.MaxJobNodes = 0
+	if _, err := NewGenerator(bad, rng.New(1)); err == nil {
+		t.Error("zero MaxJobNodes accepted")
+	}
+	bad = cfg
+	bad.Mix = bad.Mix[:2]
+	if _, err := NewGenerator(bad, rng.New(1)); err == nil {
+		t.Error("mismatched mix accepted")
+	}
+	bad = cfg
+	bad.MinRuntime = 0
+	if _, err := NewGenerator(bad, rng.New(1)); err == nil {
+		t.Error("zero MinRuntime accepted")
+	}
+	if _, err := DefaultConfig(calibratedMix(t)[:3]); err == nil {
+		t.Error("short mix accepted by DefaultConfig")
+	}
+}
+
+func TestJobShapesInBounds(t *testing.T) {
+	g := newGen(t, 7)
+	for i := 0; i < 5000; i++ {
+		spec, gap := g.Next()
+		if spec.Nodes < 1 || spec.Nodes > g.Config().MaxJobNodes {
+			t.Fatalf("job %d: nodes = %d", spec.ID, spec.Nodes)
+		}
+		if spec.RefRuntime < g.Config().MinRuntime || spec.RefRuntime > g.Config().MaxRuntime {
+			t.Fatalf("job %d: runtime = %v", spec.ID, spec.RefRuntime)
+		}
+		if gap < 0 {
+			t.Fatalf("negative interarrival %v", gap)
+		}
+		if spec.App == nil || spec.Class == "" {
+			t.Fatalf("job %d: missing app/class", spec.ID)
+		}
+	}
+}
+
+func TestJobIDsMonotone(t *testing.T) {
+	g := newGen(t, 9)
+	prev := 0
+	for i := 0; i < 100; i++ {
+		spec, _ := g.Next()
+		if spec.ID <= prev {
+			t.Fatalf("non-monotone job IDs: %d after %d", spec.ID, prev)
+		}
+		prev = spec.ID
+	}
+}
+
+func TestClassSharesRespected(t *testing.T) {
+	g := newGen(t, 11)
+	counts := map[string]int{}
+	n := 30000
+	for i := 0; i < n; i++ {
+		spec, _ := g.Next()
+		counts[spec.Class]++
+	}
+	for i, cl := range g.Config().Classes {
+		frac := float64(counts[cl.Name]) / float64(n)
+		if math.Abs(frac-cl.Share) > 0.02 {
+			t.Errorf("class %d %s: drawn %.3f, share %.3f", i, cl.Name, frac, cl.Share)
+		}
+	}
+}
+
+func TestCalibratedRateSaturates(t *testing.T) {
+	g := newGen(t, 13)
+	// Offered node-hours per hour must be ~1.1x the 5860-node capacity.
+	mean := g.MeanJobNodeHours(50000)
+	offered := g.Config().ArrivalRatePerHour * mean
+	want := 5860 * 1.1
+	if math.Abs(offered-want)/want > 0.05 {
+		t.Fatalf("offered load = %v node-hours/h, want ~%v", offered, want)
+	}
+}
+
+func TestArrivalGapsExponential(t *testing.T) {
+	g := newGen(t, 17)
+	sum := 0.0
+	n := 20000
+	for i := 0; i < n; i++ {
+		_, gap := g.Next()
+		sum += gap.Hours()
+	}
+	meanGap := sum / float64(n)
+	wantGap := 1 / g.Config().ArrivalRatePerHour
+	if math.Abs(meanGap-wantGap)/wantGap > 0.05 {
+		t.Fatalf("mean interarrival = %v h, want %v h", meanGap, wantGap)
+	}
+}
+
+func TestDeterministicStream(t *testing.T) {
+	a, b := newGen(t, 21), newGen(t, 21)
+	for i := 0; i < 200; i++ {
+		sa, ga := a.Next()
+		sb, gb := b.Next()
+		// App pointers come from separately-built mixes; compare by value.
+		if sa.ID != sb.ID || sa.Class != sb.Class || sa.Nodes != sb.Nodes ||
+			sa.RefRuntime != sb.RefRuntime || sa.App.Name != sb.App.Name || ga != gb {
+			t.Fatalf("generators diverge at job %d", i)
+		}
+	}
+}
+
+func TestNextPanicsWithoutRate(t *testing.T) {
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Next without rate did not panic")
+		}
+	}()
+	g.Next()
+}
+
+func TestNodeHours(t *testing.T) {
+	j := JobSpec{Nodes: 4, RefRuntime: 90 * time.Minute}
+	if got := j.NodeHours(); math.Abs(got-6) > 1e-12 {
+		t.Fatalf("node hours = %v, want 6", got)
+	}
+}
+
+func TestCalibrateArrivalRateErrors(t *testing.T) {
+	g := newGen(t, 23)
+	if err := g.CalibrateArrivalRate(0, 1.1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if err := g.CalibrateArrivalRate(100, 0); err == nil {
+		t.Error("zero oversubscription accepted")
+	}
+}
