@@ -1,0 +1,3 @@
+module github.com/greenhpc/archertwin
+
+go 1.21

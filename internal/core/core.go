@@ -92,6 +92,48 @@ type Config struct {
 	// JobLogCap, when non-zero, retains up to that many per-job accounting
 	// records in Results.JobLog (sacct-style). Negative means unbounded.
 	JobLogCap int
+
+	// FleetVariant, when non-nil, rebuilds every application in the fleet
+	// mix with the given compiler/library variant (paper §5 future work)
+	// after power calibration, so the variant's power and performance
+	// shifts show up in the fleet figures instead of being absorbed by the
+	// busy-power calibration.
+	FleetVariant *apps.Variant
+}
+
+// Clone returns a deep copy of the configuration: the windows, timeline
+// (including its pointer-valued change fields), CPU spec and fleet
+// variant are all copied. A plain struct copy of Config aliases all of
+// those; callers deriving several experiment configurations from one
+// baseline (and possibly running them concurrently) should clone instead.
+func (c Config) Clone() Config {
+	out := c
+	if c.Facility.CPU != nil {
+		spec := *c.Facility.CPU
+		spec.PStates = append([]cpu.PState(nil), c.Facility.CPU.PStates...)
+		out.Facility.CPU = &spec
+	}
+	out.Windows = append([]Window(nil), c.Windows...)
+	if c.Timeline.Changes != nil {
+		out.Timeline.Changes = make([]policy.Change, len(c.Timeline.Changes))
+		for i, ch := range c.Timeline.Changes {
+			cc := ch
+			if ch.Mode != nil {
+				m := *ch.Mode
+				cc.Mode = &m
+			}
+			if ch.Setting != nil {
+				s := *ch.Setting
+				cc.Setting = &s
+			}
+			out.Timeline.Changes[i] = cc
+		}
+	}
+	if c.FleetVariant != nil {
+		v := *c.FleetVariant
+		out.FleetVariant = &v
+	}
+	return out
 }
 
 // FailureConfig parameterises random node failures.
@@ -269,6 +311,15 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.FleetVariant != nil {
+		for i := range mix {
+			va, err := cfg.FleetVariant.Apply(mix[i].App)
+			if err != nil {
+				return nil, err
+			}
+			mix[i].App = va
+		}
+	}
 	wcfg, err := workload.DefaultConfig(mix)
 	if err != nil {
 		return nil, err
@@ -423,6 +474,16 @@ func (s *Simulator) Run() (*Results, error) {
 		})
 	}
 	return res, nil
+}
+
+// RunConfig builds a simulator from cfg and runs it to completion — the
+// one-call entry point used by scenario sweeps and quick experiments.
+func RunConfig(cfg Config) (*Results, error) {
+	sim, err := NewSimulator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run()
 }
 
 // ScaledConfig returns DefaultConfig shrunk to `nodes` compute nodes over

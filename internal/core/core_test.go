@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/greenhpc/archertwin/internal/apps"
 	"github.com/greenhpc/archertwin/internal/cpu"
 	"github.com/greenhpc/archertwin/internal/policy"
 	"github.com/greenhpc/archertwin/internal/units"
@@ -276,5 +277,85 @@ func TestMixScaleReported(t *testing.T) {
 	}
 	if math.Abs(res.MixScale-1) > 0.3 {
 		t.Fatalf("mix scale = %v, suspiciously far from 1", res.MixScale)
+	}
+}
+
+func TestConfigClone(t *testing.T) {
+	orig := DefaultConfig()
+	orig.FleetVariant = &apps.Variant{Name: "v", Speedup: 1.1, CoreActivityFactor: 1.0}
+	clone := orig.Clone()
+
+	// Mutating the clone's shared-pointer state must not touch the original.
+	clone.Facility.CPU.PStates[0].Voltage = 0.5
+	clone.Windows[0].Label = "mutated"
+	*clone.Timeline.Changes[0].Mode = cpu.PowerDeterminism
+	*clone.Timeline.Changes[1].Setting = cpu.FreqSetting{Base: units.Gigahertz(1.5)}
+	clone.FleetVariant.Speedup = 9
+
+	if orig.Facility.CPU.PStates[0].Voltage == 0.5 {
+		t.Error("clone shares CPU spec P-states")
+	}
+	if orig.Windows[0].Label == "mutated" {
+		t.Error("clone shares windows")
+	}
+	if *orig.Timeline.Changes[0].Mode == cpu.PowerDeterminism {
+		t.Error("clone shares timeline mode pointer")
+	}
+	if orig.Timeline.Changes[1].Setting.Base == units.Gigahertz(1.5) {
+		t.Error("clone shares timeline setting pointer")
+	}
+	if orig.FleetVariant.Speedup == 9 {
+		t.Error("clone shares fleet variant")
+	}
+	// And the clone must still be a valid, runnable configuration.
+	if err := orig.Clone().Validate(); err != nil {
+		t.Errorf("clone invalid: %v", err)
+	}
+}
+
+func TestRunConfig(t *testing.T) {
+	cfg := ScaledConfig(32, t0, 2)
+	cfg.Windows = []Window{{Label: "w", From: t0.AddDate(0, 0, 1), To: t0.AddDate(0, 0, 2)}}
+	res, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Windows) != 1 || res.Windows[0].MeanPower.Watts() <= 0 {
+		t.Fatalf("degenerate RunConfig results: %+v", res.Windows)
+	}
+	// Invalid configs surface their error without running.
+	bad := cfg
+	bad.OverSubscription = -1
+	if _, err := RunConfig(bad); err == nil {
+		t.Error("invalid config ran")
+	}
+}
+
+func TestFleetVariantShiftsPower(t *testing.T) {
+	run := func(v *apps.Variant) *Results {
+		cfg := ScaledConfig(32, t0, 3)
+		cfg.FleetVariant = v
+		cfg.Windows = []Window{{Label: "w", From: t0.AddDate(0, 0, 1), To: t0.AddDate(0, 0, 3)}}
+		res, err := RunConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	// Pick the hottest build (highest core activity) rather than assuming
+	// a position in CommonVariants.
+	variants := apps.CommonVariants()
+	simd := variants[0]
+	for _, v := range variants[1:] {
+		if v.CoreActivityFactor > simd.CoreActivityFactor {
+			simd = v
+		}
+	}
+	hot := run(&simd)
+	b := base.Windows[0].MeanPower.Watts()
+	h := hot.Windows[0].MeanPower.Watts()
+	if h <= b {
+		t.Errorf("SIMD fleet variant did not raise power: %v vs %v", h, b)
 	}
 }

@@ -11,7 +11,8 @@
 // number), so simulations are reproducible regardless of map iteration or
 // scheduling jitter. The engine is not goroutine-safe by design; the
 // simulation core is single-threaded and parallelism belongs at the
-// experiment-sweep level (many independent engines).
+// experiment-sweep level — many independent engines, as implemented by
+// the scenario package's worker-pool runner.
 package des
 
 import (

@@ -124,6 +124,85 @@ func (c *Comparison) String() string { return c.t.String() }
 // RowCount returns the number of comparison rows.
 func (c *Comparison) RowCount() int { return c.t.RowCount() }
 
+// DeltaColumn describes one metric column of a DeltaTable.
+type DeltaColumn struct {
+	// Header is the column title.
+	Header string
+	// Format renders the metric value (e.g. KW); nil falls back to %g.
+	Format func(float64) string
+}
+
+// DeltaTable is a baseline-relative comparison table: one designated
+// baseline row, then one row per scenario where every metric is rendered
+// as "value (+x.x%)" against the baseline. It is the cross-scenario
+// counterpart of Comparison (which compares simulated against paper).
+type DeltaTable struct {
+	t    *Table
+	cols []DeltaColumn
+	base []float64
+	set  bool
+}
+
+// NewDeltaTable creates a delta table keyed by keyHeader with the given
+// metric columns.
+func NewDeltaTable(title, keyHeader string, cols ...DeltaColumn) *DeltaTable {
+	headers := make([]string, 0, len(cols)+1)
+	headers = append(headers, keyHeader)
+	for _, c := range cols {
+		headers = append(headers, c.Header)
+	}
+	return &DeltaTable{t: NewTable(title, headers...), cols: cols}
+}
+
+func (d *DeltaTable) format(i int, v float64) string {
+	if f := d.cols[i].Format; f != nil {
+		return f(v)
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// SetBaseline records the baseline row; values must match the metric
+// columns. It may be called once, before any Add.
+func (d *DeltaTable) SetBaseline(name string, values ...float64) {
+	cells := make([]string, 0, len(d.cols)+1)
+	cells = append(cells, name+" (baseline)")
+	for i := range d.cols {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		cells = append(cells, d.format(i, v))
+	}
+	d.base = append([]float64(nil), values...)
+	d.set = true
+	d.t.AddRow(cells...)
+}
+
+// Add appends a scenario row, rendering each metric with its signed
+// percentage delta against the baseline (or plainly if no baseline set).
+func (d *DeltaTable) Add(name string, values ...float64) {
+	cells := make([]string, 0, len(d.cols)+1)
+	cells = append(cells, name)
+	for i := range d.cols {
+		v := 0.0
+		if i < len(values) {
+			v = values[i]
+		}
+		cell := d.format(i, v)
+		if d.set && i < len(d.base) && d.base[i] != 0 {
+			cell += fmt.Sprintf(" (%s)", Pct((v-d.base[i])/d.base[i]))
+		}
+		cells = append(cells, cell)
+	}
+	d.t.AddRow(cells...)
+}
+
+// RowCount returns the number of rows added (baseline included).
+func (d *DeltaTable) RowCount() int { return d.t.RowCount() }
+
+// String renders the table.
+func (d *DeltaTable) String() string { return d.t.String() }
+
 // Figure renders a time series as the paper renders its power figures: an
 // ASCII chart plus window-mean annotations.
 type Figure struct {

@@ -111,3 +111,40 @@ func TestFigure(t *testing.T) {
 		t.Error("nil-series figure broken")
 	}
 }
+
+func TestDeltaTable(t *testing.T) {
+	d := NewDeltaTable("sweep", "scenario",
+		DeltaColumn{Header: "power", Format: KW},
+		DeltaColumn{Header: "ratio"}) // nil format falls back to %g
+	d.SetBaseline("base", 1000, 1.0)
+	d.Add("capped", 840, 0.9)
+	if d.RowCount() != 2 {
+		t.Fatalf("RowCount = %d, want 2", d.RowCount())
+	}
+	s := d.String()
+	for _, want := range []string{
+		"base (baseline)", "1000 kW", "capped", "840 kW (-16.0%)", "0.9 (-10.0%)",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("delta table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestDeltaTableWithoutBaseline(t *testing.T) {
+	d := NewDeltaTable("t", "k", DeltaColumn{Header: "v", Format: KW})
+	d.Add("only", 500)
+	if s := d.String(); !strings.Contains(s, "500 kW") || strings.Contains(s, "%") {
+		t.Errorf("baseline-less row rendered wrongly:\n%s", s)
+	}
+}
+
+func TestDeltaTableZeroBaseline(t *testing.T) {
+	// A zero baseline value must not divide by zero; the delta is omitted.
+	d := NewDeltaTable("t", "k", DeltaColumn{Header: "v", Format: KW})
+	d.SetBaseline("base", 0)
+	d.Add("x", 100)
+	if s := d.String(); strings.Contains(s, "%") {
+		t.Errorf("delta printed against zero baseline:\n%s", s)
+	}
+}

@@ -64,6 +64,27 @@ func (r *Stream) SplitIndexed(label string, i int) *Stream {
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
+// DeriveSeed deterministically derives an independent child seed from a
+// base seed and a label — the seed-level analogue of Stream.Split, for
+// when a subsystem needs its own root seed rather than a shared stream
+// (e.g. one fully independent simulator per sweep scenario). Distinct
+// labels yield decorrelated seeds; the result depends only on (base,
+// label), never on call order or concurrency.
+func DeriveSeed(base uint64, label string) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for b := 0; b < 8; b++ {
+		buf[b] = byte(base >> (8 * b))
+	}
+	_, _ = h.Write(buf[:])
+	_, _ = h.Write([]byte(label))
+	// One SplitMix64 finalisation decorrelates related labels.
+	z := h.Sum64() + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // Uint64 returns the next 64 random bits (xoshiro256**).
 func (r *Stream) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

@@ -286,3 +286,29 @@ func TestPropertySplitDistinct(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestDeriveSeed(t *testing.T) {
+	// Deterministic: same (base, label) -> same seed.
+	if DeriveSeed(42, "scenario/a") != DeriveSeed(42, "scenario/a") {
+		t.Error("DeriveSeed not deterministic")
+	}
+	// Sensitive to both base and label.
+	if DeriveSeed(42, "a") == DeriveSeed(43, "a") {
+		t.Error("DeriveSeed insensitive to base seed")
+	}
+	if DeriveSeed(42, "a") == DeriveSeed(42, "b") {
+		t.Error("DeriveSeed insensitive to label")
+	}
+	// Streams built from derived seeds are decorrelated.
+	a := New(DeriveSeed(42, "x"))
+	b := New(DeriveSeed(42, "y"))
+	same := 0
+	for i := 0; i < 16; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Error("derived-seed streams identical")
+	}
+}

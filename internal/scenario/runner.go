@@ -1,0 +1,235 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/emissions"
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// Result is one scenario's measured outcome over the measurement window.
+type Result struct {
+	Scenario Scenario
+
+	// MeanPower is the mean cabinet power over the measurement window.
+	MeanPower units.Power
+	// MeanUtil is the mean node utilisation over the window.
+	MeanUtil float64
+	// Energy is the facility energy over the window (MeanPower x span).
+	Energy units.Energy
+	// NodeHours is the delivered node-hours over the whole run.
+	NodeHours float64
+	// MeanCI is the mean grid carbon intensity of the scenario's trace.
+	MeanCI units.CarbonIntensity
+	// Emissions is the scope-2/scope-3 account over the window at MeanCI,
+	// with the embodied share scaled to the scenario's facility size.
+	Emissions emissions.Window
+	// Regime is the paper's operating-strategy classification.
+	Regime emissions.Regime
+}
+
+// SweepResults aggregates a completed sweep. Results[0] is the baseline.
+type SweepResults struct {
+	Spec    Spec
+	Results []Result
+	// Simulations is how many distinct simulations actually ran;
+	// scenarios differing only in grid mix share one (see Runner.Run).
+	Simulations int
+	// Workers is the effective pool size used (after resolving 0 to
+	// GOMAXPROCS and clamping to the simulation count).
+	Workers int
+}
+
+// Baseline returns the baseline result.
+func (s *SweepResults) Baseline() Result { return s.Results[0] }
+
+// Runner executes a sweep's scenarios on a worker pool.
+type Runner struct {
+	// Workers is the pool size; <= 0 means GOMAXPROCS. Results are
+	// byte-identical for every worker count: each scenario's simulator is
+	// fully self-contained and seeded from the spec seed and the
+	// scenario's simulation-affecting axes only (Scenario.simKey).
+	Workers int
+}
+
+// Run expands and executes the sweep. Scenarios sharing a simulation key
+// (differing only in grid mix — see Scenario.simKey) share one simulation:
+// the worker pool runs each unique configuration once and the per-scenario
+// grid trace and emissions accounting are re-derived from the shared
+// result, so the flagship frequency x grid sweep costs two simulations,
+// not eight, with byte-identical output. On scenario failure, the error
+// of the lowest-indexed failing scenario is returned (deterministically,
+// regardless of which worker hit it first).
+func (r Runner) Run(spec Spec) (*SweepResults, error) {
+	scenarios, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+
+	// Group scenarios by simulation key; build each scenario's grid model
+	// up front.
+	type group struct {
+		cfg     core.Config
+		members []int
+	}
+	var groups []group
+	byKey := map[string]int{}
+	models := make([]grid.IntensityModel, len(scenarios))
+	for i, sc := range scenarios {
+		cfg, gm, err := sc.BuildConfig(spec)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", i, sc.Name, err)
+		}
+		models[i] = gm
+		gi, ok := byKey[sc.simKey()]
+		if !ok {
+			gi = len(groups)
+			byKey[sc.simKey()] = gi
+			groups = append(groups, group{cfg: cfg})
+		}
+		groups[gi].members = append(groups[gi].members, i)
+	}
+
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+
+	sims := make([]*core.Results, len(groups))
+	errs := make([]error, len(groups))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for g := range jobs {
+				sims[g], errs[g] = core.RunConfig(groups[g].cfg)
+			}
+		}()
+	}
+	for g := range groups {
+		jobs <- g
+	}
+	close(jobs)
+	wg.Wait()
+
+	for g, err := range errs {
+		if err != nil {
+			i := groups[g].members[0]
+			return nil, fmt.Errorf("scenario %d (%s): %w", i, scenarios[i].Name, err)
+		}
+	}
+
+	// One trace seed for the whole sweep: the grid's underlying weather is
+	// common random numbers across every scenario (Scaled rescales the
+	// same noise), so scenarios at equal grid means see identical carbon
+	// intensity and emissions deltas across simulation axes carry no
+	// grid-sampling noise.
+	traceSeed := rng.DeriveSeed(spec.Seed, "grid-trace")
+	results := make([]Result, len(scenarios))
+	for g, grp := range groups {
+		for _, i := range grp.members {
+			results[i], err = account(scenarios[i], models[i], traceSeed, sims[g])
+			if err != nil {
+				return nil, fmt.Errorf("scenario %d (%s): %w", i, scenarios[i].Name, err)
+			}
+		}
+	}
+	return &SweepResults{Spec: spec, Results: results, Simulations: len(groups), Workers: workers}, nil
+}
+
+// account derives one scenario's Result from its (possibly shared)
+// simulation: trace the scenario's grid, account emissions over the
+// measurement window.
+func account(sc Scenario, gm grid.IntensityModel, traceSeed uint64, res *core.Results) (Result, error) {
+	w, ok := res.WindowByLabel("measure")
+	if !ok {
+		return Result{}, fmt.Errorf("scenario: measurement window missing")
+	}
+	span := w.Window.To.Sub(w.Window.From)
+
+	trace, err := gm.Trace(w.Window.From, w.Window.To, 30*time.Minute,
+		rng.New(traceSeed))
+	if err != nil {
+		return Result{}, err
+	}
+	ci := grid.MeanIntensity(trace)
+
+	// Embodied emissions scale with the slice of the 5,860-node machine
+	// being simulated.
+	full := core.DefaultConfig().Facility.Nodes
+	params := emissions.ARCHER2Defaults()
+	params.Embodied = params.Embodied.Scale(float64(sc.Nodes) / float64(full))
+	acct := params.Account(w.MeanPower, span, ci)
+
+	return Result{
+		Scenario:  sc,
+		MeanPower: w.MeanPower,
+		MeanUtil:  w.MeanUtil,
+		Energy:    w.MeanPower.EnergyOver(span),
+		NodeHours: res.TotalUsage.NodeHours,
+		MeanCI:    ci,
+		Emissions: acct,
+		Regime:    emissions.RegimeOf(acct),
+	}, nil
+}
+
+// Table renders the cross-scenario comparison: every metric as its value
+// plus the signed percentage delta against the baseline scenario.
+func (s *SweepResults) Table() *report.DeltaTable {
+	t := report.NewDeltaTable(
+		fmt.Sprintf("Sweep: %s (%d scenarios, %d nodes, %d days)",
+			s.Spec.Name, len(s.Results), s.Spec.Nodes, s.Spec.Days),
+		"scenario",
+		report.DeltaColumn{Header: "mean power", Format: report.KW},
+		report.DeltaColumn{Header: "energy", Format: mwh},
+		report.DeltaColumn{Header: "emissions", Format: tco2},
+		report.DeltaColumn{Header: "node-hours", Format: knodeh},
+	)
+	for i, r := range s.Results {
+		vals := []float64{
+			r.MeanPower.Kilowatts(),
+			r.Energy.MegawattHours(),
+			r.Emissions.Total.Tonnes(),
+			r.NodeHours,
+		}
+		if i == 0 {
+			t.SetBaseline(r.Scenario.Name, vals...)
+		} else {
+			t.Add(r.Scenario.Name, vals...)
+		}
+	}
+	return t
+}
+
+// RegimeTable renders each scenario's grid context and operating regime —
+// the qualitative half of the paper's §2 decision rule.
+func (s *SweepResults) RegimeTable() *report.Table {
+	t := report.NewTable("Emissions regimes", "scenario", "grid mean",
+		"scope 2", "scope 3", "scope-2 share", "regime")
+	for _, r := range s.Results {
+		t.AddRow(r.Scenario.Name,
+			fmt.Sprintf("%.0f g/kWh", r.MeanCI.GramsPerKWh()),
+			tco2(r.Emissions.Scope2.Tonnes()),
+			tco2(r.Emissions.Scope3.Tonnes()),
+			fmt.Sprintf("%.0f%%", r.Emissions.Scope2Share()*100),
+			r.Regime.String())
+	}
+	return t
+}
+
+func mwh(v float64) string    { return fmt.Sprintf("%.1f MWh", v) }
+func tco2(v float64) string   { return fmt.Sprintf("%.2f t", v) }
+func knodeh(v float64) string { return fmt.Sprintf("%.0f", v) }

@@ -1,0 +1,157 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tinySpec is a fast 4-scenario sweep used by the runner tests: 32 nodes
+// for 3 days is a sub-second simulation per scenario.
+func tinySpec() Spec {
+	return Spec{
+		Nodes:      32,
+		Days:       3,
+		WarmupDays: 1,
+		Axes: Axes{
+			Frequency: []string{"stock", "capped"},
+			GridMean:  []float64{200, 20},
+		},
+	}
+}
+
+// The headline determinism guarantee: the same spec and seed produce
+// byte-identical aggregate results at 1, 4 and 8 workers.
+func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := tinySpec()
+	ref, err := Runner{Workers: 1}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTable := ref.Table().String()
+	for _, workers := range []int{4, 8} {
+		got, err := Runner{Workers: workers}.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Results, got.Results) {
+			t.Errorf("results differ between 1 and %d workers", workers)
+		}
+		if gt := got.Table().String(); gt != refTable {
+			t.Errorf("rendered table differs between 1 and %d workers:\n%s\nvs\n%s",
+				workers, refTable, gt)
+		}
+	}
+}
+
+// A different seed must actually change the results (the determinism
+// above is not a constant function).
+func TestRunnerSeedSensitivity(t *testing.T) {
+	spec := tinySpec()
+	a, err := Runner{Workers: 2}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Seed = 7
+	b, err := Runner{Workers: 2}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Results, b.Results) {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestRunnerSingleScenario(t *testing.T) {
+	spec := Spec{Nodes: 32, Days: 2, WarmupDays: 1}
+	res, err := Runner{Workers: 8}.Run(spec) // more workers than scenarios
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(res.Results))
+	}
+	r := res.Baseline()
+	if r.MeanPower.Kilowatts() <= 0 || r.Energy.MegawattHours() <= 0 {
+		t.Errorf("degenerate baseline result: %+v", r)
+	}
+	if r.Emissions.Total.Tonnes() <= 0 {
+		t.Errorf("no emissions accounted: %+v", r.Emissions)
+	}
+}
+
+// Physical sanity on the flagship axes: capping the frequency must cut
+// mean power, and a cleaner grid must cut emissions at equal power.
+func TestRunnerAxisEffects(t *testing.T) {
+	res, err := Runner{Workers: 4}.Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, r := range res.Results {
+		byName[r.Scenario.Name] = r
+	}
+	stock := byName["freq=stock grid=200"]
+	capped := byName["freq=capped grid=200"]
+	if capped.MeanPower.Watts() >= stock.MeanPower.Watts() {
+		t.Errorf("frequency cap did not reduce power: %v vs %v",
+			capped.MeanPower, stock.MeanPower)
+	}
+	clean := byName["freq=stock grid=20"]
+	if clean.MeanPower != stock.MeanPower || clean.NodeHours != stock.NodeHours {
+		t.Errorf("grid axis perturbed the simulation: %+v vs %+v", clean, stock)
+	}
+	if clean.Emissions.Total.Tonnes() >= stock.Emissions.Total.Tonnes() {
+		t.Errorf("cleaner grid did not reduce emissions: %v vs %v",
+			clean.Emissions.Total, stock.Emissions.Total)
+	}
+	// The converse CRN property: scenarios at the same grid mean share
+	// the same weather, so a simulation-axis change never shifts the
+	// carbon intensity it is accounted at.
+	if capped.MeanCI != stock.MeanCI {
+		t.Errorf("frequency axis perturbed the grid trace: %v vs %v",
+			capped.MeanCI, stock.MeanCI)
+	}
+}
+
+func TestRunnerPropagatesExpansionErrors(t *testing.T) {
+	spec := tinySpec()
+	spec.Axes.Frequency = []string{"warp9"}
+	if _, err := (Runner{}).Run(spec); err == nil {
+		t.Fatal("invalid axis value did not fail the run")
+	}
+}
+
+func TestSweepTables(t *testing.T) {
+	res, err := Runner{Workers: 4}.Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := res.Table()
+	if table.RowCount() != 4 {
+		t.Errorf("comparison table has %d rows, want 4", table.RowCount())
+	}
+	s := table.String()
+	if len(s) == 0 {
+		t.Fatal("empty table")
+	}
+	regimes := res.RegimeTable().String()
+	if len(regimes) == 0 {
+		t.Fatal("empty regime table")
+	}
+}
+
+// Scenarios differing only in grid mix must share one simulation: the
+// 2x2 tiny sweep has two unique simulation keys, so exactly two
+// simulations run for four scenarios.
+func TestRunnerDeduplicatesSimulations(t *testing.T) {
+	res, err := Runner{Workers: 4}.Run(tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(res.Results))
+	}
+	if res.Simulations != 2 {
+		t.Errorf("ran %d simulations for 2 unique configs, want 2", res.Simulations)
+	}
+}

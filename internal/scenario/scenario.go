@@ -1,0 +1,453 @@
+// Package scenario is the declarative what-if engine of the twin: it
+// expands a sweep Spec — axes of CPU frequency cap, grid carbon-intensity
+// mix, scheduler policy, workload build variant and facility size — into
+// concrete core configurations, runs them concurrently on a worker pool,
+// and aggregates baseline-relative comparison tables (mean power, energy,
+// emissions) in the style of the paper's before/after figures.
+//
+// The paper (Jackson, Simpson & Turner, SC 2023) is fundamentally a
+// what-if study: what happens to ARCHER2's power, energy and emissions
+// when the CPU frequency is capped, the BIOS mode changes, or the grid
+// decarbonises. This package turns each such question into one row of a
+// sweep instead of a hand-written main.go.
+//
+// Determinism: every scenario derives its own root seed from the spec
+// seed and its simulation-affecting axes via rng.DeriveSeed (see
+// Scenario.simKey), so results are byte-identical regardless of worker
+// count or execution order, and scenarios differing only in grid mix
+// share common random numbers.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/apps"
+	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/policy"
+	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// Expansion modes.
+const (
+	// ModeGrid takes the cartesian product of all axes (default).
+	ModeGrid = "grid"
+	// ModeList zips the axes: all multi-valued axes must have the same
+	// length N, single-valued axes are broadcast, yielding N scenarios.
+	ModeList = "list"
+)
+
+// DefaultMaxScenarios guards against accidental cartesian explosion.
+const DefaultMaxScenarios = 256
+
+// Axes are the sweep dimensions. An empty axis means "hold at the
+// baseline value". The first value of every axis defines the baseline
+// scenario.
+type Axes struct {
+	// Frequency values: "stock" (2.25 GHz + boost), "capped" (2.0 GHz),
+	// or an explicit setting like "1.5GHz" / "2.25GHz+boost".
+	Frequency []string `json:"frequency,omitempty"`
+	// GridMean values are annual-mean grid carbon intensities in
+	// gCO2/kWh; the GB2022 intensity model is rescaled to each.
+	GridMean []float64 `json:"grid_mean,omitempty"`
+	// Scheduler values: "backfill" (production EASY backfill), "fcfs"
+	// (backfill disabled), or "backfill=N" for an explicit depth.
+	Scheduler []string `json:"scheduler,omitempty"`
+	// Workload values name fleet-wide build variants: "base" (as
+	// calibrated), "portable" (scalar -O2), "production" (-O3) or "simd"
+	// (vendor libs + wide SIMD), per apps.CommonVariants.
+	Workload []string `json:"workload,omitempty"`
+	// Nodes values override the spec's facility size per scenario.
+	Nodes []int `json:"nodes,omitempty"`
+}
+
+// Spec declaratively describes a scenario sweep.
+type Spec struct {
+	// Name titles the sweep in reports.
+	Name string `json:"name"`
+	// Nodes is the baseline facility size (default 200 compute nodes,
+	// scaled from the 5,860-node machine via core.ScaledConfig).
+	Nodes int `json:"nodes,omitempty"`
+	// Days is the simulated span per scenario (default 28).
+	Days int `json:"days,omitempty"`
+	// WarmupDays are excluded from the measurement window while the
+	// scheduler queue fills. Zero means the default (4, clamped to leave
+	// a measurement window on short sweeps); -1 measures from day zero.
+	WarmupDays int `json:"warmup_days,omitempty"`
+	// Seed is the base seed every scenario seed is derived from
+	// (default 42).
+	Seed uint64 `json:"seed,omitempty"`
+	// Mode is ModeGrid (cartesian, default) or ModeList (zip).
+	Mode string `json:"mode,omitempty"`
+	// MaxScenarios caps the expansion size (default 256).
+	MaxScenarios int `json:"max_scenarios,omitempty"`
+
+	Axes Axes `json:"axes"`
+}
+
+// DefaultSpec returns the flagship frequency x grid-mix sweep: both paper
+// operating points against four grid decarbonisation scenarios — eight
+// scenarios answering the paper's §2 question ("when does the cap help?")
+// in one run.
+func DefaultSpec() Spec {
+	return Spec{
+		Name: "frequency x grid-mix",
+		Axes: Axes{
+			Frequency: []string{"stock", "capped"},
+			GridMean:  []float64{200, 100, 65, 20},
+		},
+	}
+}
+
+// ParseSpec decodes a JSON sweep spec, rejecting unknown fields.
+func ParseSpec(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	return s, nil
+}
+
+// withDefaults returns the spec with zero fields filled in.
+func (s Spec) withDefaults() Spec {
+	if s.Name == "" {
+		s.Name = "sweep"
+	}
+	if s.Nodes == 0 {
+		s.Nodes = 200
+	}
+	if s.Days == 0 {
+		s.Days = 28
+	}
+	if s.WarmupDays == 0 {
+		s.WarmupDays = 4
+		if s.WarmupDays >= s.Days {
+			s.WarmupDays = s.Days - 1
+		}
+	} else if s.WarmupDays < 0 {
+		s.WarmupDays = 0
+	}
+	if s.Seed == 0 {
+		s.Seed = 42
+	}
+	if s.Mode == "" {
+		s.Mode = ModeGrid
+	}
+	if s.MaxScenarios == 0 {
+		s.MaxScenarios = DefaultMaxScenarios
+	}
+	return s
+}
+
+// Validate checks the spec (after defaulting).
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if s.Nodes < 8 {
+		return fmt.Errorf("scenario: nodes %d below minimum 8", s.Nodes)
+	}
+	if s.Days < 1 {
+		return fmt.Errorf("scenario: days %d below minimum 1", s.Days)
+	}
+	if s.WarmupDays < 0 || s.WarmupDays >= s.Days {
+		return fmt.Errorf("scenario: warmup %d days does not leave a measurement window in %d days",
+			s.WarmupDays, s.Days)
+	}
+	if s.Mode != ModeGrid && s.Mode != ModeList {
+		return fmt.Errorf("scenario: unknown mode %q (want %q or %q)", s.Mode, ModeGrid, ModeList)
+	}
+	for _, n := range s.Axes.Nodes {
+		if n < 8 {
+			return fmt.Errorf("scenario: nodes axis value %d below minimum 8", n)
+		}
+	}
+	return nil
+}
+
+// Scenario is one concrete point of an expanded sweep.
+type Scenario struct {
+	// Index is the scenario's position in the expansion; index 0 is the
+	// baseline (the first value of every axis).
+	Index int
+	// Name is the human-readable axis assignment, e.g.
+	// "freq=capped grid=65". Only explicitly-swept axes appear.
+	Name string
+
+	Frequency string
+	GridMean  float64
+	Scheduler string
+	Workload  string
+	Nodes     int
+}
+
+// axis is one generic sweep dimension after defaulting.
+type axis struct {
+	key      string
+	values   []string
+	explicit bool
+}
+
+// axes normalises the spec's axes into a fixed order, defaulting empty
+// ones to their single baseline value.
+func (s Spec) axes() []axis {
+	str := func(key string, vals []string, def string) axis {
+		if len(vals) == 0 {
+			return axis{key: key, values: []string{def}}
+		}
+		return axis{key: key, values: vals, explicit: true}
+	}
+	gm := axis{key: "grid"}
+	if len(s.Axes.GridMean) == 0 {
+		gm.values = []string{"200"}
+	} else {
+		gm.explicit = true
+		for _, v := range s.Axes.GridMean {
+			gm.values = append(gm.values, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+	}
+	nodes := axis{key: "nodes"}
+	if len(s.Axes.Nodes) == 0 {
+		nodes.values = []string{strconv.Itoa(s.Nodes)}
+	} else {
+		nodes.explicit = true
+		for _, v := range s.Axes.Nodes {
+			nodes.values = append(nodes.values, strconv.Itoa(v))
+		}
+	}
+	return []axis{
+		str("freq", s.Axes.Frequency, "stock"),
+		gm,
+		str("sched", s.Axes.Scheduler, "backfill"),
+		str("wl", s.Axes.Workload, "base"),
+		nodes,
+	}
+}
+
+// Expand turns the spec into its concrete scenario list. The first
+// scenario is always the baseline. Every axis value is validated here, so
+// a bad spec fails before any simulation runs.
+func (s Spec) Expand() ([]Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	s = s.withDefaults()
+	ax := s.axes()
+
+	var combos [][]string
+	switch s.Mode {
+	case ModeGrid:
+		total := 1
+		for _, a := range ax {
+			total *= len(a.values)
+			if total > s.MaxScenarios {
+				return nil, fmt.Errorf("scenario: expansion exceeds %d scenarios (cartesian explosion guard; raise max_scenarios to override)",
+					s.MaxScenarios)
+			}
+		}
+		combos = [][]string{nil}
+		for _, a := range ax {
+			var next [][]string
+			for _, c := range combos {
+				for _, v := range a.values {
+					row := append(append([]string(nil), c...), v)
+					next = append(next, row)
+				}
+			}
+			combos = next
+		}
+	case ModeList:
+		n := 1
+		for _, a := range ax {
+			if len(a.values) == 1 {
+				continue
+			}
+			if n == 1 {
+				n = len(a.values)
+			} else if len(a.values) != n {
+				return nil, fmt.Errorf("scenario: list mode needs equal axis lengths, got %d and %d",
+					n, len(a.values))
+			}
+		}
+		if n > s.MaxScenarios {
+			return nil, fmt.Errorf("scenario: expansion exceeds %d scenarios (raise max_scenarios to override)",
+				s.MaxScenarios)
+		}
+		for i := 0; i < n; i++ {
+			row := make([]string, len(ax))
+			for j, a := range ax {
+				if len(a.values) == 1 {
+					row[j] = a.values[0]
+				} else {
+					row[j] = a.values[i]
+				}
+			}
+			combos = append(combos, row)
+		}
+	}
+
+	out := make([]Scenario, len(combos))
+	for i, row := range combos {
+		sc := Scenario{Index: i}
+		var nameParts []string
+		for j, a := range ax {
+			if a.explicit {
+				nameParts = append(nameParts, a.key+"="+row[j])
+			}
+		}
+		sc.Name = strings.Join(nameParts, " ")
+		if sc.Name == "" {
+			sc.Name = "baseline"
+		}
+		sc.Frequency = row[0]
+		gm, err := strconv.ParseFloat(row[1], 64)
+		if err != nil || gm <= 0 {
+			return nil, fmt.Errorf("scenario: invalid grid mean %q", row[1])
+		}
+		sc.GridMean = gm
+		sc.Scheduler = row[2]
+		sc.Workload = row[3]
+		nodes, err := strconv.Atoi(row[4])
+		if err != nil {
+			return nil, fmt.Errorf("scenario: invalid node count %q", row[4])
+		}
+		sc.Nodes = nodes
+
+		// Validate every axis value now, before any simulation runs.
+		spec := cpu.EPYC7742()
+		if _, err := parseFrequency(spec, sc.Frequency); err != nil {
+			return nil, err
+		}
+		if _, err := parseScheduler(sc.Scheduler); err != nil {
+			return nil, err
+		}
+		if _, err := parseWorkload(sc.Workload); err != nil {
+			return nil, err
+		}
+		out[i] = sc
+	}
+	return out, nil
+}
+
+// parseFrequency resolves a frequency axis value against spec.
+func parseFrequency(spec *cpu.Spec, v string) (cpu.FreqSetting, error) {
+	switch v {
+	case "stock", "":
+		return spec.DefaultSetting(), nil
+	case "capped":
+		return spec.CappedSetting(), nil
+	}
+	str := v
+	boost := false
+	if strings.HasSuffix(str, "+boost") {
+		boost = true
+		str = strings.TrimSuffix(str, "+boost")
+	}
+	str = strings.TrimSuffix(str, "GHz")
+	ghz, err := strconv.ParseFloat(str, 64)
+	if err != nil {
+		return cpu.FreqSetting{}, fmt.Errorf("scenario: invalid frequency %q (want \"stock\", \"capped\" or e.g. \"2.0GHz\")", v)
+	}
+	fs := cpu.FreqSetting{Base: units.Gigahertz(ghz), Boost: boost}
+	if err := spec.ValidateSetting(fs); err != nil {
+		return cpu.FreqSetting{}, fmt.Errorf("scenario: frequency %q: %w", v, err)
+	}
+	return fs, nil
+}
+
+// parseScheduler resolves a scheduler axis value into a backfill depth.
+func parseScheduler(v string) (int, error) {
+	switch v {
+	case "backfill", "":
+		return 64, nil
+	case "fcfs":
+		return 0, nil
+	}
+	if rest, ok := strings.CutPrefix(v, "backfill="); ok {
+		n, err := strconv.Atoi(rest)
+		if err == nil && n >= 0 {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: invalid scheduler %q (want \"backfill\", \"fcfs\" or \"backfill=N\")", v)
+}
+
+// parseWorkload resolves a workload axis value into a fleet build variant
+// (nil = the calibrated base mix). Variants are matched by name rather
+// than position, so reordering or extending apps.CommonVariants fails
+// loudly here instead of silently selecting the wrong build.
+func parseWorkload(v string) (*apps.Variant, error) {
+	switch v {
+	case "base", "":
+		return nil, nil
+	case "portable", "production", "simd":
+		for _, c := range apps.CommonVariants() {
+			if strings.Contains(strings.ToLower(c.Name), v) {
+				c := c
+				return &c, nil
+			}
+		}
+		return nil, fmt.Errorf("scenario: workload %q has no matching variant in apps.CommonVariants", v)
+	}
+	return nil, fmt.Errorf("scenario: invalid workload %q (want \"base\", \"portable\", \"production\" or \"simd\")", v)
+}
+
+// sweepStart is the fixed calendar anchor for sweep runs (the paper's
+// operational year); scenarios differ by axes, never by date.
+var sweepStart = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// simKey is the canonical label of the axes that actually change the
+// simulation. Scenario seeds derive from it rather than from the full
+// name, so scenarios that differ only in grid mix share one stream of
+// common random numbers: their power and scheduling results are exactly
+// equal and the emissions delta isolates the grid change.
+func (sc Scenario) simKey() string {
+	return fmt.Sprintf("freq=%s sched=%s wl=%s nodes=%d",
+		sc.Frequency, sc.Scheduler, sc.Workload, sc.Nodes)
+}
+
+// BuildConfig materialises the scenario into a runnable core.Config plus
+// the grid intensity model for its emissions accounting. The scenario's
+// seed is derived from the spec seed and the scenario's simulation axes
+// only (see simKey), so the configuration is independent of expansion
+// order, axis ordering and worker scheduling.
+func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error) {
+	s = s.withDefaults()
+	cfg := core.ScaledConfig(sc.Nodes, sweepStart, s.Days)
+	cfg.Seed = rng.DeriveSeed(s.Seed, "scenario/"+sc.simKey())
+
+	fs, err := parseFrequency(cfg.Facility.CPU, sc.Frequency)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+	depth, err := parseScheduler(sc.Scheduler)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+	variant, err := parseWorkload(sc.Workload)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+
+	// All scenarios run in the modern operating mode (Performance
+	// Determinism, the paper's post-May-2022 state) with the scenario
+	// frequency in force from day zero.
+	perfDet := cpu.PerformanceDeterminism
+	cfg.Timeline = policy.Timeline{Changes: []policy.Change{
+		{At: sweepStart, Mode: &perfDet, Setting: &fs, Note: "scenario operating point"},
+	}}
+	cfg.Sched.BackfillDepth = depth
+	cfg.FleetVariant = variant
+	cfg.Windows = []core.Window{{
+		Label: "measure",
+		From:  sweepStart.AddDate(0, 0, s.WarmupDays),
+		To:    sweepStart.AddDate(0, 0, s.Days),
+	}}
+	return cfg, grid.GB2022().Scaled(sc.GridMean), nil
+}

@@ -1,0 +1,282 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpandEmptyAxesSingleScenario(t *testing.T) {
+	scs, err := Spec{}.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 1 {
+		t.Fatalf("empty axes expanded to %d scenarios, want 1", len(scs))
+	}
+	sc := scs[0]
+	if sc.Index != 0 || sc.Name != "baseline" {
+		t.Errorf("baseline scenario = %+v", sc)
+	}
+	if sc.Frequency != "stock" || sc.Scheduler != "backfill" || sc.Workload != "base" {
+		t.Errorf("baseline defaults = %+v", sc)
+	}
+	if sc.GridMean != 200 || sc.Nodes != 200 {
+		t.Errorf("baseline grid/nodes = %v/%v, want 200/200", sc.GridMean, sc.Nodes)
+	}
+}
+
+func TestExpandGridCartesian(t *testing.T) {
+	spec := Spec{Axes: Axes{
+		Frequency: []string{"stock", "capped"},
+		GridMean:  []float64{200, 65, 20},
+	}}
+	scs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 6 {
+		t.Fatalf("2x3 grid expanded to %d scenarios, want 6", len(scs))
+	}
+	// First scenario is the baseline: first value of every axis.
+	if scs[0].Frequency != "stock" || scs[0].GridMean != 200 {
+		t.Errorf("baseline = %+v", scs[0])
+	}
+	// Names carry only the explicitly swept axes.
+	if scs[0].Name != "freq=stock grid=200" {
+		t.Errorf("baseline name = %q", scs[0].Name)
+	}
+	for i, sc := range scs {
+		if sc.Index != i {
+			t.Errorf("scenario %d has index %d", i, sc.Index)
+		}
+		if strings.Contains(sc.Name, "sched=") || strings.Contains(sc.Name, "wl=") {
+			t.Errorf("name %q mentions an unswept axis", sc.Name)
+		}
+	}
+	// All names unique.
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		if seen[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+}
+
+func TestExpandExplosionGuard(t *testing.T) {
+	spec := Spec{
+		MaxScenarios: 4,
+		Axes: Axes{
+			Frequency: []string{"stock", "capped"},
+			GridMean:  []float64{200, 65, 20},
+		},
+	}
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("6 > 4 scenarios expanded without tripping the explosion guard")
+	}
+	// Raising the cap admits the same spec.
+	spec.MaxScenarios = 6
+	if _, err := spec.Expand(); err != nil {
+		t.Fatalf("expansion at the cap failed: %v", err)
+	}
+}
+
+func TestExpandListMode(t *testing.T) {
+	spec := Spec{
+		Mode: ModeList,
+		Axes: Axes{
+			Frequency: []string{"stock", "capped", "capped"},
+			GridMean:  []float64{200, 200, 20},
+			Scheduler: []string{"fcfs"}, // broadcast
+		},
+	}
+	scs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 3 {
+		t.Fatalf("list mode expanded to %d scenarios, want 3", len(scs))
+	}
+	for _, sc := range scs {
+		if sc.Scheduler != "fcfs" {
+			t.Errorf("broadcast axis not applied: %+v", sc)
+		}
+	}
+	if scs[2].Frequency != "capped" || scs[2].GridMean != 20 {
+		t.Errorf("zip misaligned: %+v", scs[2])
+	}
+
+	spec.Axes.GridMean = []float64{200, 20} // length 2 vs 3
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("mismatched list-mode axis lengths accepted")
+	}
+}
+
+func TestExpandRejectsBadAxisValues(t *testing.T) {
+	bad := []Spec{
+		{Axes: Axes{Frequency: []string{"3.5GHz"}}},       // unsupported P-state
+		{Axes: Axes{Frequency: []string{"fast"}}},         // unparseable
+		{Axes: Axes{Frequency: []string{"2.0GHz+boost"}}}, // boost only at top base
+		{Axes: Axes{Scheduler: []string{"sjf"}}},
+		{Axes: Axes{Scheduler: []string{"backfill=-1"}}},
+		{Axes: Axes{Workload: []string{"debug"}}},
+		{Axes: Axes{GridMean: []float64{-5}}},
+		{Axes: Axes{Nodes: []int{2}}},
+	}
+	for i, spec := range bad {
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("bad spec %d expanded without error: %+v", i, spec.Axes)
+		}
+	}
+}
+
+func TestExpandAcceptsExplicitSettings(t *testing.T) {
+	spec := Spec{Axes: Axes{
+		Frequency: []string{"1.5GHz", "2.0GHz", "2.25GHz+boost", "stock", "capped"},
+		Scheduler: []string{"backfill=8", "fcfs", "backfill"},
+		Workload:  []string{"base", "portable", "production", "simd"},
+	}}
+	if _, err := spec.Expand(); err != nil {
+		t.Fatalf("valid axis values rejected: %v", err)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{Days: 5, WarmupDays: 5}).Validate(); err == nil {
+		t.Error("warmup == days accepted")
+	}
+	if err := (Spec{Mode: "random"}).Validate(); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := (Spec{Nodes: 4}).Validate(); err == nil {
+		t.Error("tiny facility accepted")
+	}
+	if err := (Spec{}).Validate(); err != nil {
+		t.Errorf("zero spec (all defaults) rejected: %v", err)
+	}
+}
+
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSpec([]byte(`{"name": "x", "typo_field": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	s, err := ParseSpec([]byte(`{"name": "x", "axes": {"frequency": ["stock", "capped"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Axes.Frequency) != 2 {
+		t.Errorf("parsed axes = %+v", s.Axes)
+	}
+}
+
+// Scenarios that differ only in grid mix must share their simulation
+// seed (common random numbers), so the grid axis never perturbs the
+// simulated power or scheduling.
+func TestGridAxisSharesSimulationSeed(t *testing.T) {
+	spec := Spec{Axes: Axes{GridMean: []float64{200, 20}}}
+	scs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _, err := scs[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, _, err := scs[1].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c0.Seed != c1.Seed {
+		t.Errorf("grid-only scenarios got different seeds: %d vs %d", c0.Seed, c1.Seed)
+	}
+
+	// A frequency change must change the seed label's simulation key but
+	// still be deterministic call to call.
+	spec2 := Spec{Axes: Axes{Frequency: []string{"stock", "capped"}}}
+	scs2, err := spec2.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, _ := scs2[1].BuildConfig(spec2)
+	b, _, _ := scs2[1].BuildConfig(spec2)
+	if a.Seed != b.Seed {
+		t.Error("BuildConfig seed not deterministic")
+	}
+	base, _, _ := scs2[0].BuildConfig(spec2)
+	if a.Seed == base.Seed {
+		t.Error("frequency change did not change the simulation seed")
+	}
+}
+
+func TestBuildConfigAppliesAxes(t *testing.T) {
+	spec := Spec{Axes: Axes{
+		Frequency: []string{"capped"},
+		Scheduler: []string{"fcfs"},
+		Workload:  []string{"simd"},
+		Nodes:     []int{64},
+	}}
+	scs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, gm, err := scs[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Facility.Nodes != 64 {
+		t.Errorf("nodes = %d, want 64", cfg.Facility.Nodes)
+	}
+	if cfg.Sched.BackfillDepth != 0 {
+		t.Errorf("fcfs backfill depth = %d, want 0", cfg.Sched.BackfillDepth)
+	}
+	if cfg.FleetVariant == nil || cfg.FleetVariant.CoreActivityFactor <= 1 {
+		t.Errorf("simd fleet variant not applied: %+v", cfg.FleetVariant)
+	}
+	if len(cfg.Timeline.Changes) != 1 || cfg.Timeline.Changes[0].Setting == nil ||
+		cfg.Timeline.Changes[0].Setting.Boost {
+		t.Errorf("capped timeline not applied: %+v", cfg.Timeline.Changes)
+	}
+	if len(cfg.Windows) != 1 || cfg.Windows[0].Label != "measure" {
+		t.Errorf("measurement window missing: %+v", cfg.Windows)
+	}
+	if gm.Base != 200 {
+		t.Errorf("grid model base = %v, want default 200", gm.Base)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("built config invalid: %v", err)
+	}
+}
+
+func TestShortSweepWarmupDefaults(t *testing.T) {
+	// The default warmup must clamp to fit a short sweep instead of
+	// failing validation.
+	spec := Spec{Nodes: 32, Days: 2}
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("2-day sweep with default warmup rejected: %v", err)
+	}
+	scs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := scs[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := cfg.Windows[0]; !w.To.After(w.From) {
+		t.Errorf("empty measurement window: %+v", w)
+	}
+
+	// Explicit -1 measures from day zero.
+	spec.WarmupDays = -1
+	scs, err = spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err = scs[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Windows[0].From; !got.Equal(cfg.Start) {
+		t.Errorf("warmup -1 window starts %v, want %v", got, cfg.Start)
+	}
+}

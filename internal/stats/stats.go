@@ -1,6 +1,11 @@
 // Package stats provides the small statistical toolkit used by the facility
 // model: summary statistics, percentiles, histograms, rolling windows and a
 // simple ordinary-least-squares fit for trend detection in power telemetry.
+//
+// These are the reductions behind the paper's reported quantities: the
+// window means of Figures 1-3, the utilisation percentiles behind the
+// ">90% in all periods" statement, and the step-change detection used to
+// locate the operational changes in the cabinet power series.
 package stats
 
 import (

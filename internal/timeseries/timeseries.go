@@ -4,6 +4,10 @@
 //
 // Timestamps are time.Time; samples must be appended in non-decreasing time
 // order, which is what a simulation clock naturally produces.
+//
+// A Series is the twin's equivalent of one PMDB cabinet-power trace: the
+// paper's Figures 1-3 are window means over exactly such series, and the
+// step-change detector recovers the dated operational changes from them.
 package timeseries
 
 import (

@@ -8,6 +8,10 @@
 //
 //	p := units.Kilowatts(3220)
 //	e := p.EnergyOver(24 * time.Hour) // 77,280 kWh
+//
+// The types mirror the paper's reporting units: cabinet power in kW
+// (Figures 1-3), energy in kWh/MWh, grid carbon intensity in gCO2/kWh
+// (§2) and emissions masses in tCO2e.
 package units
 
 import (
