@@ -1,0 +1,72 @@
+// Command benchjson converts `go test -bench` text output on stdin into
+// a JSON document on stdout, so CI can accumulate a machine-readable
+// perf trajectory (BENCH_<sha>.json artifacts) without any external
+// tooling. Every benchmark line becomes one record carrying ns/op and
+// all custom metrics (the repository's benchmarks report reproduced
+// paper quantities as custom metrics, so the trajectory doubles as a
+// reproduction audit over time).
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchjson > BENCH_abc123.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Record is one benchmark result.
+type Record struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iterations, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		rec := Record{
+			Name:       strings.SplitN(fields[0], "-", 2)[0], // strip -GOMAXPROCS
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			rec.Metrics[fields[i+1]] = v
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

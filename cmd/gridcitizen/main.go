@@ -1,12 +1,22 @@
-// Command gridcitizen studies the demand-response behaviour the paper's
-// grid-citizenship discussion motivates: during winter evening grid-stress
-// events, the operator reclocks the whole running fleet to 2.0 GHz and
-// restores the stock frequency afterwards. The tool reports the power
-// freed during events and the throughput cost.
+// Command gridcitizen studies the two grid-citizenship behaviours the
+// paper motivates:
+//
+// Reactive (default): during winter evening grid-stress events, the
+// operator reclocks the whole running fleet to 2.0 GHz and/or caps
+// admission, restoring normal service afterwards. The tool reports the
+// power freed during events and the throughput cost.
+//
+// Anticipatory (-carbon-policy): the scheduler runs carbon-aware the
+// whole time, shifting flexible jobs into forecast low-carbon windows
+// (delay-flexible) or throttling admission to a rolling carbon budget
+// (carbon-budget). The tool runs the chosen policy against an identical
+// fcfs baseline and reports the carbon avoided and the scheduling cost.
 //
 // Usage:
 //
 //	gridcitizen [-nodes 500] [-days 60] [-stress-prob 0.4] [-seed 42]
+//	gridcitizen -carbon-policy delay-flexible [-grid-mean 200]
+//	            [-forecast-sigma 0] [-forecast-growth 0] [-load 0.7]
 package main
 
 import (
@@ -16,9 +26,11 @@ import (
 	"time"
 
 	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/emissions"
 	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/report"
 	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/scenario"
 	"github.com/greenhpc/archertwin/internal/units"
 )
 
@@ -32,7 +44,19 @@ func main() {
 		"demand-response mechanism: reclock (slow running jobs), cap (admission control), both")
 	capFrac := flag.Float64("cap-frac", 0.75, "admission power cap during events, as a fraction of pre-event busy power")
 	seed := flag.Uint64("seed", 42, "simulation seed")
+	carbonPolicy := flag.String("carbon-policy", "",
+		"run the anticipatory carbon study instead: delay-flexible or carbon-budget")
+	gridMean := flag.Float64("grid-mean", 200, "annual-mean grid carbon intensity (gCO2/kWh) for -carbon-policy")
+	forecastSigma := flag.Float64("forecast-sigma", 0, "forecast error sigma at zero horizon (gCO2/kWh) for -carbon-policy")
+	forecastGrowth := flag.Float64("forecast-growth", 0, "forecast error growth per sqrt-hour of horizon (gCO2/kWh) for -carbon-policy")
+	load := flag.Float64("load", 0.7, "offered load relative to capacity for -carbon-policy (shifting needs slack)")
 	flag.Parse()
+
+	if *carbonPolicy != "" {
+		carbonStudy(*carbonPolicy, *nodes, *days, *gridMean, *forecastSigma, *forecastGrowth, *load, *seed)
+		return
+	}
+
 	useReclock := *mode == "reclock" || *mode == "both"
 	useCap := *mode == "cap" || *mode == "both"
 	if !useReclock && !useCap {
@@ -134,4 +158,72 @@ func main() {
 	}
 	fmt.Printf("jobs completed: %d, mean wait %v\n",
 		res.Sched.Completed, res.Sched.MeanWait().Round(time.Second))
+}
+
+// carbonStudy runs the anticipatory half of grid citizenship: one
+// carbon-aware run against an identical fcfs baseline, differing only in
+// the temporal policy, and reports the avoided carbon and its cost. The
+// policies themselves come from scenario.NewCarbonConfig, so this tool
+// and a sweep's carbon_policy axis mean exactly the same thing.
+func carbonStudy(policy string, nodes, days int, gridMean, forecastSigma, forecastGrowth, load float64, seed uint64) {
+	if policy != scenario.CarbonDelayFlexible && policy != scenario.CarbonBudget {
+		log.Fatalf("unknown -carbon-policy %q (use %s or %s)",
+			policy, scenario.CarbonDelayFlexible, scenario.CarbonBudget)
+	}
+	start := time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
+	base := core.ScaledConfig(nodes, start, days)
+	base.Seed = seed
+	base.OverSubscription = load
+	model := grid.GB2022().Scaled(gridMean)
+	tunables := scenario.CarbonSpec{ForecastSigma: forecastSigma, ForecastGrowth: forecastGrowth}
+	carbon := scenario.NewCarbonConfig(policy, tunables, model, gridMean, nodes, seed)
+
+	run := func(cfg core.Config) (*core.Results, emissions.Window) {
+		res, err := core.RunConfig(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params := emissions.ARCHER2Defaults()
+		params.Embodied = params.Embodied.Scale(float64(nodes) / float64(core.DefaultConfig().Facility.Nodes))
+		// Skip two warmup days while the queue fills.
+		from := start.AddDate(0, 0, 2)
+		return res, params.AccountSeries(res.Power, res.CarbonTrace, from, cfg.End)
+	}
+
+	// The baseline shares the carbon wiring (same trace, same accounting)
+	// but schedules greedily.
+	fcfsCfg := base.Clone()
+	fcfsCfg.Carbon = &core.CarbonConfig{Model: model, TraceSeed: carbon.TraceSeed}
+	polCfg := base.Clone()
+	polCfg.Carbon = carbon
+
+	fcfsRes, fcfsAcct := run(fcfsCfg)
+	polRes, polAcct := run(polCfg)
+
+	t := report.NewTable(
+		fmt.Sprintf("Carbon-aware scheduling on %d nodes over %d days (grid mean %.0f g/kWh, load %.0f%%)",
+			nodes, days, gridMean, load*100),
+		"run", "experienced CI", "scope 2", "total CO2e", "holds", "completed", "mean wait")
+	row := func(name string, res *core.Results, w emissions.Window) {
+		t.AddRow(name,
+			fmt.Sprintf("%.1f g/kWh", w.CI.GramsPerKWh()),
+			fmt.Sprintf("%.2f t", w.Scope2.Tonnes()),
+			fmt.Sprintf("%.2f t", w.Total.Tonnes()),
+			fmt.Sprint(res.Sched.Holds),
+			fmt.Sprint(res.Sched.Completed),
+			res.Sched.MeanWait().Round(time.Minute).String())
+	}
+	row("fcfs", fcfsRes, fcfsAcct)
+	row(policy, polRes, polAcct)
+	fmt.Println(t.String())
+
+	avoided := fcfsAcct.Total.Grams() - polAcct.Total.Grams()
+	frac := 0.0
+	if fcfsAcct.Total.Grams() > 0 {
+		frac = avoided / fcfsAcct.Total.Grams()
+	}
+	fmt.Printf("avoided carbon vs fcfs: %s (%s)\n",
+		units.Mass(avoided), report.Pct(frac))
+	full := units.Mass(avoided).Scale(5860 / float64(nodes))
+	fmt.Printf("scaled to the full 5860-node system: ~%s over %d days\n", full, days)
 }

@@ -1,17 +1,24 @@
 // Command sweep runs a declarative scenario sweep on the digital twin:
 // it expands a sweep spec (CPU frequency caps x grid carbon-intensity
-// mixes x scheduler policies x workload build variants x facility sizes)
-// into concrete simulations, executes them in parallel across a worker
-// pool, and prints baseline-relative comparison tables of mean power,
-// energy, emissions and delivered node-hours.
+// mixes x scheduler policies x workload build variants x facility sizes
+// x carbon temporal policies) into concrete simulations, executes them in
+// parallel across a worker pool, and prints baseline-relative comparison
+// tables of mean power, energy, emissions and delivered node-hours.
 //
 // Usage:
 //
-//	sweep [-spec spec.json] [-workers N] [-seed N] [-list] [-quiet]
+//	sweep [-spec spec.json] [-workers N] [-seed N] [-carbon policies]
+//	      [-list] [-quiet]
 //
 // Without -spec it runs the flagship 8-scenario frequency x grid-mix
 // sweep. Results are byte-identical for every -workers value; the worker
 // count only changes wall-clock time.
+//
+// -carbon adds (or replaces) a carbon_policy axis as a comma-separated
+// list, e.g. -carbon fcfs,delay-flexible,carbon-budget; when the axis is
+// swept, a carbon-policy table reports the intensity the load actually
+// experienced and the carbon avoided against the baseline policy. See
+// docs/sweeps.md for the full spec schema and the carbon tunables.
 //
 // An example spec (all fields optional; unknown fields are rejected):
 //
@@ -24,13 +31,19 @@
 //	    "scheduler": ["backfill", "fcfs"]
 //	  }
 //	}
+//
+// When any scenario fails, every failing scenario's error is printed (one
+// line each) and the command exits non-zero; scenarios are never silently
+// dropped from the table.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/greenhpc/archertwin/internal/scenario"
@@ -42,8 +55,9 @@ func main() {
 	specPath := flag.String("spec", "", "JSON sweep spec (default: built-in frequency x grid-mix sweep)")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "override the spec's base seed")
+	carbon := flag.String("carbon", "", "comma-separated carbon_policy axis values (e.g. fcfs,delay-flexible,carbon-budget); overrides the spec's axis")
 	list := flag.Bool("list", false, "print the expanded scenario list and exit without running")
-	quiet := flag.Bool("quiet", false, "suppress the regime table and timing note")
+	quiet := flag.Bool("quiet", false, "suppress the regime/carbon tables and timing note")
 	flag.Parse()
 
 	spec := scenario.DefaultSpec()
@@ -60,6 +74,9 @@ func main() {
 	if *seed != 0 {
 		spec.Seed = *seed
 	}
+	if *carbon != "" {
+		spec.Axes.CarbonPolicy = strings.Split(*carbon, ",")
+	}
 
 	if *list {
 		scenarios, err := spec.Expand()
@@ -75,12 +92,29 @@ func main() {
 	start := time.Now()
 	res, err := scenario.Runner{Workers: *workers}.Run(spec)
 	if err != nil {
-		log.Fatal(err)
+		fail(err)
 	}
 	fmt.Println(res.Table().String())
 	if !*quiet {
 		fmt.Println(res.RegimeTable().String())
+		if res.CarbonSwept() {
+			fmt.Println(res.CarbonTable().String())
+		}
 		fmt.Printf("%d scenarios (%d simulations) in %.1fs (workers=%d)\n",
 			len(res.Results), res.Simulations, time.Since(start).Seconds(), res.Workers)
 	}
+}
+
+// fail prints every per-scenario error on its own line and exits
+// non-zero. The runner joins one *scenario.ScenarioError per failing
+// scenario in index order.
+func fail(err error) {
+	var joined interface{ Unwrap() []error }
+	if errors.As(err, &joined) {
+		for _, e := range joined.Unwrap() {
+			log.Print(e)
+		}
+		log.Fatalf("%d scenarios failed", len(joined.Unwrap()))
+	}
+	log.Fatal(err)
 }

@@ -1,0 +1,82 @@
+package archertwin_test
+
+// Documentation link check, run by the CI docs job: every relative
+// markdown link in README.md, docs/ and examples/ must resolve to a file
+// or directory that exists in the repository, so the documentation suite
+// cannot rot silently as files move.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target); image links ![..](..) match too and are
+// checked the same way — a broken image path is documentation rot just
+// like a broken link.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// docFiles returns every markdown file the check covers.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	for _, dir := range []string{"docs", "examples"} {
+		err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+			if err != nil {
+				return err
+			}
+			if !info.IsDir() && strings.HasSuffix(path, ".md") {
+				files = append(files, path)
+			}
+			return nil
+		})
+		if err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+	var out []string
+	for _, f := range files {
+		if _, err := os.Stat(f); err == nil {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDocsLinksResolve(t *testing.T) {
+	checked := 0
+	for _, file := range docFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue // external links and in-page anchors: not checked
+			}
+			// Strip a fragment; resolve relative to the linking file.
+			path := target
+			if i := strings.IndexByte(path, '#'); i >= 0 {
+				path = path[:i]
+			}
+			if path == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(file), filepath.FromSlash(path))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q (resolved %s)", file, target, resolved)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("link check matched no links at all; is the matcher broken?")
+	}
+}

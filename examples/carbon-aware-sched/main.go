@@ -1,0 +1,106 @@
+// Carbon-aware scheduling walkthrough: reproduces the paper's §2 regime
+// bands — <30 (scope-3 dominated), 30–100 (balanced) and >100 gCO2/kWh
+// (scope-2 dominated) — under each temporal scheduling policy, using the
+// scenario engine's carbon_policy axis.
+//
+// The paper's decision rule says *how* to run the machine in each band;
+// the carbon axis asks the follow-up question the conclusion gestures at:
+// *when* should work run? Three policies compete on three grids:
+//
+//   - fcfs: the greedy baseline — start work as soon as nodes are free,
+//     blind to the grid;
+//   - delay-flexible: park flexible jobs (half the mix, bounded at 8 h)
+//     until the forecast finds a cleaner window;
+//   - carbon-budget: cap the facility's carbon burn rate — admission
+//     throttles itself exactly when the grid runs dirty.
+//
+// The run is sized to finish in a few seconds (64 nodes, 10 days, 70%
+// offered load — shifting needs slack; a saturated machine has no "later"
+// to move work into). The exact JSON spec equivalent of this program is
+// documented in docs/sweeps.md.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/scenario"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// One grid mean per paper band: deep-decarbonised (20), today's windy
+	// night / the crossover band (65), and the 2022 GB mean (200).
+	spec := scenario.Spec{
+		Name:             "carbon regimes x temporal policy",
+		Nodes:            64,
+		Days:             10,
+		WarmupDays:       2,
+		OverSubscription: 0.7,
+		Axes: scenario.Axes{
+			GridMean: []float64{200, 65, 20},
+			CarbonPolicy: []string{
+				scenario.CarbonFCFS,
+				scenario.CarbonDelayFlexible,
+				scenario.CarbonBudget,
+			},
+		},
+	}
+
+	res, err := scenario.Runner{}.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The delta table: power/energy/emissions against the fcfs@200
+	// baseline scenario.
+	fmt.Println(res.Table().String())
+
+	// The regime table: each scenario classified into the paper's bands.
+	// Temporal policies cannot move a facility between regimes — that is
+	// the grid's doing — but they decide how much of the in-regime scope-2
+	// bill is avoidable.
+	fmt.Println(res.RegimeTable().String())
+
+	// The carbon table: experienced intensity vs grid mean, and the
+	// avoided carbon against the same-grid fcfs counterpart.
+	fmt.Println(res.CarbonTable().String())
+
+	// Narrative: per band, what the paper's rule says and what temporal
+	// scheduling adds on top.
+	for _, mean := range spec.Axes.GridMean {
+		band := grid.BandOf(units.GramsPerKWh(mean))
+		var fcfs, best scenario.Result
+		for _, r := range res.Results {
+			if r.Scenario.GridMean != mean {
+				continue
+			}
+			if r.Scenario.CarbonPolicy == scenario.CarbonFCFS {
+				fcfs = r
+			} else if r.AvoidedCarbon.Grams() > best.AvoidedCarbon.Grams() ||
+				best.Scenario.CarbonPolicy == "" {
+				best = r
+			}
+		}
+		fmt.Printf("grid %3.0f g/kWh — %s, regime %q\n", mean, band, fcfs.Regime)
+		fmt.Printf("  paper's rule: %s\n", fcfs.Regime.Strategy())
+		frac := 0.0
+		if t := fcfs.Emissions.Total.Grams(); t > 0 {
+			frac = best.AvoidedCarbon.Grams() / t
+		}
+		fmt.Printf("  best temporal policy: %s avoids %s (%s of the fcfs total)\n\n",
+			best.Scenario.CarbonPolicy, best.AvoidedCarbon, report(frac))
+	}
+
+	fmt.Println("Reading the tables: on the dirty grid the budget throttle buys the")
+	fmt.Println("largest cut by shedding work outright; delay-flexible pays mainly in")
+	fmt.Println("waiting time (the node-hour dip is the parked tail at the end of this")
+	fmt.Println("short run). As the grid cleans, scope 3 dominates and no temporal")
+	fmt.Println("policy has carbon left to avoid — the paper's regime logic, per policy.")
+}
+
+// report formats a signed fraction as a percentage.
+func report(frac float64) string { return fmt.Sprintf("%+.1f%%", frac*100) }

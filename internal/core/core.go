@@ -22,6 +22,8 @@ import (
 	"github.com/greenhpc/archertwin/internal/cpu"
 	"github.com/greenhpc/archertwin/internal/des"
 	"github.com/greenhpc/archertwin/internal/facility"
+	"github.com/greenhpc/archertwin/internal/forecast"
+	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/policy"
 	"github.com/greenhpc/archertwin/internal/rng"
 	"github.com/greenhpc/archertwin/internal/sched"
@@ -99,6 +101,47 @@ type Config struct {
 	// shifts show up in the fleet figures instead of being absorbed by the
 	// busy-power calibration.
 	FleetVariant *apps.Variant
+
+	// Carbon, when non-nil, makes the simulation carbon-aware: a grid
+	// carbon-intensity trace is generated over the run, a forecaster is
+	// built on it, and (if NewPolicy is set) a temporal scheduling policy
+	// is installed in the scheduler. The trace is recorded in
+	// Results.CarbonTrace for emissions accounting.
+	Carbon *CarbonConfig
+}
+
+// CarbonConfig connects the grid's carbon intensity to the scheduler.
+type CarbonConfig struct {
+	// Model generates the intensity trace the run lives under.
+	Model grid.IntensityModel
+	// TraceSeed seeds the trace's stochastic wind term. Scenario sweeps
+	// derive it from the sweep seed only (rng.DeriveSeed(seed,
+	// "grid-trace")) so every scenario of a sweep shares one weather
+	// realisation — common random numbers across the carbon axis.
+	TraceSeed uint64
+	// Step is the trace and forecast granularity (default 30 minutes,
+	// the GB settlement period).
+	Step time.Duration
+	// Error is the forecast error model (zero = perfect information).
+	Error forecast.ErrorModel
+	// NewPolicy, when set, builds the temporal scheduling policy over the
+	// run's forecaster; the result is installed as Config.Sched.Temporal.
+	NewPolicy func(*forecast.Forecaster) sched.TemporalPolicy
+}
+
+// step returns the effective trace step.
+func (c *CarbonConfig) step() time.Duration {
+	if c.Step <= 0 {
+		return 30 * time.Minute
+	}
+	return c.Step
+}
+
+// Trace generates the carbon-intensity series for [from, to) — the same
+// series the simulator sees, so out-of-band accounting (the scenario
+// runner) and in-simulation forecasting always agree.
+func (c *CarbonConfig) Trace(from, to time.Time) (*timeseries.Series, error) {
+	return c.Model.Trace(from, to, c.step(), rng.New(c.TraceSeed))
 }
 
 // Clone returns a deep copy of the configuration: the windows, timeline
@@ -132,6 +175,10 @@ func (c Config) Clone() Config {
 	if c.FleetVariant != nil {
 		v := *c.FleetVariant
 		out.FleetVariant = &v
+	}
+	if c.Carbon != nil {
+		cc := *c.Carbon
+		out.Carbon = &cc
 	}
 	return out
 }
@@ -209,6 +256,14 @@ func (c Config) Validate() error {
 	if c.Failures.MTBFPerNode > 0 && c.Failures.RepairTime <= 0 {
 		return fmt.Errorf("core: failure injection needs a positive repair time")
 	}
+	if c.Carbon != nil {
+		if err := c.Carbon.Model.Validate(); err != nil {
+			return err
+		}
+		if err := c.Carbon.Error.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -258,6 +313,12 @@ type Results struct {
 
 	// JobLog holds per-job accounting when Config.JobLogCap is set.
 	JobLog *telemetry.JobLog
+
+	// CarbonTrace is the grid carbon-intensity series the run lived under
+	// (gCO2/kWh), when Config.Carbon is set. Account it against Power via
+	// emissions.AccountSeries to capture the temporal correlation the
+	// carbon-aware policies create.
+	CarbonTrace *timeseries.Series
 }
 
 // WindowByLabel returns the window result with the given label.
@@ -288,6 +349,7 @@ type Simulator struct {
 	recorder     workload.Recorder
 	failStream   *rng.Stream
 	nodeFailures int
+	carbonTrace  *timeseries.Series
 
 	ran bool
 }
@@ -339,6 +401,20 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
+	var carbonTrace *timeseries.Series
+	if cfg.Carbon != nil {
+		carbonTrace, err = cfg.Carbon.Trace(cfg.Start, cfg.End)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Carbon.NewPolicy != nil {
+			fc, err := forecast.New(carbonTrace, cfg.Carbon.Error)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Sched.Temporal = cfg.Carbon.NewPolicy(fc)
+		}
+	}
 	sch := sched.New(eng, fac, provider, cfg.Sched)
 	meter := telemetry.NewMeter(eng, fac, cfg.Meter, cfg.End, root.Split("meter"))
 	accountant := telemetry.NewAccountant(sch)
@@ -367,6 +443,7 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		jobLog:     jobLog,
 		mixScale:   scale,
 	}
+	s.carbonTrace = carbonTrace
 	if cfg.CabinetMeters {
 		cab, err := telemetry.NewCabinetMeters(eng, fac, cfg.Meter.Interval, cfg.End)
 		if err != nil {
@@ -445,17 +522,18 @@ func (s *Simulator) Run() (*Results, error) {
 	s.fac.AccrueAll(s.cfg.End)
 
 	res := &Results{
-		Config:     s.cfg,
-		Power:      s.meter.Power(),
-		Util:       s.meter.Utilisation(),
-		Sched:      s.sch.Stats(),
-		Usage:      make(map[string]telemetry.ClassUsage),
-		TotalUsage: s.accountant.Total(),
-		Overrides:  s.provider.Overrides(),
-		Reverts:    s.provider.Reverts(),
-		MixScale:   s.mixScale,
-		Cabinets:   s.cabinets,
-		JobLog:     s.jobLog,
+		Config:      s.cfg,
+		Power:       s.meter.Power(),
+		Util:        s.meter.Utilisation(),
+		Sched:       s.sch.Stats(),
+		Usage:       make(map[string]telemetry.ClassUsage),
+		TotalUsage:  s.accountant.Total(),
+		Overrides:   s.provider.Overrides(),
+		Reverts:     s.provider.Reverts(),
+		MixScale:    s.mixScale,
+		Cabinets:    s.cabinets,
+		JobLog:      s.jobLog,
+		CarbonTrace: s.carbonTrace,
 	}
 	if s.cfg.RecordTrace {
 		res.Trace = s.recorder.Records()

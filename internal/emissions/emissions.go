@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/greenhpc/archertwin/internal/timeseries"
 	"github.com/greenhpc/archertwin/internal/units"
 )
 
@@ -86,6 +87,56 @@ func (p Params) Account(power units.Power, window time.Duration, ci units.Carbon
 		Duration: window,
 		Energy:   e,
 		CI:       ci,
+		Scope2:   s2,
+		Scope3:   s3,
+		Total:    units.Mass(s2.Grams() + s3.Grams()),
+	}
+}
+
+// AccountSeries computes a Window by integrating a facility power series
+// (unit kW, the telemetry meter's cabinet series) against a grid
+// carbon-intensity series (unit gCO2/kWh, a grid.IntensityModel trace)
+// over [from, to): scope 2 is the sum over intensity segments of
+// mean-power x segment-length x intensity, so work that runs in
+// low-intensity windows genuinely emits less. This is what makes
+// temporal-shifting policies visible in the accounting — the mean x mean
+// shortcut of Account would erase any correlation between when work runs
+// and how clean the grid is.
+//
+// The reported CI is the energy-weighted mean intensity the load actually
+// experienced; comparing it against the trace's plain mean measures how
+// much of the window's carbon the schedule avoided (or hit).
+func (p Params) AccountSeries(powerKW, ci *timeseries.Series, from, to time.Time) Window {
+	var energyKWh, scope2g float64
+	samples := ci.Samples()
+	for i, smp := range samples {
+		segFrom, segTo := smp.T, to
+		if i+1 < len(samples) && samples[i+1].T.Before(to) {
+			segTo = samples[i+1].T
+		}
+		if segFrom.Before(from) {
+			segFrom = from
+		}
+		if !segTo.After(segFrom) {
+			continue
+		}
+		meanKW := powerKW.TimeWeightedMean(segFrom, segTo)
+		kwh := meanKW * segTo.Sub(segFrom).Hours()
+		energyKWh += kwh
+		scope2g += kwh * smp.V
+	}
+	e := units.KilowattHours(energyKWh)
+	window := to.Sub(from)
+	s2 := units.Grams(scope2g)
+	s3 := p.AmortisedScope3(window)
+	meanCI := 0.0
+	if energyKWh > 0 {
+		meanCI = scope2g / energyKWh
+	}
+	return Window{
+		Duration: window,
+		Energy:   e,
+		CI:       units.GramsPerKWh(meanCI),
 		Scope2:   s2,
 		Scope3:   s3,
 		Total:    units.Mass(s2.Grams() + s3.Grams()),

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"github.com/greenhpc/archertwin/internal/timeseries"
 	"github.com/greenhpc/archertwin/internal/units"
 )
 
@@ -188,5 +189,82 @@ func TestPropertyScope2ShareMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// AccountSeries on constant power and constant intensity must agree with
+// the mean x mean Account to floating-point tolerance.
+func TestAccountSeriesMatchesAccountWhenConstant(t *testing.T) {
+	p := ARCHER2Defaults()
+	from := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := from.Add(48 * time.Hour)
+	power := timeseries.New("cabinet_power", "kW")
+	ci := timeseries.New("carbon_intensity", "gCO2/kWh")
+	for ts := from.Add(-time.Hour); ts.Before(to.Add(time.Hour)); ts = ts.Add(30 * time.Minute) {
+		power.MustAppend(ts, 3220)
+		ci.MustAppend(ts, 150)
+	}
+	got := p.AccountSeries(power, ci, from, to)
+	want := p.Account(units.Kilowatts(3220), 48*time.Hour, units.GramsPerKWh(150))
+	if math.Abs(got.Scope2.Grams()-want.Scope2.Grams()) > 1e-6*want.Scope2.Grams() {
+		t.Errorf("scope 2: got %v want %v", got.Scope2, want.Scope2)
+	}
+	if got.Scope3 != want.Scope3 {
+		t.Errorf("scope 3: got %v want %v", got.Scope3, want.Scope3)
+	}
+	if math.Abs(got.CI.GramsPerKWh()-150) > 1e-9 {
+		t.Errorf("energy-weighted CI %v, want 150", got.CI)
+	}
+	if math.Abs(got.Energy.KilowattHours()-want.Energy.KilowattHours()) > 1e-6*want.Energy.KilowattHours() {
+		t.Errorf("energy: got %v want %v", got.Energy, want.Energy)
+	}
+}
+
+// The whole point of AccountSeries: a load anti-correlated with intensity
+// (power high when the grid is clean) must account less scope 2 than the
+// mean x mean shortcut, and a correlated load more.
+func TestAccountSeriesCapturesTemporalCorrelation(t *testing.T) {
+	p := ARCHER2Defaults()
+	from := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	to := from.Add(48 * time.Hour)
+	ci := timeseries.New("ci", "gCO2/kWh")
+	anti := timeseries.New("p", "kW")
+	corr := timeseries.New("p", "kW")
+	for ts := from; ts.Before(to); ts = ts.Add(30 * time.Minute) {
+		highGrid := (ts.Sub(from)/(6*time.Hour))%2 == 0
+		g, pw := 250.0, 1000.0
+		if !highGrid {
+			g, pw = 50.0, 3000.0
+		}
+		ci.MustAppend(ts, g)
+		anti.MustAppend(ts, pw)      // runs hard when clean
+		corr.MustAppend(ts, 4000-pw) // runs hard when dirty
+	}
+	wAnti := p.AccountSeries(anti, ci, from, to)
+	wCorr := p.AccountSeries(corr, ci, from, to)
+	// Same total energy by construction (both average 2000 kW).
+	if math.Abs(wAnti.Energy.KilowattHours()-wCorr.Energy.KilowattHours()) > 1 {
+		t.Fatalf("energy differs: %v vs %v", wAnti.Energy, wCorr.Energy)
+	}
+	naive := p.Account(units.Kilowatts(2000), 48*time.Hour, units.GramsPerKWh(150))
+	if !(wAnti.Scope2.Grams() < naive.Scope2.Grams() && naive.Scope2.Grams() < wCorr.Scope2.Grams()) {
+		t.Errorf("correlation not captured: anti %v naive %v corr %v",
+			wAnti.Scope2, naive.Scope2, wCorr.Scope2)
+	}
+	if !(wAnti.CI.GramsPerKWh() < 150 && wCorr.CI.GramsPerKWh() > 150) {
+		t.Errorf("energy-weighted CI not shifted: anti %v corr %v", wAnti.CI, wCorr.CI)
+	}
+}
+
+// An empty window or trace yields a zero account, not NaNs.
+func TestAccountSeriesDegenerate(t *testing.T) {
+	p := ARCHER2Defaults()
+	from := time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
+	w := p.AccountSeries(timeseries.New("p", "kW"), timeseries.New("ci", "g"), from, from.Add(time.Hour))
+	if w.Scope2 != 0 || w.Energy != 0 || w.CI != 0 {
+		t.Errorf("degenerate account not zero: %+v", w)
+	}
+	if math.IsNaN(w.Scope2Share()) {
+		t.Error("NaN scope-2 share")
 	}
 }

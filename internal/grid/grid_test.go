@@ -187,3 +187,65 @@ func TestStressEvents(t *testing.T) {
 		t.Fatalf("summer produced %d events", len(got))
 	}
 }
+
+// Stress-event generation must be deterministic for a given stream and
+// actually driven by the stream: same seed twice gives identical events,
+// different seeds diverge somewhere over a winter.
+func TestStressEventsDeterministic(t *testing.T) {
+	from := time.Date(2022, 11, 1, 0, 0, 0, 0, time.UTC)
+	to := time.Date(2023, 3, 1, 0, 0, 0, 0, time.UTC)
+	a := StressEvents(from, to, 0.4, rng.New(7).Split("stress"))
+	b := StressEvents(from, to, 0.4, rng.New(7).Split("stress"))
+	if len(a) != len(b) {
+		t.Fatalf("same seed gave %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := StressEvents(from, to, 0.4, rng.New(8).Split("stress"))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical event sets")
+	}
+}
+
+// With p=1 every cold-season weekday whose full 17:00-20:00 slot lies in
+// the window gets exactly one event, and every event lies inside
+// [from, to) — the generator clamps at the window edges rather than
+// emitting partial events.
+func TestStressEventsCoverageAndBounds(t *testing.T) {
+	from := time.Date(2022, 11, 7, 18, 0, 0, 0, time.UTC) // Monday, mid-event
+	to := time.Date(2022, 11, 19, 0, 0, 0, 0, time.UTC)
+	events := StressEvents(from, to, 1, rng.New(1))
+	// Nov 7 is cut by `from` (start 17:00 precedes it); Nov 8-11 and
+	// 14-18 are whole weekdays: 9 events.
+	if len(events) != 9 {
+		t.Fatalf("got %d events, want 9: %+v", len(events), events)
+	}
+	for _, e := range events {
+		if e.Start.Before(from) || e.End.After(to) {
+			t.Errorf("event [%v, %v] escapes window [%v, %v)", e.Start, e.End, from, to)
+		}
+		if !e.End.After(e.Start) {
+			t.Errorf("empty event %+v", e)
+		}
+	}
+	// Monotone in p on a shared stream draw count: a higher probability
+	// can only add event days, never remove them (per-day independent
+	// draws with identical sequences).
+	lo := StressEvents(from, to, 0.2, rng.New(3))
+	hi := StressEvents(from, to, 0.9, rng.New(3))
+	if len(lo) > len(hi) {
+		t.Errorf("p=0.2 gave %d events but p=0.9 gave %d", len(lo), len(hi))
+	}
+}

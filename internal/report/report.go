@@ -1,6 +1,14 @@
 // Package report renders the twin's outputs as aligned ASCII tables and
-// chart blocks — the terminal equivalents of the paper's tables and
-// figures — including side-by-side paper-vs-simulated comparisons.
+// chart blocks — the terminal equivalents of the paper's Tables 1-4 and
+// Figures 1-3 (Jackson, Simpson & Turner, SC-W 2023) — including
+// side-by-side paper-vs-simulated comparisons (Comparison) and
+// baseline-relative sweep tables (DeltaTable).
+//
+// Determinism contract: rendering is a pure function of the added rows —
+// no maps are iterated, no timestamps or environment read — so a table
+// built from deterministic results is byte-identical run to run and at
+// any sweep worker count. The scenario engine's determinism tests assert
+// equality on rendered tables, which relies on this property.
 package report
 
 import (

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/report"
 	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/timeseries"
 	"github.com/greenhpc/archertwin/internal/units"
 )
 
@@ -26,13 +28,32 @@ type Result struct {
 	Energy units.Energy
 	// NodeHours is the delivered node-hours over the whole run.
 	NodeHours float64
-	// MeanCI is the mean grid carbon intensity of the scenario's trace.
+	// MeanCI is the plain mean grid carbon intensity of the scenario's
+	// trace over the window — the grid context, independent of the load.
 	MeanCI units.CarbonIntensity
-	// Emissions is the scope-2/scope-3 account over the window at MeanCI,
-	// with the embodied share scaled to the scenario's facility size.
+	// Emissions is the scope-2/scope-3 account over the window, computed
+	// by integrating the power series against the intensity trace
+	// (emissions.AccountSeries), with the embodied share scaled to the
+	// scenario's facility size. Emissions.CI is the energy-weighted
+	// intensity the load actually experienced: below MeanCI means the
+	// schedule successfully chased clean windows.
 	Emissions emissions.Window
 	// Regime is the paper's operating-strategy classification.
 	Regime emissions.Regime
+
+	// AvoidedCarbon is the emissions cut versus this scenario's
+	// baseline-policy counterpart (same axes, carbon_policy at the axis
+	// baseline); zero for the counterpart itself and when the carbon axis
+	// is not swept. Meaningful only when HasBaseline is true.
+	AvoidedCarbon units.Mass
+	// HasBaseline reports whether a baseline-policy counterpart existed
+	// in the sweep (list-mode zips can omit it; the table then shows "—"
+	// instead of a fabricated zero).
+	HasBaseline bool
+	// Holds / HoldDelay are the temporal policy's park events and total
+	// parked time over the whole run (zero under fcfs).
+	Holds     int
+	HoldDelay time.Duration
 }
 
 // SweepResults aggregates a completed sweep. Results[0] is the baseline.
@@ -57,16 +78,36 @@ type Runner struct {
 	// fully self-contained and seeded from the spec seed and the
 	// scenario's simulation-affecting axes only (Scenario.simKey).
 	Workers int
+
+	// runCfg executes one simulation; nil means core.RunConfig. Tests
+	// substitute it to exercise failure aggregation deterministically.
+	runCfg func(core.Config) (*core.Results, error)
 }
+
+// ScenarioError wraps one failed scenario of a sweep.
+type ScenarioError struct {
+	Index int
+	Name  string
+	Err   error
+}
+
+// Error implements error.
+func (e *ScenarioError) Error() string {
+	return fmt.Sprintf("scenario %d (%s): %v", e.Index, e.Name, e.Err)
+}
+
+// Unwrap exposes the underlying error.
+func (e *ScenarioError) Unwrap() error { return e.Err }
 
 // Run expands and executes the sweep. Scenarios sharing a simulation key
 // (differing only in grid mix — see Scenario.simKey) share one simulation:
 // the worker pool runs each unique configuration once and the per-scenario
 // grid trace and emissions accounting are re-derived from the shared
 // result, so the flagship frequency x grid sweep costs two simulations,
-// not eight, with byte-identical output. On scenario failure, the error
-// of the lowest-indexed failing scenario is returned (deterministically,
-// regardless of which worker hit it first).
+// not eight, with byte-identical output. When scenarios fail, the errors
+// of every failing scenario are joined in scenario-index order (each a
+// *ScenarioError), deterministically regardless of which worker hit one
+// first — no scenario is ever silently dropped.
 func (r Runner) Run(spec Spec) (*SweepResults, error) {
 	scenarios, err := spec.Expand()
 	if err != nil {
@@ -109,13 +150,17 @@ func (r Runner) Run(spec Spec) (*SweepResults, error) {
 	sims := make([]*core.Results, len(groups))
 	errs := make([]error, len(groups))
 	jobs := make(chan int)
+	runCfg := r.runCfg
+	if runCfg == nil {
+		runCfg = core.RunConfig
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range jobs {
-				sims[g], errs[g] = core.RunConfig(groups[g].cfg)
+				sims[g], errs[g] = runCfg(groups[g].cfg)
 			}
 		}()
 	}
@@ -125,54 +170,69 @@ func (r Runner) Run(spec Spec) (*SweepResults, error) {
 	close(jobs)
 	wg.Wait()
 
-	for g, err := range errs {
-		if err != nil {
-			i := groups[g].members[0]
-			return nil, fmt.Errorf("scenario %d (%s): %w", i, scenarios[i].Name, err)
+	// Report every failing scenario, in scenario-index order, rather than
+	// just the first: a sweep that half-fails should say exactly which
+	// half and why.
+	var failed []error
+	for _, sc := range scenarios {
+		g := byKey[sc.simKey()]
+		if errs[g] != nil {
+			failed = append(failed, &ScenarioError{Index: sc.Index, Name: sc.Name, Err: errs[g]})
 		}
+	}
+	if len(failed) > 0 {
+		return nil, errors.Join(failed...)
 	}
 
 	// One trace seed for the whole sweep: the grid's underlying weather is
 	// common random numbers across every scenario (Scaled rescales the
 	// same noise), so scenarios at equal grid means see identical carbon
-	// intensity and emissions deltas across simulation axes carry no
-	// grid-sampling noise.
+	// intensity, and emissions deltas across simulation axes carry no
+	// grid-sampling noise. The trace spans the whole run (not just the
+	// measurement window) because carbon-aware simulations consume it from
+	// day zero; one trace per distinct grid mean is shared by reference.
 	traceSeed := rng.DeriveSeed(spec.Seed, "grid-trace")
+	start := sweepStart
+	end := sweepStart.AddDate(0, 0, spec.Days)
+	traces := map[float64]*timeseries.Series{}
 	results := make([]Result, len(scenarios))
 	for g, grp := range groups {
 		for _, i := range grp.members {
-			results[i], err = account(scenarios[i], models[i], traceSeed, sims[g])
+			tr, ok := traces[scenarios[i].GridMean]
+			if !ok {
+				cc := core.CarbonConfig{Model: models[i], TraceSeed: traceSeed}
+				tr, err = cc.Trace(start, end)
+				if err != nil {
+					return nil, &ScenarioError{Index: i, Name: scenarios[i].Name, Err: err}
+				}
+				traces[scenarios[i].GridMean] = tr
+			}
+			results[i], err = account(scenarios[i], tr, sims[g])
 			if err != nil {
-				return nil, fmt.Errorf("scenario %d (%s): %w", i, scenarios[i].Name, err)
+				return nil, &ScenarioError{Index: i, Name: scenarios[i].Name, Err: err}
 			}
 		}
 	}
+	fillAvoidedCarbon(spec, scenarios, results)
 	return &SweepResults{Spec: spec, Results: results, Simulations: len(groups), Workers: workers}, nil
 }
 
 // account derives one scenario's Result from its (possibly shared)
-// simulation: trace the scenario's grid, account emissions over the
-// measurement window.
-func account(sc Scenario, gm grid.IntensityModel, traceSeed uint64, res *core.Results) (Result, error) {
+// simulation by integrating the simulated power series against the
+// scenario's intensity trace over the measurement window.
+func account(sc Scenario, trace *timeseries.Series, res *core.Results) (Result, error) {
 	w, ok := res.WindowByLabel("measure")
 	if !ok {
 		return Result{}, fmt.Errorf("scenario: measurement window missing")
 	}
 	span := w.Window.To.Sub(w.Window.From)
 
-	trace, err := gm.Trace(w.Window.From, w.Window.To, 30*time.Minute,
-		rng.New(traceSeed))
-	if err != nil {
-		return Result{}, err
-	}
-	ci := grid.MeanIntensity(trace)
-
 	// Embodied emissions scale with the slice of the 5,860-node machine
 	// being simulated.
 	full := core.DefaultConfig().Facility.Nodes
 	params := emissions.ARCHER2Defaults()
 	params.Embodied = params.Embodied.Scale(float64(sc.Nodes) / float64(full))
-	acct := params.Account(w.MeanPower, span, ci)
+	acct := params.AccountSeries(res.Power, trace, w.Window.From, w.Window.To)
 
 	return Result{
 		Scenario:  sc,
@@ -180,10 +240,39 @@ func account(sc Scenario, gm grid.IntensityModel, traceSeed uint64, res *core.Re
 		MeanUtil:  w.MeanUtil,
 		Energy:    w.MeanPower.EnergyOver(span),
 		NodeHours: res.TotalUsage.NodeHours,
-		MeanCI:    ci,
+		MeanCI:    grid.MeanIntensity(trace.Slice(w.Window.From, w.Window.To)),
 		Emissions: acct,
 		Regime:    emissions.RegimeOf(acct),
+		Holds:     res.Sched.Holds,
+		HoldDelay: res.Sched.HoldDelay,
 	}, nil
+}
+
+// fillAvoidedCarbon computes each scenario's emissions cut against its
+// baseline-policy counterpart: the scenario with identical axes except
+// carbon_policy at the axis baseline (the first value, "fcfs" unless the
+// spec reorders it).
+func fillAvoidedCarbon(spec Spec, scenarios []Scenario, results []Result) {
+	if len(spec.Axes.CarbonPolicy) == 0 {
+		return
+	}
+	basePolicy := spec.Axes.CarbonPolicy[0]
+	otherKey := func(sc Scenario) string {
+		return fmt.Sprintf("%s|%g|%s|%s|%d",
+			sc.Frequency, sc.GridMean, sc.Scheduler, sc.Workload, sc.Nodes)
+	}
+	baseTotal := map[string]units.Mass{}
+	for i, sc := range scenarios {
+		if sc.CarbonPolicy == basePolicy {
+			baseTotal[otherKey(sc)] = results[i].Emissions.Total
+		}
+	}
+	for i, sc := range scenarios {
+		if base, ok := baseTotal[otherKey(sc)]; ok {
+			results[i].AvoidedCarbon = units.Mass(base.Grams() - results[i].Emissions.Total.Grams())
+			results[i].HasBaseline = true
+		}
+	}
 }
 
 // Table renders the cross-scenario comparison: every metric as its value
@@ -226,6 +315,45 @@ func (s *SweepResults) RegimeTable() *report.Table {
 			tco2(r.Emissions.Scope3.Tonnes()),
 			fmt.Sprintf("%.0f%%", r.Emissions.Scope2Share()*100),
 			r.Regime.String())
+	}
+	return t
+}
+
+// CarbonSwept reports whether the sweep explicitly swept the carbon
+// policy axis (the condition under which CarbonTable is meaningful).
+func (s *SweepResults) CarbonSwept() bool {
+	return len(s.Spec.Axes.CarbonPolicy) > 0
+}
+
+// CarbonTable renders the temporal-policy comparison: what intensity the
+// load actually ran at (energy-weighted, versus the grid's plain mean),
+// the scope-2 account, the carbon avoided against the baseline policy at
+// the same grid, and the scheduling cost (holds and mean added delay) —
+// the "is shifting worth it" table.
+func (s *SweepResults) CarbonTable() *report.Table {
+	t := report.NewTable("Carbon-aware temporal policies", "scenario",
+		"grid mean", "experienced CI", "scope 2", "avoided vs baseline",
+		"holds", "mean hold")
+	for _, r := range s.Results {
+		avoided := "—"
+		if r.HasBaseline && r.Scenario.CarbonPolicy != s.Spec.Axes.CarbonPolicy[0] {
+			pct := ""
+			if base := r.Emissions.Total.Grams() + r.AvoidedCarbon.Grams(); base > 0 {
+				pct = fmt.Sprintf(" (%s)", report.Pct(r.AvoidedCarbon.Grams()/base))
+			}
+			avoided = fmt.Sprintf("%.2f t%s", r.AvoidedCarbon.Tonnes(), pct)
+		}
+		meanHold := "—"
+		if r.Holds > 0 {
+			meanHold = (r.HoldDelay / time.Duration(r.Holds)).Round(time.Minute).String()
+		}
+		t.AddRow(r.Scenario.Name,
+			fmt.Sprintf("%.0f g/kWh", r.MeanCI.GramsPerKWh()),
+			fmt.Sprintf("%.1f g/kWh", r.Emissions.CI.GramsPerKWh()),
+			tco2(r.Emissions.Scope2.Tonnes()),
+			avoided,
+			fmt.Sprint(r.Holds),
+			meanHold)
 	}
 	return t
 }

@@ -1,8 +1,12 @@
 package scenario
 
 import (
+	"errors"
 	"reflect"
+	"strings"
 	"testing"
+
+	"github.com/greenhpc/archertwin/internal/core"
 )
 
 // tinySpec is a fast 4-scenario sweep used by the runner tests: 32 nodes
@@ -153,5 +157,177 @@ func TestRunnerDeduplicatesSimulations(t *testing.T) {
 	}
 	if res.Simulations != 2 {
 		t.Errorf("ran %d simulations for 2 unique configs, want 2", res.Simulations)
+	}
+}
+
+// carbonSpec is a fast sweep over grids x temporal policies. Offered
+// load sits below capacity (0.7): temporal policies can only shift work
+// when the machine is not permanently full.
+func carbonSpec() Spec {
+	return Spec{
+		Nodes:            32,
+		Days:             4,
+		WarmupDays:       1,
+		OverSubscription: 0.7,
+		Axes: Axes{
+			GridMean:     []float64{200, 20},
+			CarbonPolicy: []string{"fcfs", "delay-flexible", "carbon-budget"},
+		},
+	}
+}
+
+// The acceptance-criteria run: a sweep over carbon policies must be
+// byte-identical at any worker count, and must report avoided-carbon
+// deltas against the fcfs baseline.
+func TestRunnerCarbonSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	spec := carbonSpec()
+	ref, err := Runner{Workers: 1}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCarbon := ref.CarbonTable().String()
+	for _, workers := range []int{3, 8} {
+		got, err := Runner{Workers: workers}.Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Results, got.Results) {
+			t.Errorf("results differ between 1 and %d workers", workers)
+		}
+		if ct := got.CarbonTable().String(); ct != refCarbon {
+			t.Errorf("carbon table differs between 1 and %d workers:\n%s\nvs\n%s",
+				workers, refCarbon, ct)
+		}
+	}
+	// 6 scenarios: 1 shared fcfs sim + 2 policies x 2 grids = 5 sims.
+	if ref.Simulations != 5 {
+		t.Errorf("ran %d simulations, want 5", ref.Simulations)
+	}
+	if !ref.CarbonSwept() {
+		t.Error("carbon axis not reported as swept")
+	}
+}
+
+// Temporal policies must actually engage: the delay-flexible scenarios
+// hold jobs, the fcfs ones never do, and avoided carbon is populated
+// against the matching fcfs counterpart (zero for fcfs itself).
+func TestRunnerCarbonPolicyEffects(t *testing.T) {
+	res, err := Runner{Workers: 4}.Run(carbonSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawHold bool
+	for _, r := range res.Results {
+		switch r.Scenario.CarbonPolicy {
+		case CarbonFCFS:
+			if r.Holds != 0 {
+				t.Errorf("fcfs scenario %q held %d jobs", r.Scenario.Name, r.Holds)
+			}
+			if r.AvoidedCarbon != 0 {
+				t.Errorf("fcfs scenario %q has nonzero avoided carbon %v",
+					r.Scenario.Name, r.AvoidedCarbon)
+			}
+		case CarbonDelayFlexible:
+			if r.Holds > 0 {
+				sawHold = true
+			}
+		}
+		if r.Emissions.CI.GramsPerKWh() <= 0 {
+			t.Errorf("scenario %q has no experienced CI", r.Scenario.Name)
+		}
+	}
+	if !sawHold {
+		t.Error("no delay-flexible scenario ever held a job")
+	}
+	// The delay policy chases clean windows: its energy-weighted CI must
+	// sit below the fcfs counterpart's on the swingy 200 g/kWh grid.
+	byName := map[string]Result{}
+	for _, r := range res.Results {
+		byName[r.Scenario.Name] = r
+	}
+	fcfs := byName["grid=200 carbon=fcfs"]
+	flex := byName["grid=200 carbon=delay-flexible"]
+	if flex.Emissions.CI.GramsPerKWh() >= fcfs.Emissions.CI.GramsPerKWh() {
+		t.Errorf("delay-flexible experienced CI %.1f not below fcfs %.1f",
+			flex.Emissions.CI.GramsPerKWh(), fcfs.Emissions.CI.GramsPerKWh())
+	}
+}
+
+// Worker failures must be reported per scenario, joined in index order,
+// never silently dropped.
+func TestRunnerAggregatesWorkerErrors(t *testing.T) {
+	spec := tinySpec()
+	boom := errors.New("boom")
+	calls := 0
+	r := Runner{Workers: 2, runCfg: func(cfg core.Config) (*core.Results, error) {
+		calls++
+		return nil, boom
+	}}
+	_, err := r.Run(spec)
+	if err == nil {
+		t.Fatal("worker failures produced no error")
+	}
+	// Every scenario (4) must be named even though only 2 sims ran.
+	var scErrs []*ScenarioError
+	for _, e := range multiUnwrap(err) {
+		var se *ScenarioError
+		if errors.As(e, &se) {
+			scErrs = append(scErrs, se)
+		}
+	}
+	if len(scErrs) != 4 {
+		t.Fatalf("got %d scenario errors, want 4: %v", len(scErrs), err)
+	}
+	for i, se := range scErrs {
+		if se.Index != i {
+			t.Errorf("scenario errors out of order: position %d has index %d", i, se.Index)
+		}
+		if !errors.Is(se, boom) {
+			t.Errorf("scenario error %d does not wrap the cause", i)
+		}
+	}
+	if calls != 2 {
+		t.Errorf("ran %d simulations, want 2 (deduplicated)", calls)
+	}
+}
+
+// multiUnwrap flattens an errors.Join result.
+func multiUnwrap(err error) []error {
+	if m, ok := err.(interface{ Unwrap() []error }); ok {
+		return m.Unwrap()
+	}
+	return []error{err}
+}
+
+// A list-mode zip can produce carbon-aware scenarios with no fcfs
+// counterpart; those must render "—" in the carbon table, not a
+// fabricated measured zero.
+func TestCarbonTableWithoutCounterpart(t *testing.T) {
+	spec := Spec{
+		Nodes: 32, Days: 2, WarmupDays: 1, Mode: ModeList,
+		OverSubscription: 0.7,
+		Axes: Axes{
+			GridMean:     []float64{200, 65},
+			CarbonPolicy: []string{"fcfs", "delay-flexible"},
+		},
+	}
+	res, err := Runner{Workers: 2}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != 2 {
+		t.Fatalf("zip expanded to %d scenarios, want 2", len(res.Results))
+	}
+	flex := res.Results[1]
+	if flex.Scenario.CarbonPolicy != CarbonDelayFlexible {
+		t.Fatalf("unexpected zip order: %+v", flex.Scenario)
+	}
+	if flex.HasBaseline {
+		t.Error("delay-flexible@65 claims a baseline counterpart; fcfs only ran at grid 200")
+	}
+	rows := strings.Split(res.CarbonTable().String(), "\n")
+	if len(rows) < 4 || !strings.Contains(rows[3], "—") {
+		t.Errorf("carbon table row without counterpart lacks the — placeholder:\n%s",
+			res.CarbonTable().String())
 	}
 }

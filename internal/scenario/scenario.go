@@ -5,17 +5,22 @@
 // and aggregates baseline-relative comparison tables (mean power, energy,
 // emissions) in the style of the paper's before/after figures.
 //
-// The paper (Jackson, Simpson & Turner, SC 2023) is fundamentally a
-// what-if study: what happens to ARCHER2's power, energy and emissions
-// when the CPU frequency is capped, the BIOS mode changes, or the grid
-// decarbonises. This package turns each such question into one row of a
-// sweep instead of a hand-written main.go.
+// The paper (Jackson, Simpson & Turner, SC-W 2023) is fundamentally a
+// what-if study: §3-4 cap the CPU frequency and change the BIOS mode, §2
+// asks what happens as the grid decarbonises, and §5 sketches compiler
+// variants and demand response. This package turns each such question
+// into one row of a sweep instead of a hand-written main.go; the
+// carbon_policy axis adds the temporal dimension of §2 (when work runs).
 //
-// Determinism: every scenario derives its own root seed from the spec
-// seed and its simulation-affecting axes via rng.DeriveSeed (see
-// Scenario.simKey), so results are byte-identical regardless of worker
-// count or execution order, and scenarios differing only in grid mix
-// share common random numbers.
+// Determinism contract: results are byte-identical at any worker count.
+// Every scenario derives its own root seed from the spec seed and its
+// simulation-affecting axes via rng.DeriveSeed (see Scenario.simKey), so
+// nothing depends on expansion order, worker identity or scheduling;
+// scenarios differing only in grid mix share common random numbers (one
+// simulation, one weather trace), so grid-axis deltas carry no sampling
+// noise. Failures are equally deterministic: every failing scenario is
+// reported, joined in index order. docs/sweeps.md documents the full
+// spec schema and these guarantees.
 package scenario
 
 import (
@@ -28,9 +33,11 @@ import (
 	"github.com/greenhpc/archertwin/internal/apps"
 	"github.com/greenhpc/archertwin/internal/core"
 	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/forecast"
 	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/policy"
 	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/sched"
 	"github.com/greenhpc/archertwin/internal/units"
 )
 
@@ -65,6 +72,11 @@ type Axes struct {
 	Workload []string `json:"workload,omitempty"`
 	// Nodes values override the spec's facility size per scenario.
 	Nodes []int `json:"nodes,omitempty"`
+	// CarbonPolicy values select the temporal scheduling policy: "fcfs"
+	// (greedy baseline), "delay-flexible" (park flexible jobs until a
+	// low-carbon window) or "carbon-budget" (rolling carbon-burn
+	// admission throttle). Tunables live in Spec.Carbon.
+	CarbonPolicy []string `json:"carbon_policy,omitempty"`
 }
 
 // Spec declaratively describes a scenario sweep.
@@ -83,12 +95,59 @@ type Spec struct {
 	// Seed is the base seed every scenario seed is derived from
 	// (default 42).
 	Seed uint64 `json:"seed,omitempty"`
+	// OverSubscription overrides offered load relative to capacity for
+	// every scenario (0 = the core default, 1.10: saturated like the real
+	// service). Temporal carbon policies only have room to shift work
+	// when the machine is not permanently full, so carbon sweeps
+	// typically set this below 1.
+	OverSubscription float64 `json:"oversubscription,omitempty"`
 	// Mode is ModeGrid (cartesian, default) or ModeList (zip).
 	Mode string `json:"mode,omitempty"`
 	// MaxScenarios caps the expansion size (default 256).
 	MaxScenarios int `json:"max_scenarios,omitempty"`
 
+	// Carbon tunes the carbon-aware temporal policies; zero fields take
+	// scenario-derived defaults (see CarbonSpec).
+	Carbon CarbonSpec `json:"carbon,omitempty"`
+
 	Axes Axes `json:"axes"`
+}
+
+// CarbonSpec tunes the carbon_policy axis. All fields are optional.
+type CarbonSpec struct {
+	// ThresholdGrams is the delay-flexible policy's "clean enough to
+	// start now" intensity. Zero derives 90% of the scenario's grid mean,
+	// so the policy chases the diurnal troughs of whatever grid the
+	// scenario lives under.
+	ThresholdGrams float64 `json:"threshold_g_per_kwh,omitempty"`
+	// MaxDelayHours bounds the added wait per flexible job (default 8).
+	MaxDelayHours float64 `json:"max_delay_hours,omitempty"`
+	// FlexibleShare is the fraction of delay-eligible jobs (default 0.5).
+	FlexibleShare float64 `json:"flexible_share,omitempty"`
+	// BudgetFraction sizes the carbon-budget throttle relative to the
+	// scenario's expected steady-state carbon burn (busy-node target x
+	// facility size x grid mean). Default 0.85: the throttle bites
+	// whenever the grid runs dirtier than 85% of its own mean would cost.
+	BudgetFraction float64 `json:"budget_fraction,omitempty"`
+	// ForecastSigma / ForecastGrowth parameterise the forecast error
+	// model (gCO2/kWh at zero horizon, and per sqrt-hour of horizon).
+	// Zero is a perfect forecast.
+	ForecastSigma  float64 `json:"forecast_sigma,omitempty"`
+	ForecastGrowth float64 `json:"forecast_growth,omitempty"`
+}
+
+// withDefaults fills zero carbon tunables.
+func (c CarbonSpec) withDefaults() CarbonSpec {
+	if c.MaxDelayHours == 0 {
+		c.MaxDelayHours = 8
+	}
+	if c.FlexibleShare == 0 {
+		c.FlexibleShare = 0.5
+	}
+	if c.BudgetFraction == 0 {
+		c.BudgetFraction = 0.85
+	}
+	return c
 }
 
 // DefaultSpec returns the flagship frequency x grid-mix sweep: both paper
@@ -163,10 +222,19 @@ func (s Spec) Validate() error {
 	if s.Mode != ModeGrid && s.Mode != ModeList {
 		return fmt.Errorf("scenario: unknown mode %q (want %q or %q)", s.Mode, ModeGrid, ModeList)
 	}
+	if s.OverSubscription < 0 {
+		return fmt.Errorf("scenario: oversubscription %v must not be negative", s.OverSubscription)
+	}
 	for _, n := range s.Axes.Nodes {
 		if n < 8 {
 			return fmt.Errorf("scenario: nodes axis value %d below minimum 8", n)
 		}
+	}
+	c := s.Carbon
+	if c.ThresholdGrams < 0 || c.MaxDelayHours < 0 || c.BudgetFraction < 0 ||
+		c.FlexibleShare < 0 || c.FlexibleShare > 1 ||
+		c.ForecastSigma < 0 || c.ForecastGrowth < 0 {
+		return fmt.Errorf("scenario: invalid carbon tunables %+v", c)
 	}
 	return nil
 }
@@ -180,11 +248,12 @@ type Scenario struct {
 	// "freq=capped grid=65". Only explicitly-swept axes appear.
 	Name string
 
-	Frequency string
-	GridMean  float64
-	Scheduler string
-	Workload  string
-	Nodes     int
+	Frequency    string
+	GridMean     float64
+	Scheduler    string
+	Workload     string
+	Nodes        int
+	CarbonPolicy string
 }
 
 // axis is one generic sweep dimension after defaulting.
@@ -227,6 +296,7 @@ func (s Spec) axes() []axis {
 		str("sched", s.Axes.Scheduler, "backfill"),
 		str("wl", s.Axes.Workload, "base"),
 		nodes,
+		str("carbon", s.Axes.CarbonPolicy, CarbonFCFS),
 	}
 }
 
@@ -318,6 +388,7 @@ func (s Spec) Expand() ([]Scenario, error) {
 			return nil, fmt.Errorf("scenario: invalid node count %q", row[4])
 		}
 		sc.Nodes = nodes
+		sc.CarbonPolicy = row[5]
 
 		// Validate every axis value now, before any simulation runs.
 		spec := cpu.EPYC7742()
@@ -330,9 +401,33 @@ func (s Spec) Expand() ([]Scenario, error) {
 		if _, err := parseWorkload(sc.Workload); err != nil {
 			return nil, err
 		}
+		if err := validateCarbonPolicy(sc.CarbonPolicy); err != nil {
+			return nil, err
+		}
 		out[i] = sc
 	}
 	return out, nil
+}
+
+// Carbon-policy axis values.
+const (
+	// CarbonFCFS is the greedy baseline: start work as soon as resources
+	// allow, blind to the grid.
+	CarbonFCFS = "fcfs"
+	// CarbonDelayFlexible parks flexible jobs until a low-carbon window.
+	CarbonDelayFlexible = "delay-flexible"
+	// CarbonBudget throttles admission to a rolling carbon-burn budget.
+	CarbonBudget = "carbon-budget"
+)
+
+// validateCarbonPolicy checks a carbon_policy axis value.
+func validateCarbonPolicy(v string) error {
+	switch v {
+	case CarbonFCFS, CarbonDelayFlexible, CarbonBudget, "":
+		return nil
+	}
+	return fmt.Errorf("scenario: invalid carbon policy %q (want %q, %q or %q)",
+		v, CarbonFCFS, CarbonDelayFlexible, CarbonBudget)
 }
 
 // parseFrequency resolves a frequency axis value against spec.
@@ -402,14 +497,31 @@ func parseWorkload(v string) (*apps.Variant, error) {
 // operational year); scenarios differ by axes, never by date.
 var sweepStart = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
 
+// carbonAware reports whether the scenario's temporal policy actually
+// reads the grid (fcfs is grid-blind).
+func (sc Scenario) carbonAware() bool {
+	return sc.CarbonPolicy != "" && sc.CarbonPolicy != CarbonFCFS
+}
+
 // simKey is the canonical label of the axes that actually change the
 // simulation. Scenario seeds derive from it rather than from the full
 // name, so scenarios that differ only in grid mix share one stream of
 // common random numbers: their power and scheduling results are exactly
 // equal and the emissions delta isolates the grid change.
+//
+// A carbon-aware temporal policy breaks that independence by design — the
+// scheduler reads the intensity trace — so for non-fcfs policies the key
+// also carries the policy and the grid mean: such scenarios are distinct
+// simulations, while every fcfs scenario keeps the exact seeds (and
+// therefore results) it had before the carbon axis existed.
 func (sc Scenario) simKey() string {
-	return fmt.Sprintf("freq=%s sched=%s wl=%s nodes=%d",
+	key := fmt.Sprintf("freq=%s sched=%s wl=%s nodes=%d",
 		sc.Frequency, sc.Scheduler, sc.Workload, sc.Nodes)
+	if sc.carbonAware() {
+		key += fmt.Sprintf(" carbon=%s grid=%s", sc.CarbonPolicy,
+			strconv.FormatFloat(sc.GridMean, 'g', -1, 64))
+	}
+	return key
 }
 
 // BuildConfig materialises the scenario into a runnable core.Config plus
@@ -444,10 +556,68 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 	}}
 	cfg.Sched.BackfillDepth = depth
 	cfg.FleetVariant = variant
+	if s.OverSubscription > 0 {
+		cfg.OverSubscription = s.OverSubscription
+	}
 	cfg.Windows = []core.Window{{
 		Label: "measure",
 		From:  sweepStart.AddDate(0, 0, s.WarmupDays),
 		To:    sweepStart.AddDate(0, 0, s.Days),
 	}}
-	return cfg, grid.GB2022().Scaled(sc.GridMean), nil
+	gm := grid.GB2022().Scaled(sc.GridMean)
+	if sc.carbonAware() {
+		cfg.Carbon = sc.carbonConfig(s, gm)
+	}
+	return cfg, gm, nil
+}
+
+// carbonConfig builds the core carbon wiring for a carbon-aware
+// scenario.
+func (sc Scenario) carbonConfig(s Spec, gm grid.IntensityModel) *core.CarbonConfig {
+	return NewCarbonConfig(sc.CarbonPolicy, s.Carbon, gm, sc.GridMean, sc.Nodes, s.Seed)
+}
+
+// NewCarbonConfig builds the core carbon wiring for a temporal policy —
+// the single source of the policy tunables' semantics, shared by sweep
+// scenarios and cmd/gridcitizen so both frontends mean the same thing by
+// "delay-flexible" or "carbon-budget at fraction 0.85". The trace seed
+// derives from the base seed only (rng.DeriveSeed(seed, "grid-trace")),
+// matching the runner's accounting trace, so the scheduler's forecasts
+// and the emissions account always describe the same weather.
+func NewCarbonConfig(policyName string, cs CarbonSpec, gm grid.IntensityModel, gridMean float64, nodes int, seed uint64) *core.CarbonConfig {
+	cs = cs.withDefaults()
+	threshold := cs.ThresholdGrams
+	if threshold <= 0 {
+		threshold = 0.9 * gridMean
+	}
+	// Expected steady-state burn: every node busy at the calibrated
+	// busy-node draw, on a grid at the scenario's mean intensity.
+	busyKW := core.DefaultConfig().BusyNodeTarget.Watts() * float64(nodes) / 1e3
+	budget := units.Grams(cs.BudgetFraction * busyKW * gridMean)
+	flexSeed := rng.DeriveSeed(seed, "carbon-flex")
+	return &core.CarbonConfig{
+		Model:     gm,
+		TraceSeed: rng.DeriveSeed(seed, "grid-trace"),
+		Error: forecast.ErrorModel{
+			Sigma0:            cs.ForecastSigma,
+			GrowthPerSqrtHour: cs.ForecastGrowth,
+			Seed:              rng.DeriveSeed(seed, "forecast-error"),
+		},
+		NewPolicy: func(fc *forecast.Forecaster) sched.TemporalPolicy {
+			switch policyName {
+			case CarbonDelayFlexible:
+				return &sched.DelayFlexiblePolicy{
+					Forecast:      fc,
+					Threshold:     units.GramsPerKWh(threshold),
+					MaxDelay:      time.Duration(cs.MaxDelayHours * float64(time.Hour)),
+					FlexibleShare: cs.FlexibleShare,
+					Seed:          flexSeed,
+				}
+			case CarbonBudget:
+				return &sched.CarbonBudgetPolicy{Forecast: fc, BudgetPerHour: budget}
+			default:
+				return sched.GreedyPolicy{}
+			}
+		},
+	}
 }

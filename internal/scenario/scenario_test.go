@@ -3,6 +3,8 @@ package scenario
 import (
 	"strings"
 	"testing"
+
+	"github.com/greenhpc/archertwin/internal/forecast"
 )
 
 func TestExpandEmptyAxesSingleScenario(t *testing.T) {
@@ -278,5 +280,116 @@ func TestShortSweepWarmupDefaults(t *testing.T) {
 	}
 	if got := cfg.Windows[0].From; !got.Equal(cfg.Start) {
 		t.Errorf("warmup -1 window starts %v, want %v", got, cfg.Start)
+	}
+}
+
+func TestExpandCarbonPolicyAxis(t *testing.T) {
+	spec := Spec{Axes: Axes{
+		GridMean:     []float64{200, 20},
+		CarbonPolicy: []string{"fcfs", "delay-flexible", "carbon-budget"},
+	}}
+	scenarios, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 6 {
+		t.Fatalf("expanded %d scenarios, want 6", len(scenarios))
+	}
+	if scenarios[0].CarbonPolicy != "fcfs" {
+		t.Errorf("baseline carbon policy %q, want fcfs", scenarios[0].CarbonPolicy)
+	}
+	// fcfs scenarios at different grid means share one simulation; the
+	// carbon-aware ones are distinct per grid mean.
+	keys := map[string]bool{}
+	for _, sc := range scenarios {
+		keys[sc.simKey()] = true
+	}
+	if len(keys) != 5 {
+		t.Errorf("got %d unique sim keys, want 5 (1 shared fcfs + 2 policies x 2 grids)", len(keys))
+	}
+
+	spec.Axes.CarbonPolicy = []string{"time-travel"}
+	if _, err := spec.Expand(); err == nil {
+		t.Error("invalid carbon policy accepted")
+	}
+}
+
+// The carbon axis must not perturb the seeds of fcfs scenarios: an fcfs
+// scenario's simKey is identical with and without the axis present, so
+// every pre-carbon sweep result is unchanged.
+func TestCarbonAxisPreservesFCFSSeeds(t *testing.T) {
+	plain := Scenario{Frequency: "stock", GridMean: 200, Scheduler: "backfill", Workload: "base", Nodes: 64}
+	fcfs := plain
+	fcfs.CarbonPolicy = "fcfs"
+	if plain.simKey() != fcfs.simKey() {
+		t.Errorf("fcfs carbon policy changed the sim key: %q vs %q", plain.simKey(), fcfs.simKey())
+	}
+	aware := plain
+	aware.CarbonPolicy = "delay-flexible"
+	if aware.simKey() == plain.simKey() {
+		t.Error("carbon-aware policy did not change the sim key")
+	}
+	// And a carbon-aware scenario's key must depend on the grid mean: the
+	// scheduler reads the trace, so different grids are different sims.
+	aware2 := aware
+	aware2.GridMean = 20
+	if aware.simKey() == aware2.simKey() {
+		t.Error("carbon-aware sim key ignores the grid mean")
+	}
+}
+
+func TestBuildConfigCarbon(t *testing.T) {
+	spec := Spec{Nodes: 32, Days: 3, WarmupDays: 1,
+		Axes: Axes{GridMean: []float64{100}, CarbonPolicy: []string{"delay-flexible"}}}
+	scenarios, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := scenarios[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Carbon == nil {
+		t.Fatal("carbon-aware scenario built no CarbonConfig")
+	}
+	if cfg.Carbon.NewPolicy == nil {
+		t.Fatal("no policy factory")
+	}
+	tr, err := cfg.Carbon.Trace(cfg.Start, cfg.End)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := forecast.New(tr, cfg.Carbon.Error)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := cfg.Carbon.NewPolicy(fc)
+	if pol.Name() != "delay-flexible" {
+		t.Errorf("policy %q, want delay-flexible", pol.Name())
+	}
+
+	// An fcfs scenario must not carry carbon wiring at all.
+	plain := Spec{Nodes: 32, Days: 3, WarmupDays: 1}
+	psc, err := plain.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg, _, err := psc[0].BuildConfig(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pcfg.Carbon != nil {
+		t.Error("fcfs scenario built a CarbonConfig")
+	}
+}
+
+func TestSpecValidateCarbonTunables(t *testing.T) {
+	spec := Spec{Carbon: CarbonSpec{FlexibleShare: 1.5}}
+	if err := spec.Validate(); err == nil {
+		t.Error("flexible share > 1 accepted")
+	}
+	spec = Spec{Carbon: CarbonSpec{ForecastSigma: -2}}
+	if err := spec.Validate(); err == nil {
+		t.Error("negative forecast sigma accepted")
 	}
 }

@@ -12,6 +12,20 @@
 // started with; system-wide changes therefore roll through the fleet over
 // roughly one job-lifetime, which is exactly how the real changes appear
 // in the paper's cabinet power figures.
+//
+// On top of the spatial "which nodes" decision sits a temporal "when"
+// layer (temporal.go): a pluggable TemporalPolicy can defer otherwise
+// startable jobs into low-carbon windows (the paper's §2 regime analysis
+// made operational) — see GreedyPolicy, DelayFlexiblePolicy and
+// CarbonBudgetPolicy.
+//
+// Determinism contract: given the same configuration, seed and event
+// stream, the scheduler's decisions are byte-identical across runs. It
+// draws no randomness of its own — job order comes from the DES engine,
+// operating points from the provider, and temporal policies are pure
+// functions of simulation time and job identity (see temporal.go) — which
+// is what lets the scenario package run sweeps on any worker count with
+// identical results.
 package sched
 
 import (
@@ -123,6 +137,9 @@ type Config struct {
 	// saturated national service always has a deep queue, but the twin
 	// must not grow it without bound.
 	MaxQueue int
+	// Temporal, when non-nil, is consulted before any otherwise-startable
+	// job starts (see TemporalPolicy). Nil is the greedy FCFS baseline.
+	Temporal TemporalPolicy
 }
 
 // DefaultConfig returns production-like scheduler settings.
@@ -140,6 +157,12 @@ type Stats struct {
 	NodeHoursUsed float64 // actual wall-clock node-hours delivered
 	TotalWait     time.Duration
 	TotalEnergy   units.Energy
+
+	// Holds counts temporal-policy park events (a job re-parked on
+	// release counts again); HoldDelay is the total time jobs spent
+	// parked. Both are zero without a temporal policy.
+	Holds     int
+	HoldDelay time.Duration
 }
 
 // MeanWait returns the average queue wait of started jobs.
@@ -171,6 +194,12 @@ type Scheduler struct {
 	// the committed busy-node power in watts.
 	powerCap units.Power
 	estBusyW float64
+
+	// held counts jobs currently parked by the temporal policy (they are
+	// out of the queue and return via engine release events); recheckAt
+	// is the pending blocking-policy re-evaluation, if any.
+	held      int
+	recheckAt time.Time
 }
 
 // New creates a scheduler over the facility's nodes.
@@ -196,8 +225,12 @@ func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg
 // Stats returns a copy of the aggregate statistics.
 func (s *Scheduler) Stats() Stats { return s.stats }
 
-// QueueDepth returns the number of queued jobs.
+// QueueDepth returns the number of queued jobs (held jobs excluded).
 func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+
+// HeldJobs returns the number of jobs currently parked by the temporal
+// policy.
+func (s *Scheduler) HeldJobs() int { return s.held }
 
 // RunningJobs returns the number of running jobs.
 func (s *Scheduler) RunningJobs() int { return len(s.running) }
@@ -282,16 +315,85 @@ func (s *Scheduler) withinPowerCap(j *Job) bool {
 	return s.estBusyW+s.estimateJobPower(j) <= s.powerCap.Watts()
 }
 
+// temporalDecision consults the temporal policy for an otherwise
+// startable job (nil policy: always start).
+func (s *Scheduler) temporalDecision(j *Job, now time.Time) TemporalDecision {
+	if s.cfg.Temporal == nil {
+		return TemporalDecision{Start: true}
+	}
+	return s.cfg.Temporal.Decide(j, now,
+		units.Watts(s.estBusyW), units.Watts(s.estimateJobPower(j)))
+}
+
 // trySchedule starts the queue head while it fits, then EASY-backfills.
+// Jobs the temporal policy defers are parked in the held list (they
+// return via release events and do not block the queue behind them); a
+// blocking deferral throttles admission as a whole until the policy's
+// recheck time.
 func (s *Scheduler) trySchedule(now time.Time) {
 	for len(s.queue) > 0 && s.queue[0].Spec.Nodes <= len(s.free) && s.withinPowerCap(s.queue[0]) {
 		j := s.queue[0]
+		d := s.temporalDecision(j, now)
+		if !d.Start && d.Block {
+			s.scheduleRecheck(d.Recheck, now)
+			return
+		}
 		s.queue = s.queue[1:]
+		if !d.Start {
+			s.hold(j, d.Recheck, now)
+			continue
+		}
 		s.start(j, now)
 	}
 	if len(s.queue) > 1 && s.cfg.BackfillDepth > 0 {
 		s.backfill(now)
 	}
+}
+
+// hold parks a deferred job until its recheck time, when it re-enters
+// the queue in submission order and faces the policy again.
+func (s *Scheduler) hold(j *Job, recheck, now time.Time) {
+	if !recheck.After(now) {
+		// A policy that defers without a future recheck would otherwise
+		// spin; park for one minute as a safety margin.
+		recheck = now.Add(time.Minute)
+	}
+	s.held++
+	s.stats.Holds++
+	s.stats.HoldDelay += recheck.Sub(now)
+	s.eng.At(recheck, func(at time.Time) { s.release(j, at) })
+}
+
+// release returns a held job to the queue, keeping submission order.
+func (s *Scheduler) release(j *Job, now time.Time) {
+	s.held--
+	i := sort.Search(len(s.queue), func(k int) bool {
+		return s.queue[k].Submit.After(j.Submit)
+	})
+	s.queue = append(s.queue, nil)
+	copy(s.queue[i+1:], s.queue[i:])
+	s.queue[i] = j
+	s.trySchedule(now)
+}
+
+// scheduleRecheck arranges a scheduling pass at `at` for a blocking
+// temporal deferral, deduplicating against an already-pending recheck at
+// or before that time (finishes and submissions retrigger scheduling
+// anyway).
+func (s *Scheduler) scheduleRecheck(at, now time.Time) {
+	if !at.After(now) {
+		return
+	}
+	if s.recheckAt.After(now) && !s.recheckAt.After(at) {
+		return
+	}
+	s.recheckAt = at
+	s.eng.At(at, func(t time.Time) {
+		if s.recheckAt.Equal(at) {
+			s.recheckAt = time.Time{}
+		}
+		s.trySchedule(t)
+	})
 }
 
 // backfill implements EASY: compute the head job's shadow start time from
@@ -329,10 +431,20 @@ func (s *Scheduler) backfill(now time.Time) {
 		rt := j.Spec.App.Runtime(s.fac.Config().CPU, j.Spec.RefRuntime, fs, m)
 		endsBeforeShadow := !now.Add(rt).After(shadow)
 		if endsBeforeShadow || j.Spec.Nodes <= extra {
+			d := s.temporalDecision(j, now)
+			if !d.Start && d.Block {
+				s.scheduleRecheck(d.Recheck, now)
+				return
+			}
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			if !d.Start {
+				s.hold(j, d.Recheck, now)
+				// Do not advance i: the next candidate shifted into i.
+				continue
+			}
 			if !endsBeforeShadow {
 				extra -= j.Spec.Nodes
 			}
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
 			s.start(j, now)
 			// Do not advance i: the next candidate shifted into position i.
 			continue
