@@ -1,20 +1,29 @@
 // Command benchjson converts `go test -bench` text output on stdin into
 // a JSON document on stdout, so CI can accumulate a machine-readable
 // perf trajectory (BENCH_<sha>.json artifacts) without any external
-// tooling. Every benchmark line becomes one record carrying ns/op and
-// all custom metrics (the repository's benchmarks report reproduced
-// paper quantities as custom metrics, so the trajectory doubles as a
-// reproduction audit over time).
+// tooling. Every benchmark line becomes one record carrying ns/op, the
+// -benchmem columns (B/op, allocs/op) and all custom metrics (the
+// repository's benchmarks report reproduced paper quantities as custom
+// metrics, so the trajectory doubles as a reproduction audit over time).
+//
+// With -compare it becomes the CI benchmark-regression gate: it reads
+// two such JSON documents, compares every tracked metric of every
+// benchmark present in the baseline, prints a markdown table (suitable
+// for a GitHub job summary), and exits non-zero when any metric regressed
+// beyond the tolerance. Lower is better for every tracked metric.
 //
 // Usage:
 //
-//	go test -bench . -benchtime 1x -run '^$' . | benchjson > BENCH_abc123.json
+//	go test -bench . -benchtime 1x -benchmem -run '^$' . | benchjson > BENCH_abc123.json
+//	benchjson -compare BENCH_baseline.json BENCH_new.json -tolerance 0.15
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,8 +37,67 @@ type Record struct {
 }
 
 func main() {
+	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare (0.15 = 15%)")
+	metrics := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics tracked by -compare")
+	flag.Parse()
+
+	if *compare {
+		// Accept flags after the file operands too (the documented form is
+		// `-compare old.json new.json -tolerance 0.15`; package flag stops
+		// at the first positional argument).
+		args := flag.Args()
+		if len(args) > 2 {
+			rest := flag.NewFlagSet("benchjson -compare", flag.ExitOnError)
+			tolerance = rest.Float64("tolerance", *tolerance, "relative regression tolerance")
+			metrics = rest.String("metrics", *metrics, "comma-separated tracked metrics")
+			if err := rest.Parse(args[2:]); err != nil || rest.NArg() != 0 {
+				fmt.Fprintln(os.Stderr, "benchjson: -compare takes exactly two files: old.json new.json")
+				os.Exit(2)
+			}
+			args = args[:2]
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two files: old.json new.json")
+			os.Exit(2)
+		}
+		old, err := loadRecords(args[0])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		cur, err := loadRecords(args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		table, regressions := compareRecords(old, cur, *tolerance, strings.Split(*metrics, ","))
+		fmt.Print(table)
+		if regressions > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %.0f%%\n",
+				regressions, *tolerance*100)
+			os.Exit(1)
+		}
+		return
+	}
+
+	records, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(records); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench converts `go test -bench` text into records.
+func parseBench(r io.Reader) ([]Record, error) {
 	var records []Record
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
@@ -59,14 +127,84 @@ func main() {
 		}
 		records = append(records, rec)
 	}
-	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	return records, sc.Err()
+}
+
+// loadRecords reads a benchjson JSON document.
+func loadRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(records); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+	var records []Record
+	if err := json.Unmarshal(data, &records); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	return records, nil
+}
+
+// compareRecords diffs the tracked metrics of every baseline benchmark
+// against the new run, returning a markdown table and the number of
+// regressions beyond tolerance. Benchmarks only present in the new run
+// are ignored (they have no baseline yet); a baseline benchmark or
+// tracked metric missing from the new run counts as a regression — a
+// disappearing benchmark must not silently pass the gate.
+func compareRecords(old, cur []Record, tolerance float64, tracked []string) (string, int) {
+	newBy := map[string]Record{}
+	for _, r := range cur {
+		newBy[r.Name] = r
+	}
+	var b strings.Builder
+	b.WriteString("| benchmark | metric | baseline | current | delta | status |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	regressions := 0
+	for _, o := range old {
+		n, ok := newBy[o.Name]
+		for _, m := range tracked {
+			m = strings.TrimSpace(m)
+			ov, haveOld := o.Metrics[m]
+			if !haveOld {
+				continue
+			}
+			if !ok {
+				fmt.Fprintf(&b, "| %s | %s | %s | — | — | missing |\n", o.Name, m, fmtMetric(ov))
+				regressions++
+				continue
+			}
+			nv, haveNew := n.Metrics[m]
+			if !haveNew {
+				fmt.Fprintf(&b, "| %s | %s | %s | — | — | missing |\n", o.Name, m, fmtMetric(ov))
+				regressions++
+				continue
+			}
+			status, deltaStr := "ok", "+0.0%"
+			switch {
+			case ov == 0 && nv > 0:
+				// A zero baseline (e.g. an allocation-free hot path) going
+				// nonzero is always a regression, whatever the tolerance.
+				status, deltaStr = "REGRESSION", "+inf"
+				regressions++
+			case ov != 0:
+				delta := (nv - ov) / ov
+				deltaStr = fmt.Sprintf("%+.1f%%", delta*100)
+				if delta > tolerance {
+					status = "REGRESSION"
+					regressions++
+				} else if delta < -tolerance {
+					status = "improved"
+				}
+			}
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
+				o.Name, m, fmtMetric(ov), fmtMetric(nv), deltaStr, status)
+		}
+	}
+	return b.String(), regressions
+}
+
+// fmtMetric renders a metric value compactly.
+func fmtMetric(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchText = `goos: linux
+goarch: amd64
+BenchmarkFullTimeline 	       1	1832803133 ns/op	      3048 mean_kW	110598280 B/op	  350462 allocs/op
+BenchmarkDESEvents-8 	 5000000	       211 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseBench(t *testing.T) {
+	records, err := parseBench(strings.NewReader(benchText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 {
+		t.Fatalf("parsed %d records, want 2", len(records))
+	}
+	ft := records[0]
+	if ft.Name != "BenchmarkFullTimeline" || ft.Iterations != 1 {
+		t.Fatalf("bad record: %+v", ft)
+	}
+	for metric, want := range map[string]float64{
+		"ns/op": 1832803133, "mean_kW": 3048, "B/op": 110598280, "allocs/op": 350462,
+	} {
+		if got := ft.Metrics[metric]; got != want {
+			t.Errorf("%s = %g, want %g", metric, got, want)
+		}
+	}
+	if records[1].Name != "BenchmarkDESEvents" {
+		t.Errorf("GOMAXPROCS suffix not stripped: %q", records[1].Name)
+	}
+}
+
+func rec(name string, ns, allocs float64) Record {
+	return Record{Name: name, Iterations: 1, Metrics: map[string]float64{
+		"ns/op": ns, "allocs/op": allocs,
+	}}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := []Record{rec("BenchmarkA", 1000, 100)}
+	cur := []Record{rec("BenchmarkA", 1100, 105)} // +10%, +5%
+	table, regressions := compareRecords(old, cur, 0.15, []string{"ns/op", "allocs/op"})
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0\n%s", regressions, table)
+	}
+	if !strings.Contains(table, "| ok |") {
+		t.Errorf("table lacks ok status:\n%s", table)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	old := []Record{rec("BenchmarkA", 1000, 100), rec("BenchmarkB", 500, 10)}
+	cur := []Record{rec("BenchmarkA", 1200, 100), rec("BenchmarkB", 500, 25)}
+	table, regressions := compareRecords(old, cur, 0.15, []string{"ns/op", "allocs/op"})
+	if regressions != 2 {
+		t.Fatalf("regressions = %d, want 2 (ns/op of A, allocs/op of B)\n%s", regressions, table)
+	}
+	if strings.Count(table, "REGRESSION") != 2 {
+		t.Errorf("table does not flag both regressions:\n%s", table)
+	}
+}
+
+func TestCompareImprovementPasses(t *testing.T) {
+	old := []Record{rec("BenchmarkA", 1000, 100)}
+	cur := []Record{rec("BenchmarkA", 400, 30)}
+	table, regressions := compareRecords(old, cur, 0.15, []string{"ns/op", "allocs/op"})
+	if regressions != 0 {
+		t.Fatalf("improvement counted as regression:\n%s", table)
+	}
+	if !strings.Contains(table, "improved") {
+		t.Errorf("large improvement not marked:\n%s", table)
+	}
+}
+
+func TestCompareMissingBenchmarkFails(t *testing.T) {
+	old := []Record{rec("BenchmarkGone", 1000, 100)}
+	table, regressions := compareRecords(old, nil, 0.15, []string{"ns/op", "allocs/op"})
+	if regressions == 0 {
+		t.Fatalf("missing benchmark passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "missing") {
+		t.Errorf("missing benchmark not reported:\n%s", table)
+	}
+}
+
+func TestCompareNewBenchmarkIgnored(t *testing.T) {
+	cur := []Record{rec("BenchmarkFresh", 1000, 100)}
+	_, regressions := compareRecords(nil, cur, 0.15, []string{"ns/op"})
+	if regressions != 0 {
+		t.Fatal("benchmark without a baseline failed the gate")
+	}
+}
+
+func TestCompareZeroBaselineGoingNonzeroFails(t *testing.T) {
+	old := []Record{rec("BenchmarkA", 100, 0)}
+	cur := []Record{rec("BenchmarkA", 100, 1)}
+	table, regressions := compareRecords(old, cur, 0.15, []string{"allocs/op"})
+	if regressions != 1 {
+		t.Fatalf("0 -> 1 allocs/op passed the gate:\n%s", table)
+	}
+	if !strings.Contains(table, "+inf") {
+		t.Errorf("unbounded delta not rendered:\n%s", table)
+	}
+}

@@ -26,7 +26,6 @@ import (
 	"time"
 
 	"github.com/greenhpc/archertwin/internal/core"
-	"github.com/greenhpc/archertwin/internal/emissions"
 	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/report"
 	"github.com/greenhpc/archertwin/internal/rng"
@@ -163,60 +162,50 @@ func main() {
 // carbonStudy runs the anticipatory half of grid citizenship: one
 // carbon-aware run against an identical fcfs baseline, differing only in
 // the temporal policy, and reports the avoided carbon and its cost. The
-// policies themselves come from scenario.NewCarbonConfig, so this tool
-// and a sweep's carbon_policy axis mean exactly the same thing.
+// pair runs as a two-scenario sweep through the scenario Runner, so this
+// tool and a sweep's carbon_policy axis mean exactly the same thing —
+// same seeds, same accounting, same memoization (the fcfs baseline is
+// simulated once and reused, and the cache stats in the summary show it).
 func carbonStudy(policy string, nodes, days int, gridMean, forecastSigma, forecastGrowth, load float64, seed uint64) {
 	if policy != scenario.CarbonDelayFlexible && policy != scenario.CarbonBudget {
 		log.Fatalf("unknown -carbon-policy %q (use %s or %s)",
 			policy, scenario.CarbonDelayFlexible, scenario.CarbonBudget)
 	}
-	start := time.Date(2022, 11, 14, 0, 0, 0, 0, time.UTC)
-	base := core.ScaledConfig(nodes, start, days)
-	base.Seed = seed
-	base.OverSubscription = load
-	model := grid.GB2022().Scaled(gridMean)
-	tunables := scenario.CarbonSpec{ForecastSigma: forecastSigma, ForecastGrowth: forecastGrowth}
-	carbon := scenario.NewCarbonConfig(policy, tunables, model, gridMean, nodes, seed)
-
-	run := func(cfg core.Config) (*core.Results, emissions.Window) {
-		res, err := core.RunConfig(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		params := emissions.ARCHER2Defaults()
-		params.Embodied = params.Embodied.Scale(float64(nodes) / float64(core.DefaultConfig().Facility.Nodes))
-		// Skip two warmup days while the queue fills.
-		from := start.AddDate(0, 0, 2)
-		return res, params.AccountSeries(res.Power, res.CarbonTrace, from, cfg.End)
+	spec := scenario.Spec{
+		Name:             "grid citizenship: anticipatory",
+		Nodes:            nodes,
+		Days:             days,
+		WarmupDays:       2,
+		Seed:             seed,
+		OverSubscription: load,
+		Carbon:           scenario.CarbonSpec{ForecastSigma: forecastSigma, ForecastGrowth: forecastGrowth},
+		Axes: scenario.Axes{
+			GridMean:     []float64{gridMean},
+			CarbonPolicy: []string{scenario.CarbonFCFS, policy},
+		},
 	}
-
-	// The baseline shares the carbon wiring (same trace, same accounting)
-	// but schedules greedily.
-	fcfsCfg := base.Clone()
-	fcfsCfg.Carbon = &core.CarbonConfig{Model: model, TraceSeed: carbon.TraceSeed}
-	polCfg := base.Clone()
-	polCfg.Carbon = carbon
-
-	fcfsRes, fcfsAcct := run(fcfsCfg)
-	polRes, polAcct := run(polCfg)
+	runner := &scenario.Runner{}
+	res, err := runner.Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	t := report.NewTable(
 		fmt.Sprintf("Carbon-aware scheduling on %d nodes over %d days (grid mean %.0f g/kWh, load %.0f%%)",
 			nodes, days, gridMean, load*100),
 		"run", "experienced CI", "scope 2", "total CO2e", "holds", "completed", "mean wait")
-	row := func(name string, res *core.Results, w emissions.Window) {
-		t.AddRow(name,
-			fmt.Sprintf("%.1f g/kWh", w.CI.GramsPerKWh()),
-			fmt.Sprintf("%.2f t", w.Scope2.Tonnes()),
-			fmt.Sprintf("%.2f t", w.Total.Tonnes()),
-			fmt.Sprint(res.Sched.Holds),
-			fmt.Sprint(res.Sched.Completed),
-			res.Sched.MeanWait().Round(time.Minute).String())
+	for _, r := range res.Results {
+		t.AddRow(r.Scenario.CarbonPolicy,
+			fmt.Sprintf("%.1f g/kWh", r.Emissions.CI.GramsPerKWh()),
+			fmt.Sprintf("%.2f t", r.Emissions.Scope2.Tonnes()),
+			fmt.Sprintf("%.2f t", r.Emissions.Total.Tonnes()),
+			fmt.Sprint(r.Holds),
+			fmt.Sprint(r.Completed),
+			r.MeanWait.Round(time.Minute).String())
 	}
-	row("fcfs", fcfsRes, fcfsAcct)
-	row(policy, polRes, polAcct)
 	fmt.Println(t.String())
 
+	fcfsAcct, polAcct := res.Results[0].Emissions, res.Results[1].Emissions
 	avoided := fcfsAcct.Total.Grams() - polAcct.Total.Grams()
 	frac := 0.0
 	if fcfsAcct.Total.Grams() > 0 {
@@ -226,4 +215,7 @@ func carbonStudy(policy string, nodes, days int, gridMean, forecastSigma, foreca
 		units.Mass(avoided), report.Pct(frac))
 	full := units.Mass(avoided).Scale(5860 / float64(nodes))
 	fmt.Printf("scaled to the full 5860-node system: ~%s over %d days\n", full, days)
+	cs := runner.CacheStats()
+	fmt.Printf("%d scenarios, %d simulations (memo cache: %d hits, %d misses)\n",
+		len(res.Results), res.Simulations, cs.Hits, cs.Misses)
 }

@@ -90,7 +90,8 @@ func main() {
 	}
 
 	start := time.Now()
-	res, err := scenario.Runner{Workers: *workers}.Run(spec)
+	runner := &scenario.Runner{Workers: *workers}
+	res, err := runner.Run(spec)
 	if err != nil {
 		fail(err)
 	}
@@ -100,8 +101,10 @@ func main() {
 		if res.CarbonSwept() {
 			fmt.Println(res.CarbonTable().String())
 		}
-		fmt.Printf("%d scenarios (%d simulations) in %.1fs (workers=%d)\n",
-			len(res.Results), res.Simulations, time.Since(start).Seconds(), res.Workers)
+		cs := runner.CacheStats()
+		fmt.Printf("%d scenarios (%d simulations) in %.1fs (workers=%d, memo cache: %d hits, %d misses)\n",
+			len(res.Results), res.Simulations, time.Since(start).Seconds(), res.Workers,
+			cs.Hits, cs.Misses)
 	}
 }
 

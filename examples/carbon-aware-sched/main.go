@@ -50,7 +50,8 @@ func main() {
 		},
 	}
 
-	res, err := scenario.Runner{}.Run(spec)
+	runner := &scenario.Runner{}
+	res, err := runner.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,7 +43,8 @@ func main() {
 
 	// Run them across the worker pool. Results are byte-identical for
 	// any worker count; parallelism only buys wall-clock time.
-	res, err := scenario.Runner{}.Run(spec)
+	runner := &scenario.Runner{}
+	res, err := runner.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}

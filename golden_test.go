@@ -1,0 +1,127 @@
+// Determinism golden tests: the hot-path rewrite of the DES core
+// (internal/des 4-ary heap, internal/sched indexed free set, node power
+// caching) must be observationally invisible. The digests below were
+// recorded from the pre-refactor engine (container/heap event queue,
+// sorted-slice free list, uncached power); the refactored engine must
+// reproduce them bit for bit, at every worker count.
+package archertwin_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/core"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// Golden digests recorded from the pre-refactor engine (commit 5f48ed0).
+// If an intentional model change alters simulation output, re-bless these
+// by running with -run TestGolden -v and copying the printed digests —
+// but an engine/performance PR must never need to.
+const (
+	// goldenSeedDigest is core.DefaultConfig() (the full 13-month,
+	// 5,860-node seed run) through Results.Digest.
+	goldenSeedDigest = "f44760aae1702a3dd0820d6d5c6d052a87a4dedf1e6c98e01575e3435a523496"
+	// goldenScaledDigest is the scaled 150-node, 21-day config.
+	goldenScaledDigest = "2b9690768415317aecafda8c74df26cdcc868b00ab4819d8a53acd66d0b5e493"
+	// goldenSweepDigest is the 2x2 frequency x carbon-policy sweep below,
+	// identical at every worker count.
+	goldenSweepDigest = "98f6e12f1c8893c9b9f426bfaa1f28c4e4204f9756812f5490586486201bd6a0"
+)
+
+// goldenSweepSpec exercises the scheduler's backfill, hold/release and
+// forecast paths on a small facility: two frequency settings crossed with
+// a grid-blind and a carbon-aware temporal policy, under-subscribed so
+// the delay-flexible policy has room to shift work.
+func goldenSweepSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:             "golden",
+		Nodes:            64,
+		Days:             10,
+		Seed:             42,
+		OverSubscription: 0.8,
+		Axes: scenario.Axes{
+			Frequency:    []string{"stock", "capped"},
+			CarbonPolicy: []string{"fcfs", "delay-flexible"},
+		},
+	}
+}
+
+// goldenScaledConfig is the small deterministic replay config.
+func goldenScaledConfig() core.Config {
+	cfg := core.ScaledConfig(150, epoch, 21)
+	cfg.Windows = []core.Window{{Label: "w", From: epoch.AddDate(0, 0, 7), To: epoch.AddDate(0, 0, 21)}}
+	return cfg
+}
+
+// sweepDigest fingerprints every scenario result of a sweep: exact float
+// bits of each measured quantity, in scenario order.
+func sweepDigest(res *scenario.SweepResults) string {
+	h := sha256.New()
+	buf := make([]byte, 8)
+	f64 := func(v float64) {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		h.Write(buf)
+	}
+	for _, r := range res.Results {
+		h.Write([]byte(r.Scenario.Name))
+		f64(r.MeanPower.Watts())
+		f64(r.MeanUtil)
+		f64(r.Energy.Joules())
+		f64(r.NodeHours)
+		f64(r.MeanCI.GramsPerKWh())
+		f64(r.Emissions.Scope2.Grams())
+		f64(r.Emissions.Scope3.Grams())
+		f64(r.Emissions.Total.Grams())
+		f64(r.Emissions.CI.GramsPerKWh())
+		f64(r.AvoidedCarbon.Grams())
+		f64(float64(r.Holds))
+		f64(float64(r.HoldDelay / time.Nanosecond))
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestGoldenSeedConfigDigest proves the refactored engine reproduces the
+// pre-refactor seed run exactly (shares the cached full timeline with the
+// acceptance test and figure benchmarks).
+func TestGoldenSeedConfigDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale timeline: skipped in -short mode")
+	}
+	res := fullTimeline(t)
+	if d := res.Digest(); d != goldenSeedDigest {
+		t.Errorf("seed config digest = %s, golden %s", d, goldenSeedDigest)
+	}
+}
+
+// TestGoldenScaledConfigDigest is the fast replay proof, run on every
+// test invocation including -short.
+func TestGoldenScaledConfigDigest(t *testing.T) {
+	res, err := core.RunConfig(goldenScaledConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Digest(); d != goldenScaledDigest {
+		t.Errorf("scaled config digest = %s, golden %s", d, goldenScaledDigest)
+	}
+}
+
+// TestGoldenSweepWorkerInvariance runs the golden sweep at 1, 4 and 8
+// workers and asserts every scenario's measured outcome is bit-identical
+// to the pre-refactor golden digest at every worker count.
+func TestGoldenSweepWorkerInvariance(t *testing.T) {
+	for _, workers := range []int{1, 4, 8} {
+		r := scenario.Runner{Workers: workers}
+		res, err := r.Run(goldenSweepSpec())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := sweepDigest(res); d != goldenSweepDigest {
+			t.Errorf("workers=%d: sweep digest = %s, golden %s", workers, d, goldenSweepDigest)
+		}
+	}
+}

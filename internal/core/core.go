@@ -351,6 +351,10 @@ type Simulator struct {
 	nodeFailures int
 	carbonTrace  *timeseries.Series
 
+	// pumpEvent is the arrival pump's event callback, created once so the
+	// O(100k) arrivals of a run do not allocate a closure each.
+	pumpEvent des.Event
+
 	ran bool
 }
 
@@ -452,7 +456,8 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		s.cabinets = cab
 	}
 	// Kick off the arrival pump at the start time.
-	eng.At(cfg.Start, func(time.Time) { s.pump() })
+	s.pumpEvent = func(time.Time) { s.pump() }
+	eng.At(cfg.Start, s.pumpEvent)
 	if cfg.Failures.MTBFPerNode > 0 {
 		s.failStream = root.Split("failures")
 		eng.At(cfg.Start, func(time.Time) { s.pumpFailures() })
@@ -471,7 +476,7 @@ func (s *Simulator) pump() {
 	s.sch.Submit(spec)
 	next := s.eng.Now().Add(gap)
 	if next.Before(s.cfg.End) {
-		s.eng.At(next, func(time.Time) { s.pump() })
+		s.eng.At(next, s.pumpEvent)
 	}
 }
 

@@ -13,56 +13,75 @@
 // simulation core is single-threaded and parallelism belongs at the
 // experiment-sweep level — many independent engines, as implemented by
 // the scenario package's worker-pool runner.
+//
+// Performance: the queue is a generic 4-ary min-heap over pooled event
+// items keyed on (unix nanoseconds, sequence) — integer comparisons, no
+// interface boxing, no per-event allocation in steady state (items come
+// from a sync.Pool free-list and return to it when they fire). Hot
+// callers that would otherwise allocate a closure per event can use AtArg
+// with a long-lived callback and a per-event argument. A full 13-month
+// facility run schedules over a million events; this path is what keeps
+// the event loop allocation-free.
 package des
 
 import (
-	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 )
 
 // Event is a callback scheduled at a virtual time.
 type Event func(now time.Time)
 
+// ArgEvent is an event callback taking an explicit argument, letting hot
+// callers reuse one long-lived function value across many events instead
+// of allocating a fresh closure per event (see Engine.AtArg).
+type ArgEvent func(now time.Time, arg any)
+
 // Handle identifies a scheduled event so it can be cancelled.
 type Handle struct {
 	seq uint64
 }
 
+// item is one scheduled event. The heap orders items by (at, seq): `at`
+// is the scheduled time in unix nanoseconds so comparisons are two
+// integer compares, and `t` keeps the exact time.Time value the clock
+// advances to (reconstructing it from nanoseconds would be Equal but not
+// bit-identical, and the determinism contract is bit-identity).
 type item struct {
-	at     time.Time
+	at     int64
 	seq    uint64
+	t      time.Time
 	fn     Event
+	argFn  ArgEvent
+	arg    any
 	cancel bool
 }
 
-type eventQueue []*item
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if !q[i].at.Equal(q[j].at) {
-		return q[i].at.Before(q[j].at)
+func (it *item) less(other *item) bool {
+	if it.at != other.at {
+		return it.at < other.at
 	}
-	return q[i].seq < q[j].seq
+	return it.seq < other.seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*item)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+
+// itemPool is the free-list backing the event queue. Items are recycled
+// when they fire (or when a cancelled item surfaces), so a simulation's
+// steady-state event churn allocates nothing; the pool is shared by every
+// engine, which suits the scenario runner's many short-lived engines.
+var itemPool = sync.Pool{New: func() any { return new(item) }}
+
+func putItem(it *item) {
+	*it = item{}
+	itemPool.Put(it)
 }
 
 // Engine is a discrete-event simulation engine.
 type Engine struct {
 	now      time.Time
-	queue    eventQueue
+	queue    fourHeap[*item]
 	seq      uint64
 	byHandle map[uint64]*item
-	running  bool
 	fired    uint64
 }
 
@@ -84,12 +103,31 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // At schedules fn at absolute virtual time t. Scheduling in the past (before
 // Now) panics: it always indicates a model bug.
 func (e *Engine) At(t time.Time, fn Event) Handle {
+	return e.schedule(t, fn, nil, nil)
+}
+
+// AtArg schedules fn(now, arg) at absolute virtual time t. It behaves
+// exactly like At but lets the caller keep one long-lived ArgEvent and
+// vary only the argument, avoiding a closure allocation per event — the
+// scheduler uses it for job-completion events (one per started job).
+func (e *Engine) AtArg(t time.Time, fn ArgEvent, arg any) Handle {
+	return e.schedule(t, nil, fn, arg)
+}
+
+func (e *Engine) schedule(t time.Time, fn Event, argFn ArgEvent, arg any) Handle {
 	if t.Before(e.now) {
 		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, e.now))
 	}
 	e.seq++
-	it := &item{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, it)
+	it := itemPool.Get().(*item)
+	it.at = t.UnixNano()
+	it.seq = e.seq
+	it.t = t
+	it.fn = fn
+	it.argFn = argFn
+	it.arg = arg
+	it.cancel = false
+	e.queue.push(it)
 	e.byHandle[it.seq] = it
 	return Handle{seq: it.seq}
 }
@@ -110,6 +148,9 @@ func (e *Engine) Cancel(h Handle) bool {
 		return false
 	}
 	it.cancel = true
+	it.fn = nil
+	it.argFn = nil
+	it.arg = nil // release references now; the item pops lazily
 	delete(e.byHandle, h.seq)
 	return true
 }
@@ -121,6 +162,13 @@ func (e *Engine) Every(d time.Duration, until time.Time, fn Event) *Ticker {
 		panic("des: non-positive tick interval")
 	}
 	t := &Ticker{engine: e, period: d, until: until, fn: fn}
+	// One closure for the ticker's whole life, not one per tick.
+	t.fire = func(now time.Time) {
+		t.fn(now)
+		if !t.stopped {
+			t.scheduleNext()
+		}
+	}
 	t.scheduleNext()
 	return t
 }
@@ -131,6 +179,7 @@ type Ticker struct {
 	period  time.Duration
 	until   time.Time
 	fn      Event
+	fire    Event
 	handle  Handle
 	stopped bool
 }
@@ -141,12 +190,7 @@ func (t *Ticker) scheduleNext() {
 		t.stopped = true
 		return
 	}
-	t.handle = t.engine.At(next, func(now time.Time) {
-		t.fn(now)
-		if !t.stopped {
-			t.scheduleNext()
-		}
-	})
+	t.handle = t.engine.At(next, t.fire)
 }
 
 // Stop cancels future ticks.
@@ -160,15 +204,22 @@ func (t *Ticker) Stop() {
 // Step executes the next event, advancing the clock to its timestamp.
 // It returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		it := heap.Pop(&e.queue).(*item)
+	for e.queue.len() > 0 {
+		it := e.queue.pop()
 		if it.cancel {
+			putItem(it)
 			continue
 		}
 		delete(e.byHandle, it.seq)
-		e.now = it.at
+		e.now = it.t
 		e.fired++
-		it.fn(e.now)
+		fn, argFn, arg := it.fn, it.argFn, it.arg
+		putItem(it) // recycle before firing: the callback may schedule
+		if fn != nil {
+			fn(e.now)
+		} else {
+			argFn(e.now, arg)
+		}
 		return true
 	}
 	return false
@@ -180,14 +231,15 @@ func (e *Engine) RunUntil(deadline time.Time) {
 	if deadline.Before(e.now) {
 		panic("des: RunUntil deadline in the past")
 	}
-	for len(e.queue) > 0 {
+	dn := deadline.UnixNano()
+	for e.queue.len() > 0 {
 		// Peek.
-		it := e.queue[0]
+		it := e.queue.peek()
 		if it.cancel {
-			heap.Pop(&e.queue)
+			putItem(e.queue.pop())
 			continue
 		}
-		if !it.at.Before(deadline) {
+		if it.at >= dn {
 			break
 		}
 		e.Step()

@@ -1,0 +1,122 @@
+package des
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// refItem / refQueue reproduce the pre-refactor event queue exactly: a
+// container/heap priority queue of boxed items ordered by (at, seq). The
+// property tests assert the generic 4-ary heap pops in the identical
+// tie-break order.
+type refItem struct {
+	at  int64
+	seq uint64
+}
+
+type refQueue []*refItem
+
+func (q refQueue) Len() int { return len(q) }
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q refQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *refQueue) Push(x any)   { *q = append(*q, x.(*refItem)) }
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return it
+}
+
+// TestFourHeapMatchesContainerHeapOrder pushes arbitrary timestamps —
+// heavy on ties, since the engine schedules many events at identical
+// times — and asserts the pop order of the 4-ary heap equals the old
+// container/heap queue's order item for item.
+func TestFourHeapMatchesContainerHeapOrder(t *testing.T) {
+	f := func(ats []uint8) bool {
+		var fh fourHeap[*item]
+		var ref refQueue
+		for i, at := range ats {
+			// uint8 timestamps force dense ties; seq breaks them FIFO.
+			fh.push(&item{at: int64(at), seq: uint64(i)})
+			heap.Push(&ref, &refItem{at: int64(at), seq: uint64(i)})
+		}
+		for ref.Len() > 0 {
+			want := heap.Pop(&ref).(*refItem)
+			got := fh.pop()
+			if got.at != want.at || got.seq != want.seq {
+				return false
+			}
+		}
+		return fh.len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFourHeapInterleavedPushPop interleaves pushes and pops (as the
+// running engine does) and checks the orders still agree, including with
+// duplicate timestamps arriving after earlier ones were popped.
+func TestFourHeapInterleavedPushPop(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var fh fourHeap[*item]
+	var ref refQueue
+	seq := uint64(0)
+	for round := 0; round < 2000; round++ {
+		if fh.len() == 0 || r.Intn(3) != 0 {
+			at := int64(r.Intn(64))
+			seq++
+			fh.push(&item{at: at, seq: seq})
+			heap.Push(&ref, &refItem{at: at, seq: seq})
+			continue
+		}
+		want := heap.Pop(&ref).(*refItem)
+		got := fh.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("round %d: popped (at=%d seq=%d), reference (at=%d seq=%d)",
+				round, got.at, got.seq, want.at, want.seq)
+		}
+	}
+	for ref.Len() > 0 {
+		want := heap.Pop(&ref).(*refItem)
+		got := fh.pop()
+		if got.at != want.at || got.seq != want.seq {
+			t.Fatalf("drain: popped (at=%d seq=%d), reference (at=%d seq=%d)",
+				got.at, got.seq, want.at, want.seq)
+		}
+	}
+}
+
+// TestEnginePoolReuseKeepsOrder schedules, fires and reschedules through
+// the engine API so pooled items are recycled mid-run, and asserts the
+// engine-level FIFO tie-break survives recycling.
+func TestEnginePoolReuseKeepsOrder(t *testing.T) {
+	// Three waves of same-time events with full drains in between, so
+	// every wave reuses the prior wave's pooled items.
+	e := NewEngine(t0)
+	var got []int
+	for wave := 0; wave < 3; wave++ {
+		at := e.Now().Add(1)
+		got = got[:0]
+		for i := 0; i < 50; i++ {
+			i := i
+			e.At(at, func(time.Time) { got = append(got, i) })
+		}
+		e.Run()
+		for i, v := range got {
+			if v != i {
+				t.Fatalf("wave %d: order %v", wave, got)
+			}
+		}
+	}
+}

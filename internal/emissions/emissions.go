@@ -109,6 +109,11 @@ func (p Params) Account(power units.Power, window time.Duration, ci units.Carbon
 func (p Params) AccountSeries(powerKW, ci *timeseries.Series, from, to time.Time) Window {
 	var energyKWh, scope2g float64
 	samples := ci.Samples()
+	// The intensity segments sweep forward in time, so one accumulator
+	// walks the power series in a single pass (O(P+C)) instead of a
+	// binary search and rescan per segment; the integrals are
+	// bit-identical to per-segment TimeWeightedMean calls.
+	acc := powerKW.Accumulator()
 	for i, smp := range samples {
 		segFrom, segTo := smp.T, to
 		if i+1 < len(samples) && samples[i+1].T.Before(to) {
@@ -120,7 +125,7 @@ func (p Params) AccountSeries(powerKW, ci *timeseries.Series, from, to time.Time
 		if !segTo.After(segFrom) {
 			continue
 		}
-		meanKW := powerKW.TimeWeightedMean(segFrom, segTo)
+		meanKW := acc.TimeWeightedMean(segFrom, segTo)
 		kwh := meanKW * segTo.Sub(segFrom).Hours()
 		energyKWh += kwh
 		scope2g += kwh * smp.V

@@ -52,6 +52,10 @@ type Facility struct {
 	fabric *interconnect.Fabric
 	fs     *storage.Fleet
 	plant  *cooling.Plant
+
+	// counters tracks fleet-wide up/busy node counts incrementally, so
+	// the per-sample Utilisation read is O(1) instead of a fleet scan.
+	counters node.FleetCounters
 }
 
 // New builds a facility at virtual time `at`, with per-node die variation
@@ -74,6 +78,7 @@ func New(cfg Config, r *rng.Stream, at time.Time) (*Facility, error) {
 	nodeStream := r.Split("nodes")
 	for i := range f.nodes {
 		f.nodes[i] = node.New(i, cfg.CPU, nodeStream.SplitIndexed("node", i), at)
+		f.nodes[i].AttachCounters(&f.counters)
 	}
 	return f, nil
 }
@@ -115,29 +120,24 @@ func (f *Facility) CabinetOfNode(i int) int {
 }
 
 // ComputeNodePower returns the instantaneous power of all compute nodes.
+// Each node's draw is cached (see node.Power), so this is a linear sweep
+// of plain float loads — in node-index order, keeping the floating-point
+// summation bit-identical to the uncached engine.
 func (f *Facility) ComputeNodePower() units.Power {
 	var w float64
 	for _, n := range f.nodes {
-		w += n.Power().Watts()
+		w += n.PowerWatts()
 	}
 	return units.Watts(w)
 }
 
-// Utilisation returns the fraction of Up nodes that are busy.
+// Utilisation returns the fraction of Up nodes that are busy, from the
+// incrementally maintained fleet counters (identical to a fresh scan).
 func (f *Facility) Utilisation() float64 {
-	up, busy := 0, 0
-	for _, n := range f.nodes {
-		if n.State() == node.Up || n.State() == node.Draining {
-			up++
-			if n.Busy() {
-				busy++
-			}
-		}
-	}
-	if up == 0 {
+	if f.counters.Up == 0 {
 		return 0
 	}
-	return float64(busy) / float64(up)
+	return float64(f.counters.BusyUp) / float64(f.counters.Up)
 }
 
 // CabinetPower returns what the paper's Figures 1-3 measure: compute node

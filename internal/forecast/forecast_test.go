@@ -166,7 +166,7 @@ func TestValidation(t *testing.T) {
 	if _, err := New(gbTrace(t), ErrorModel{Sigma0: -1}); err == nil {
 		t.Error("negative sigma accepted")
 	}
-	if (ErrorModel{Seed: 5}).IsPerfect() != true {
+	if !(ErrorModel{Seed: 5}).IsPerfect() {
 		t.Error("seed-only model not perfect")
 	}
 	if (ErrorModel{Bias: 1}).IsPerfect() {

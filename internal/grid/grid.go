@@ -97,7 +97,8 @@ func (m IntensityModel) Trace(from, to time.Time, step time.Duration, r *rng.Str
 	if step <= 0 || !to.After(from) {
 		return nil, fmt.Errorf("grid: invalid trace window [%v, %v) step %v", from, to, step)
 	}
-	s := timeseries.New("carbon_intensity", "gCO2/kWh")
+	s := timeseries.NewWithCapacity("carbon_intensity", "gCO2/kWh",
+		int(to.Sub(from)/step)+1)
 	// Exact OU discretisation: x' = x*a + sigma*sqrt(1-a^2)*N(0,1).
 	a := math.Exp(-step.Seconds() / m.NoiseTau.Seconds())
 	q := m.NoiseSigma * math.Sqrt(1-a*a)

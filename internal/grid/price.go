@@ -74,9 +74,13 @@ func (m PriceModel) PriceTrace(intensity *timeseries.Series, events []StressEven
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	out := timeseries.New("electricity_price", "per_kWh")
-	for _, smp := range intensity.Samples() {
-		out.MustAppend(smp.T, float64(m.PriceAt(smp.T, smp.V, events)))
+	batch := make([]timeseries.Sample, intensity.Len())
+	for i, smp := range intensity.Samples() {
+		batch[i] = timeseries.Sample{T: smp.T, V: float64(m.PriceAt(smp.T, smp.V, events))}
+	}
+	out := timeseries.NewWithCapacity("electricity_price", "per_kWh", len(batch))
+	if err := out.AppendN(batch); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

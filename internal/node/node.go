@@ -70,6 +70,31 @@ type Node struct {
 
 	energy     units.Energy
 	lastUpdate time.Time
+
+	// powerW caches Power().Watts(): the socket power model is a pure
+	// function of (setting, mode, activity, dieFactor, state), all of
+	// which change only through the mutator methods below, so the cache
+	// is refreshed there and every read — telemetry sweeps the whole
+	// fleet per sample — is a field load instead of the full voltage/
+	// frequency model. The cached value is the same computation, so sums
+	// over nodes are bit-identical to the uncached engine.
+	powerW float64
+
+	// counters, when attached, aggregates fleet-wide up/busy node counts
+	// incrementally so Facility.Utilisation is O(1) instead of a fleet
+	// scan per telemetry sample.
+	counters *FleetCounters
+}
+
+// FleetCounters aggregates schedulable and busy node counts across a
+// fleet, maintained incrementally by each node's state transitions. The
+// ratios it yields are integer-derived and therefore identical to a
+// fresh scan of the fleet.
+type FleetCounters struct {
+	// Up counts nodes not Down (Up or Draining).
+	Up int
+	// BusyUp counts nodes that are busy and not Down.
+	BusyUp int
 }
 
 // New creates a node with the given ID using spec, initialised at the
@@ -85,12 +110,60 @@ func New(id int, spec *cpu.Spec, r *rng.Stream, at time.Time) *Node {
 		lastUpdate: at,
 	}
 	n.redraw()
+	n.refreshPower()
 	return n
 }
 
 func (n *Node) redraw() {
 	n.dieFactor = n.Spec.DrawDieFactor(n.mode, n.rng)
 	n.perfFactor = n.Spec.DrawPerfFactor(n.mode, n.rng)
+}
+
+// AttachCounters registers the node on a fleet counter set, contributing
+// its current state. Facility attaches every node to one shared set.
+func (n *Node) AttachCounters(c *FleetCounters) {
+	n.counters = c
+	if n.state != Down {
+		c.Up++
+		if n.busy {
+			c.BusyUp++
+		}
+	}
+}
+
+// refreshPower recomputes the cached power draw. Call after any mutation
+// of setting, mode, activity, die factors or state.
+func (n *Node) refreshPower() {
+	if n.state == Down {
+		n.powerW = 0
+		return
+	}
+	socket := n.Spec.Power(n.setting, n.activity, n.dieFactor)
+	n.powerW = SocketsPerNode*socket.Watts() + BoardPower.Watts()
+}
+
+// updateCounters reconciles the fleet counters after a state or busy
+// transition, given the prior values.
+func (n *Node) updateCounters(wasUp, wasBusy bool) {
+	c := n.counters
+	if c == nil {
+		return
+	}
+	up := n.state != Down
+	if up != wasUp {
+		if up {
+			c.Up++
+		} else {
+			c.Up--
+		}
+	}
+	if was, now := wasUp && wasBusy, up && n.busy; now != was {
+		if now {
+			c.BusyUp++
+		} else {
+			c.BusyUp--
+		}
+	}
 }
 
 // Setting returns the node's current frequency setting.
@@ -106,7 +179,10 @@ func (n *Node) State() State { return n.state }
 // transition is accounted at the right power level).
 func (n *Node) SetState(s State, at time.Time) {
 	n.Accrue(at)
+	wasUp, wasBusy := n.state != Down, n.busy
 	n.state = s
+	n.refreshPower()
+	n.updateCounters(wasUp, wasBusy)
 }
 
 // Busy reports whether a job is currently running on the node.
@@ -120,6 +196,7 @@ func (n *Node) SetFrequency(fs cpu.FreqSetting, at time.Time) error {
 	}
 	n.Accrue(at)
 	n.setting = fs
+	n.refreshPower()
 	return nil
 }
 
@@ -133,21 +210,28 @@ func (n *Node) SetMode(m cpu.Mode, at time.Time) {
 	n.Accrue(at)
 	n.mode = m
 	n.redraw()
+	n.refreshPower()
 }
 
 // StartWork marks the node busy with the given activity (from the
 // application model). It accrues idle energy up to `at` first.
 func (n *Node) StartWork(a cpu.Activity, at time.Time) {
 	n.Accrue(at)
+	wasBusy := n.busy
 	n.activity = a
 	n.busy = true
+	n.refreshPower()
+	n.updateCounters(n.state != Down, wasBusy)
 }
 
 // StopWork marks the node idle, accruing the work period's energy.
 func (n *Node) StopWork(at time.Time) {
 	n.Accrue(at)
+	wasBusy := n.busy
 	n.activity = cpu.Activity{}
 	n.busy = false
+	n.refreshPower()
+	n.updateCounters(n.state != Down, wasBusy)
 }
 
 // PerfFactor returns the node's current per-die performance factor.
@@ -155,13 +239,15 @@ func (n *Node) PerfFactor() float64 { return n.perfFactor }
 
 // Power returns the node's current power draw: both sockets plus board.
 // A Down node draws no power (powered off); Draining nodes draw normally.
+// The value is cached across reads and refreshed on state mutations, so
+// fleet-wide power sweeps cost a field load per node.
 func (n *Node) Power() units.Power {
-	if n.state == Down {
-		return 0
-	}
-	socket := n.Spec.Power(n.setting, n.activity, n.dieFactor)
-	return units.Watts(SocketsPerNode*socket.Watts() + BoardPower.Watts())
+	return units.Watts(n.powerW)
 }
+
+// PowerWatts is Power().Watts() without the unit round-trip, for the
+// facility's per-sample fleet summation.
+func (n *Node) PowerWatts() float64 { return n.powerW }
 
 // Accrue integrates energy at the current power level from the last update
 // to `at`. Callers mutating power-relevant state must Accrue first; the

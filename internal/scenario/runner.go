@@ -3,6 +3,7 @@ package scenario
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sync"
 	"time"
@@ -54,6 +55,10 @@ type Result struct {
 	// parked time over the whole run (zero under fcfs).
 	Holds     int
 	HoldDelay time.Duration
+	// Completed is the number of jobs completed over the whole run;
+	// MeanWait is their mean queue wait.
+	Completed int
+	MeanWait  time.Duration
 }
 
 // SweepResults aggregates a completed sweep. Results[0] is the baseline.
@@ -71,7 +76,14 @@ type SweepResults struct {
 // Baseline returns the baseline result.
 func (s *SweepResults) Baseline() Result { return s.Results[0] }
 
-// Runner executes a sweep's scenarios on a worker pool.
+// Runner executes a sweep's scenarios on a worker pool, memoizing
+// completed simulations across Run calls: a scenario whose full derived
+// seed and configuration hash match an earlier simulation reuses its
+// results instead of re-simulating. Within one sweep this is how fcfs
+// counterparts on the carbon axis cost one simulation instead of one per
+// scenario; across sweeps on the same Runner (a tool exploring several
+// specs, a baseline shared by consecutive studies) it skips the repeat
+// entirely. A Runner must not be copied after first use.
 type Runner struct {
 	// Workers is the pool size; <= 0 means GOMAXPROCS. Results are
 	// byte-identical for every worker count: each scenario's simulator is
@@ -82,6 +94,48 @@ type Runner struct {
 	// runCfg executes one simulation; nil means core.RunConfig. Tests
 	// substitute it to exercise failure aggregation deterministically.
 	runCfg func(core.Config) (*core.Results, error)
+
+	// memo caches completed simulations by memoKey — the scenario's full
+	// derived seed plus a hash of every config-shaping spec field, so
+	// scenarios differing in any simulation-affecting axis (-nodes,
+	// -freq, days, oversubscription, carbon tunables, ...) can never
+	// collide. Guarded by mu together with the hit/miss counters.
+	mu     sync.Mutex
+	memo   map[string]*core.Results
+	hits   int
+	misses int
+}
+
+// CacheStats reports the Runner's memoization counters, accumulated
+// across every Run call: Misses counts simulations actually executed,
+// Hits counts scenarios served from an already-computed simulation
+// (within-sweep sharing or a cross-sweep memo hit).
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
+
+// CacheStats returns the memoization counters.
+func (r *Runner) CacheStats() CacheStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return CacheStats{Hits: r.hits, Misses: r.misses}
+}
+
+// memoCap bounds the memo cache: each entry retains a simulation's full
+// results (power/utilisation series included), so admission stops once
+// the cache holds this many distinct simulations.
+const memoCap = 256
+
+// memoKey is the cache identity of one simulation: the full derived seed
+// (which already folds in the spec seed and the scenario's simulation
+// axes) plus a hash over every remaining config-shaping spec field.
+func memoKey(spec Spec, sc Scenario, cfg core.Config) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d|sim=%s|days=%d|warmup=%d|oversub=%g|carbon=%+v",
+		cfg.Seed, sc.simKey(), spec.Days, spec.WarmupDays, spec.OverSubscription,
+		spec.Carbon.withDefaults())
+	return fmt.Sprintf("%d-%016x", cfg.Seed, h.Sum64())
 }
 
 // ScenarioError wraps one failed scenario of a sweep.
@@ -104,11 +158,14 @@ func (e *ScenarioError) Unwrap() error { return e.Err }
 // the worker pool runs each unique configuration once and the per-scenario
 // grid trace and emissions accounting are re-derived from the shared
 // result, so the flagship frequency x grid sweep costs two simulations,
-// not eight, with byte-identical output. When scenarios fail, the errors
+// not eight, with byte-identical output. Completed simulations are also
+// memoized on the Runner (see memoKey), so repeating or extending a sweep
+// on the same Runner re-simulates only what changed; CacheStats reports
+// the hit/miss counters. When scenarios fail, the errors
 // of every failing scenario are joined in scenario-index order (each a
 // *ScenarioError), deterministically regardless of which worker hit one
 // first — no scenario is ever silently dropped.
-func (r Runner) Run(spec Spec) (*SweepResults, error) {
+func (r *Runner) Run(spec Spec) (*SweepResults, error) {
 	scenarios, err := spec.Expand()
 	if err != nil {
 		return nil, err
@@ -119,6 +176,7 @@ func (r Runner) Run(spec Spec) (*SweepResults, error) {
 	// up front.
 	type group struct {
 		cfg     core.Config
+		key     string
 		members []int
 	}
 	var groups []group
@@ -134,10 +192,24 @@ func (r Runner) Run(spec Spec) (*SweepResults, error) {
 		if !ok {
 			gi = len(groups)
 			byKey[sc.simKey()] = gi
-			groups = append(groups, group{cfg: cfg})
+			groups = append(groups, group{cfg: cfg, key: memoKey(spec, sc, cfg)})
 		}
 		groups[gi].members = append(groups[gi].members, i)
 	}
+
+	// Resolve memoized simulations; only the rest go to the pool.
+	sims := make([]*core.Results, len(groups))
+	errs := make([]error, len(groups))
+	var pending []int
+	r.mu.Lock()
+	for g := range groups {
+		if res, ok := r.memo[groups[g].key]; ok {
+			sims[g] = res
+			continue
+		}
+		pending = append(pending, g)
+	}
+	r.mu.Unlock()
 
 	workers := r.Workers
 	if workers <= 0 {
@@ -147,8 +219,6 @@ func (r Runner) Run(spec Spec) (*SweepResults, error) {
 		workers = len(groups)
 	}
 
-	sims := make([]*core.Results, len(groups))
-	errs := make([]error, len(groups))
 	jobs := make(chan int)
 	runCfg := r.runCfg
 	if runCfg == nil {
@@ -164,11 +234,29 @@ func (r Runner) Run(spec Spec) (*SweepResults, error) {
 			}
 		}()
 	}
-	for g := range groups {
+	for _, g := range pending {
 		jobs <- g
 	}
 	close(jobs)
 	wg.Wait()
+
+	// Memoize fresh successes. Misses count executed simulations; hits
+	// count scenarios that rode along on one already computed. The cache
+	// stops admitting new entries at memoCap — each entry pins a full
+	// results series, and a long-lived tool sweeping ever-new configs
+	// must not grow memory without bound (retained entries keep hitting).
+	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = make(map[string]*core.Results)
+	}
+	for _, g := range pending {
+		if errs[g] == nil && len(r.memo) < memoCap {
+			r.memo[groups[g].key] = sims[g]
+		}
+	}
+	r.misses += len(pending)
+	r.hits += len(scenarios) - len(pending)
+	r.mu.Unlock()
 
 	// Report every failing scenario, in scenario-index order, rather than
 	// just the first: a sweep that half-fails should say exactly which
@@ -245,6 +333,8 @@ func account(sc Scenario, trace *timeseries.Series, res *core.Results) (Result, 
 		Regime:    emissions.RegimeOf(acct),
 		Holds:     res.Sched.Holds,
 		HoldDelay: res.Sched.HoldDelay,
+		Completed: res.Sched.Completed,
+		MeanWait:  res.Sched.MeanWait(),
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"github.com/greenhpc/archertwin/internal/core"
@@ -27,13 +28,13 @@ func tinySpec() Spec {
 // byte-identical aggregate results at 1, 4 and 8 workers.
 func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 	spec := tinySpec()
-	ref, err := Runner{Workers: 1}.Run(spec)
+	ref, err := (&Runner{Workers: 1}).Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	refTable := ref.Table().String()
 	for _, workers := range []int{4, 8} {
-		got, err := Runner{Workers: workers}.Run(spec)
+		got, err := (&Runner{Workers: workers}).Run(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -51,12 +52,12 @@ func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 // above is not a constant function).
 func TestRunnerSeedSensitivity(t *testing.T) {
 	spec := tinySpec()
-	a, err := Runner{Workers: 2}.Run(spec)
+	a, err := (&Runner{Workers: 2}).Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.Seed = 7
-	b, err := Runner{Workers: 2}.Run(spec)
+	b, err := (&Runner{Workers: 2}).Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestRunnerSeedSensitivity(t *testing.T) {
 
 func TestRunnerSingleScenario(t *testing.T) {
 	spec := Spec{Nodes: 32, Days: 2, WarmupDays: 1}
-	res, err := Runner{Workers: 8}.Run(spec) // more workers than scenarios
+	res, err := (&Runner{Workers: 8}).Run(spec) // more workers than scenarios
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestRunnerSingleScenario(t *testing.T) {
 // Physical sanity on the flagship axes: capping the frequency must cut
 // mean power, and a cleaner grid must cut emissions at equal power.
 func TestRunnerAxisEffects(t *testing.T) {
-	res, err := Runner{Workers: 4}.Run(tinySpec())
+	res, err := (&Runner{Workers: 4}).Run(tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,13 +121,13 @@ func TestRunnerAxisEffects(t *testing.T) {
 func TestRunnerPropagatesExpansionErrors(t *testing.T) {
 	spec := tinySpec()
 	spec.Axes.Frequency = []string{"warp9"}
-	if _, err := (Runner{}).Run(spec); err == nil {
+	if _, err := (&Runner{}).Run(spec); err == nil {
 		t.Fatal("invalid axis value did not fail the run")
 	}
 }
 
 func TestSweepTables(t *testing.T) {
-	res, err := Runner{Workers: 4}.Run(tinySpec())
+	res, err := (&Runner{Workers: 4}).Run(tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSweepTables(t *testing.T) {
 // 2x2 tiny sweep has two unique simulation keys, so exactly two
 // simulations run for four scenarios.
 func TestRunnerDeduplicatesSimulations(t *testing.T) {
-	res, err := Runner{Workers: 4}.Run(tinySpec())
+	res, err := (&Runner{Workers: 4}).Run(tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,13 +182,13 @@ func carbonSpec() Spec {
 // deltas against the fcfs baseline.
 func TestRunnerCarbonSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	spec := carbonSpec()
-	ref, err := Runner{Workers: 1}.Run(spec)
+	ref, err := (&Runner{Workers: 1}).Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	refCarbon := ref.CarbonTable().String()
 	for _, workers := range []int{3, 8} {
-		got, err := Runner{Workers: workers}.Run(spec)
+		got, err := (&Runner{Workers: workers}).Run(spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,7 +213,7 @@ func TestRunnerCarbonSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 // hold jobs, the fcfs ones never do, and avoided carbon is populated
 // against the matching fcfs counterpart (zero for fcfs itself).
 func TestRunnerCarbonPolicyEffects(t *testing.T) {
-	res, err := Runner{Workers: 4}.Run(carbonSpec())
+	res, err := (&Runner{Workers: 4}).Run(carbonSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,9 +259,9 @@ func TestRunnerCarbonPolicyEffects(t *testing.T) {
 func TestRunnerAggregatesWorkerErrors(t *testing.T) {
 	spec := tinySpec()
 	boom := errors.New("boom")
-	calls := 0
+	var calls atomic.Int32
 	r := Runner{Workers: 2, runCfg: func(cfg core.Config) (*core.Results, error) {
-		calls++
+		calls.Add(1)
 		return nil, boom
 	}}
 	_, err := r.Run(spec)
@@ -286,8 +287,8 @@ func TestRunnerAggregatesWorkerErrors(t *testing.T) {
 			t.Errorf("scenario error %d does not wrap the cause", i)
 		}
 	}
-	if calls != 2 {
-		t.Errorf("ran %d simulations, want 2 (deduplicated)", calls)
+	if n := calls.Load(); n != 2 {
+		t.Errorf("ran %d simulations, want 2 (deduplicated)", n)
 	}
 }
 
@@ -311,7 +312,7 @@ func TestCarbonTableWithoutCounterpart(t *testing.T) {
 			CarbonPolicy: []string{"fcfs", "delay-flexible"},
 		},
 	}
-	res, err := Runner{Workers: 2}.Run(spec)
+	res, err := (&Runner{Workers: 2}).Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,5 +330,59 @@ func TestCarbonTableWithoutCounterpart(t *testing.T) {
 	if len(rows) < 4 || !strings.Contains(rows[3], "—") {
 		t.Errorf("carbon table row without counterpart lacks the — placeholder:\n%s",
 			res.CarbonTable().String())
+	}
+}
+
+// Memoization: re-running a sweep on the same Runner must serve every
+// scenario from cache (no fresh simulations), key distinct specs apart
+// (different nodes/frequency axes never collide), and produce results
+// identical to the fresh run.
+func TestRunnerMemoization(t *testing.T) {
+	r := &Runner{Workers: 2}
+	spec := tinySpec()
+	first, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := r.CacheStats()
+	// 4 scenarios over 2 unique sims: 2 misses, 2 ride-along hits.
+	if cs.Misses != 2 || cs.Hits != 2 {
+		t.Fatalf("after first run: stats = %+v, want 2 misses, 2 hits", cs)
+	}
+
+	second, err := r.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs = r.CacheStats()
+	if cs.Misses != 2 || cs.Hits != 6 {
+		t.Errorf("after repeat run: stats = %+v, want 2 misses, 6 hits", cs)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Error("memoized run differs from fresh run")
+	}
+
+	// A different facility size must miss: the cache keys on the full
+	// derived seed + config hash, so -nodes axes never collide.
+	bigger := spec
+	bigger.Nodes = 48
+	if _, err := r.Run(bigger); err != nil {
+		t.Fatal(err)
+	}
+	cs = r.CacheStats()
+	if cs.Misses != 4 {
+		t.Errorf("distinct -nodes spec hit the cache: stats = %+v, want 4 misses", cs)
+	}
+
+	// So must a changed non-axis config knob (days): simKey alone would
+	// collide, the config hash must not.
+	longer := spec
+	longer.Days = 4
+	if _, err := r.Run(longer); err != nil {
+		t.Fatal(err)
+	}
+	cs = r.CacheStats()
+	if cs.Misses != 6 {
+		t.Errorf("distinct -days spec hit the cache: stats = %+v, want 6 misses", cs)
 	}
 }

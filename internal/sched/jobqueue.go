@@ -1,0 +1,71 @@
+package sched
+
+// jobQueue is the scheduler's pending-job FIFO with positional access: a
+// slice plus a head index. The previous representation popped the front
+// by re-slicing (queue = queue[1:]), which permanently leaks front
+// capacity — under a saturated service every submission then triggers a
+// reallocation and a full copy of the backlog. Here pops advance the
+// head, the buffer compacts in place once the dead prefix dominates, and
+// steady-state churn allocates nothing. Logical contents and order are
+// identical to the plain-slice queue, so scheduling decisions are
+// unchanged.
+type jobQueue struct {
+	jobs []*Job
+	head int
+}
+
+// Len returns the number of queued jobs.
+func (q *jobQueue) Len() int { return len(q.jobs) - q.head }
+
+// At returns the i-th queued job (0 = front).
+func (q *jobQueue) At(i int) *Job { return q.jobs[q.head+i] }
+
+// Head returns the front job. Call only when Len() > 0.
+func (q *jobQueue) Head() *Job { return q.jobs[q.head] }
+
+// PushBack appends a job.
+func (q *jobQueue) PushBack(j *Job) { q.jobs = append(q.jobs, j) }
+
+// PopFront removes and returns the front job.
+func (q *jobQueue) PopFront() *Job {
+	j := q.jobs[q.head]
+	q.jobs[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.jobs):
+		q.jobs = q.jobs[:0]
+		q.head = 0
+	case q.head >= 256 && 2*q.head >= len(q.jobs):
+		// The dead prefix dominates: compact in place.
+		n := copy(q.jobs, q.jobs[q.head:])
+		for i := n; i < len(q.jobs); i++ {
+			q.jobs[i] = nil
+		}
+		q.jobs = q.jobs[:n]
+		q.head = 0
+	}
+	return j
+}
+
+// RemoveAt deletes the i-th queued job, preserving order.
+func (q *jobQueue) RemoveAt(i int) {
+	i += q.head
+	copy(q.jobs[i:], q.jobs[i+1:])
+	q.jobs[len(q.jobs)-1] = nil
+	q.jobs = q.jobs[:len(q.jobs)-1]
+}
+
+// InsertAt inserts j at position i (0 = front), preserving order.
+func (q *jobQueue) InsertAt(i int, j *Job) {
+	i += q.head
+	q.jobs = append(q.jobs, nil)
+	copy(q.jobs[i+1:], q.jobs[i:])
+	q.jobs[i] = j
+}
+
+// Snapshot copies the queue contents front to back.
+func (q *jobQueue) Snapshot() []*Job {
+	out := make([]*Job, q.Len())
+	copy(out, q.jobs[q.head:])
+	return out
+}

@@ -19,6 +19,14 @@
 // made operational) — see GreedyPolicy, DelayFlexiblePolicy and
 // CarbonBudgetPolicy.
 //
+// Performance: the free-node pool is a bitmap-indexed set (nodeset.go),
+// the pending queue pops its front without reallocating the backlog
+// (jobqueue.go), the running list is an end-time-sorted index with
+// binary-search removal, and job lifecycle events are scheduled through
+// des.AtArg so no closure is allocated per job. All of it is bit-exact
+// with the original sorted-slice implementation — same placements, same
+// event order — see docs/performance.md.
+//
 // Determinism contract: given the same configuration, seed and event
 // stream, the scheduler's decisions are byte-identical across runs. It
 // draws no randomness of its own — job order comes from the DES engine,
@@ -180,10 +188,16 @@ type Scheduler struct {
 	provider SettingsProvider
 	cfg      Config
 
-	free    []int // free Up node IDs, kept sorted ascending
-	queue   []*Job
+	free    *nodeSet // free Up node IDs (bitmap-indexed)
+	queue   jobQueue
 	running []*Job // sorted by End ascending
 	byNode  map[int]*Job
+
+	// completeFn / releaseFn are the long-lived event callbacks for job
+	// completion and held-job release; scheduling them via AtArg with the
+	// job as argument avoids a closure allocation per started job.
+	completeFn des.ArgEvent
+	releaseFn  des.ArgEvent
 
 	stats   Stats
 	onEnd   []func(*Job)
@@ -215,10 +229,9 @@ func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg
 		byNode:   make(map[int]*Job),
 		upNodes:  fac.NodeCount(),
 	}
-	s.free = make([]int, fac.NodeCount())
-	for i := range s.free {
-		s.free[i] = i
-	}
+	s.free = newNodeSet(fac.NodeCount())
+	s.completeFn = func(now time.Time, arg any) { s.finish(arg.(*Job), now, Completed) }
+	s.releaseFn = func(now time.Time, arg any) { s.release(arg.(*Job), now) }
 	return s
 }
 
@@ -226,7 +239,7 @@ func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg
 func (s *Scheduler) Stats() Stats { return s.stats }
 
 // QueueDepth returns the number of queued jobs (held jobs excluded).
-func (s *Scheduler) QueueDepth() int { return len(s.queue) }
+func (s *Scheduler) QueueDepth() int { return s.queue.Len() }
 
 // HeldJobs returns the number of jobs currently parked by the temporal
 // policy.
@@ -258,12 +271,12 @@ func (s *Scheduler) Submit(spec workload.JobSpec) *Job {
 	now := s.eng.Now()
 	j := &Job{Spec: spec, State: Queued, Submit: now}
 	s.stats.Submitted++
-	if spec.Nodes > s.fac.NodeCount() || len(s.queue) >= s.cfg.MaxQueue {
+	if spec.Nodes > s.fac.NodeCount() || s.queue.Len() >= s.cfg.MaxQueue {
 		j.State = Dropped
 		s.stats.Dropped++
 		return j
 	}
-	s.queue = append(s.queue, j)
+	s.queue.PushBack(j)
 	s.trySchedule(now)
 	return j
 }
@@ -331,21 +344,21 @@ func (s *Scheduler) temporalDecision(j *Job, now time.Time) TemporalDecision {
 // blocking deferral throttles admission as a whole until the policy's
 // recheck time.
 func (s *Scheduler) trySchedule(now time.Time) {
-	for len(s.queue) > 0 && s.queue[0].Spec.Nodes <= len(s.free) && s.withinPowerCap(s.queue[0]) {
-		j := s.queue[0]
+	for s.queue.Len() > 0 && s.queue.Head().Spec.Nodes <= s.free.Count() && s.withinPowerCap(s.queue.Head()) {
+		j := s.queue.Head()
 		d := s.temporalDecision(j, now)
 		if !d.Start && d.Block {
 			s.scheduleRecheck(d.Recheck, now)
 			return
 		}
-		s.queue = s.queue[1:]
+		s.queue.PopFront()
 		if !d.Start {
 			s.hold(j, d.Recheck, now)
 			continue
 		}
 		s.start(j, now)
 	}
-	if len(s.queue) > 1 && s.cfg.BackfillDepth > 0 {
+	if s.queue.Len() > 1 && s.cfg.BackfillDepth > 0 {
 		s.backfill(now)
 	}
 }
@@ -361,18 +374,16 @@ func (s *Scheduler) hold(j *Job, recheck, now time.Time) {
 	s.held++
 	s.stats.Holds++
 	s.stats.HoldDelay += recheck.Sub(now)
-	s.eng.At(recheck, func(at time.Time) { s.release(j, at) })
+	s.eng.AtArg(recheck, s.releaseFn, j)
 }
 
 // release returns a held job to the queue, keeping submission order.
 func (s *Scheduler) release(j *Job, now time.Time) {
 	s.held--
-	i := sort.Search(len(s.queue), func(k int) bool {
-		return s.queue[k].Submit.After(j.Submit)
+	i := sort.Search(s.queue.Len(), func(k int) bool {
+		return s.queue.At(k).Submit.After(j.Submit)
 	})
-	s.queue = append(s.queue, nil)
-	copy(s.queue[i+1:], s.queue[i:])
-	s.queue[i] = j
+	s.queue.InsertAt(i, j)
 	s.trySchedule(now)
 }
 
@@ -401,8 +412,8 @@ func (s *Scheduler) scheduleRecheck(at, now time.Time) {
 // either finishes before the shadow time or uses only nodes the head will
 // not need.
 func (s *Scheduler) backfill(now time.Time) {
-	head := s.queue[0]
-	avail := len(s.free)
+	head := s.queue.Head()
+	avail := s.free.Count()
 	shadow := time.Time{}
 	extra := 0
 	// running is sorted by End; accumulate releases until the head fits.
@@ -420,9 +431,9 @@ func (s *Scheduler) backfill(now time.Time) {
 		return
 	}
 	depth := s.cfg.BackfillDepth
-	for i := 1; i < len(s.queue) && depth > 0; depth-- {
-		j := s.queue[i]
-		if j.Spec.Nodes > len(s.free) || !s.withinPowerCap(j) {
+	for i := 1; i < s.queue.Len() && depth > 0; depth-- {
+		j := s.queue.At(i)
+		if j.Spec.Nodes > s.free.Count() || !s.withinPowerCap(j) {
 			i++
 			continue
 		}
@@ -436,7 +447,7 @@ func (s *Scheduler) backfill(now time.Time) {
 				s.scheduleRecheck(d.Recheck, now)
 				return
 			}
-			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			s.queue.RemoveAt(i)
 			if !d.Start {
 				s.hold(j, d.Recheck, now)
 				// Do not advance i: the next candidate shifted into i.
@@ -456,9 +467,9 @@ func (s *Scheduler) backfill(now time.Time) {
 // start allocates nodes and begins execution.
 func (s *Scheduler) start(j *Job, now time.Time) {
 	n := j.Spec.Nodes
-	alloc := s.free[:n]
-	s.free = s.free[n:]
-	j.Nodes = append([]int(nil), alloc...)
+	// The n lowest free IDs, ascending — the same placement the sorted
+	// free list produced.
+	j.Nodes = s.free.TakeLowest(n, make([]int, 0, n))
 
 	fs, m, override := s.provider.JobSettings(j.Spec.App)
 	j.Setting, j.Mode, j.Override = fs, m, override
@@ -499,7 +510,7 @@ func (s *Scheduler) start(j *Job, now time.Time) {
 	s.estBusyW += powerSum
 
 	s.insertRunning(j)
-	j.endEvent = s.eng.At(j.End, func(at time.Time) { s.finish(j, at, Completed) })
+	j.endEvent = s.eng.AtArg(j.End, s.completeFn, j)
 }
 
 // insertRunning keeps s.running sorted by End.
@@ -512,7 +523,20 @@ func (s *Scheduler) insertRunning(j *Job) {
 	s.running[i] = j
 }
 
+// removeRunning deletes j from the End-sorted running index: binary
+// search to the first entry with j's End, then a short scan across the
+// equal-End group. The linear fallback only runs if j.End was mutated
+// after insertion (finish removes before patching End, so it should not).
 func (s *Scheduler) removeRunning(j *Job) {
+	i := sort.Search(len(s.running), func(k int) bool {
+		return !s.running[k].End.Before(j.End)
+	})
+	for ; i < len(s.running) && !s.running[i].End.After(j.End); i++ {
+		if s.running[i] == j {
+			s.running = append(s.running[:i], s.running[i+1:]...)
+			return
+		}
+	}
 	for i, rj := range s.running {
 		if rj == j {
 			s.running = append(s.running[:i], s.running[i+1:]...)
@@ -527,6 +551,9 @@ func (s *Scheduler) finish(j *Job, now time.Time, final JobState) {
 		return
 	}
 	j.State = final
+	// Remove from the running index while j.End still matches its sorted
+	// position (the Failed branch below rewrites it).
+	s.removeRunning(j)
 	if final == Failed {
 		// Early termination: recompute actuals.
 		j.End = now
@@ -547,7 +574,6 @@ func (s *Scheduler) finish(j *Job, now time.Time, final JobState) {
 	}
 	s.busy -= len(j.Nodes)
 	s.estBusyW -= j.actualPowerW
-	s.removeRunning(j)
 
 	switch final {
 	case Completed:
@@ -563,12 +589,9 @@ func (s *Scheduler) finish(j *Job, now time.Time, final JobState) {
 	s.trySchedule(now)
 }
 
-// returnNode puts a node back in the free list, keeping it sorted.
+// returnNode puts a node back in the free set.
 func (s *Scheduler) returnNode(id int) {
-	i := sort.SearchInts(s.free, id)
-	s.free = append(s.free, 0)
-	copy(s.free[i+1:], s.free[i:])
-	s.free[i] = id
+	s.free.Add(id)
 }
 
 // FailNode marks a node Down at the current time. If a job is running on
@@ -590,11 +613,8 @@ func (s *Scheduler) FailNode(id int) error {
 		s.eng.Cancel(j.endEvent)
 		s.finish(j, now, Failed)
 	} else {
-		// Remove from the free list.
-		i := sort.SearchInts(s.free, id)
-		if i < len(s.free) && s.free[i] == id {
-			s.free = append(s.free[:i], s.free[i+1:]...)
-		}
+		// Remove from the free set.
+		s.free.Remove(id)
 	}
 	return nil
 }
@@ -618,9 +638,7 @@ func (s *Scheduler) RepairNode(id int) error {
 
 // QueuedJobs returns a snapshot of the queue contents.
 func (s *Scheduler) QueuedJobs() []*Job {
-	out := make([]*Job, len(s.queue))
-	copy(out, s.queue)
-	return out
+	return s.queue.Snapshot()
 }
 
 // ReclockRunning switches every running job to the given frequency setting
@@ -678,8 +696,7 @@ func (s *Scheduler) ReclockRunning(fs cpu.FreqSetting) (int, error) {
 		j.actualPowerW = newPower
 
 		s.eng.Cancel(j.endEvent)
-		jj := j
-		j.endEvent = s.eng.At(j.End, func(at time.Time) { s.finish(jj, at, Completed) })
+		j.endEvent = s.eng.AtArg(j.End, s.completeFn, j)
 		n++
 	}
 	// Ends changed: rebuild the sorted running list.

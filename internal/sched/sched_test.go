@@ -210,9 +210,9 @@ func TestNodeConservation(t *testing.T) {
 		if len(inUse) != r.s.BusyNodes() {
 			t.Fatalf("busy count %d != allocated %d", r.s.BusyNodes(), len(inUse))
 		}
-		if r.s.BusyNodes()+len(r.s.free) != r.s.UpNodes() {
+		if r.s.BusyNodes()+r.s.free.Count() != r.s.UpNodes() {
 			t.Fatalf("conservation: busy %d + free %d != up %d",
-				r.s.BusyNodes(), len(r.s.free), r.s.UpNodes())
+				r.s.BusyNodes(), r.s.free.Count(), r.s.UpNodes())
 		}
 	}
 	r.s.OnJobEnd(func(*Job) { seen() })
@@ -228,7 +228,7 @@ func TestNodeConservation(t *testing.T) {
 	if st.Completed != 200 {
 		t.Fatalf("completed = %d, want 200", st.Completed)
 	}
-	if r.s.BusyNodes() != 0 || len(r.s.free) != 50 {
+	if r.s.BusyNodes() != 0 || r.s.free.Count() != 50 {
 		t.Fatal("not all nodes returned")
 	}
 }
@@ -279,8 +279,8 @@ func TestFailNodeKillsJob(t *testing.T) {
 		t.Fatalf("failed job runtime = %v, want 2h", j.Runtime)
 	}
 	// Other three nodes are free again; the failed one is down.
-	if r.s.UpNodes() != 9 || len(r.s.free) != 9-0 {
-		t.Fatalf("up = %d free = %d", r.s.UpNodes(), len(r.s.free))
+	if r.s.UpNodes() != 9 || r.s.free.Count() != 9-0 {
+		t.Fatalf("up = %d free = %d", r.s.UpNodes(), r.s.free.Count())
 	}
 	if r.fac.Node(j.Nodes[0]).State() != node.Down {
 		t.Fatal("failed node not down")
@@ -461,7 +461,7 @@ func TestPowerCapAdmission(t *testing.T) {
 			j3.State, r.s.EstimatedBusyPower(), r.s.PowerCap())
 	}
 	// Nodes are free (12 of 20), so the block is the cap, not capacity.
-	if len(r.s.free) < j3.Spec.Nodes {
+	if r.s.free.Count() < j3.Spec.Nodes {
 		t.Fatal("test premise broken: nodes are not free")
 	}
 	// When j1 ends, j3 starts.

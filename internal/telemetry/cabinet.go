@@ -37,8 +37,12 @@ func NewCabinetMeters(eng *des.Engine, fac *facility.Facility, interval time.Dur
 		nodesOf:  make([][]int, nCab),
 		interval: interval,
 	}
+	capacity := 0
+	if horizon := until.Sub(eng.Now()); horizon > 0 {
+		capacity = int(horizon/interval) + 1
+	}
 	for c := 0; c < nCab; c++ {
-		cm.series[c] = timeseries.New(fmt.Sprintf("cabinet_%02d_power", c), "kW")
+		cm.series[c] = timeseries.NewWithCapacity(fmt.Sprintf("cabinet_%02d_power", c), "kW", capacity)
 	}
 	for i := 0; i < fac.NodeCount(); i++ {
 		c := fac.CabinetOfNode(i)

@@ -45,10 +45,17 @@ type Meter struct {
 // start+Interval until `until`. The stream r drives noise and dropout; it
 // may be nil when both are disabled.
 func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until time.Time, r *rng.Stream) *Meter {
+	// Pre-size for the whole run horizon: a 13-month run at the PMDB
+	// cadence is ~38k samples per series, appended one per tick — sizing
+	// up front makes the append path allocation-free.
+	capacity := 0
+	if horizon := until.Sub(eng.Now()); horizon > 0 && cfg.Interval > 0 {
+		capacity = int(horizon/cfg.Interval) + 1
+	}
 	m := &Meter{
 		cfg:   cfg,
-		power: timeseries.New("cabinet_power", "kW"),
-		util:  timeseries.New("utilisation", "fraction"),
+		power: timeseries.NewWithCapacity("cabinet_power", "kW", capacity),
+		util:  timeseries.NewWithCapacity("utilisation", "fraction", capacity),
 		r:     r,
 	}
 	eng.Every(cfg.Interval, until, func(now time.Time) {

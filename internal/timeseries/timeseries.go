@@ -40,6 +40,29 @@ func New(name, unit string) *Series {
 	return &Series{Name: name, Unit: unit}
 }
 
+// NewWithCapacity creates an empty series pre-sized for `capacity`
+// samples. Producers that know their horizon — a telemetry meter sampling
+// every Interval until the run end, a grid trace at a fixed step — should
+// size up front so a year of samples is one allocation instead of a
+// doubling cascade.
+func NewWithCapacity(name, unit string, capacity int) *Series {
+	s := New(name, unit)
+	if capacity > 0 {
+		s.samples = make([]Sample, 0, capacity)
+	}
+	return s
+}
+
+// Reserve grows the sample capacity to hold at least n further samples
+// without reallocation.
+func (s *Series) Reserve(n int) {
+	if free := cap(s.samples) - len(s.samples); free < n {
+		grown := make([]Sample, len(s.samples), len(s.samples)+n)
+		copy(grown, s.samples)
+		s.samples = grown
+	}
+}
+
 // Append adds a sample. It returns an error if t is before the last sample's
 // timestamp (equal timestamps are allowed: meters may batch-report).
 func (s *Series) Append(t time.Time, v float64) error {
@@ -57,6 +80,27 @@ func (s *Series) MustAppend(t time.Time, v float64) {
 	if err := s.Append(t, v); err != nil {
 		panic(err)
 	}
+}
+
+// AppendN appends a batch of samples in one capacity check, validating
+// time order across the batch boundary and within the batch. It returns
+// an error (leaving s unchanged) on the first ordering violation.
+func (s *Series) AppendN(batch []Sample) error {
+	last := time.Time{}
+	haveLast := false
+	if n := len(s.samples); n > 0 {
+		last, haveLast = s.samples[n-1].T, true
+	}
+	for i, smp := range batch {
+		if haveLast && smp.T.Before(last) {
+			return fmt.Errorf("timeseries %q: batch sample %d at %v precedes %v",
+				s.Name, i, smp.T, last)
+		}
+		last, haveLast = smp.T, true
+	}
+	s.Reserve(len(batch))
+	s.samples = append(s.samples, batch...)
+	return nil
 }
 
 // Len returns the number of samples.
@@ -152,6 +196,71 @@ func (s *Series) TimeWeightedMean(from, to time.Time) float64 {
 	denom := to.Sub(from).Seconds()
 	// If the first in-window sample started after `from` with no prior value,
 	// only average over the covered portion.
+	if s.samples[0].T.After(from) {
+		denom = to.Sub(s.samples[0].T).Seconds()
+		if denom <= 0 {
+			return 0
+		}
+	}
+	return integral / denom
+}
+
+// WindowAccumulator computes time-weighted window means over a series of
+// consecutive (non-decreasing) windows in one forward pass: the cursor
+// remembers where the previous window started, so sweeping M windows over
+// an N-sample series is O(N+M) instead of M binary searches plus rescans.
+// Each call returns exactly what Series.TimeWeightedMean would — same
+// arithmetic, same order — so swapping it into an accounting loop (see
+// emissions.AccountSeries) changes cost, not results. Windows passed to
+// successive calls must have non-decreasing `from`; the series must not
+// be appended to while accumulating.
+type WindowAccumulator struct {
+	s *Series
+	// lo is the index of the first sample at or after the previous
+	// window's `from` (the sort.Search result the cursor replaces).
+	lo int
+}
+
+// Accumulator returns a WindowAccumulator positioned at the series start.
+func (s *Series) Accumulator() *WindowAccumulator {
+	return &WindowAccumulator{s: s}
+}
+
+// TimeWeightedMean is Series.TimeWeightedMean for the next window in the
+// sweep. It is bit-identical to the Series method for every window.
+func (a *WindowAccumulator) TimeWeightedMean(from, to time.Time) float64 {
+	s := a.s
+	if !to.After(from) || len(s.samples) == 0 {
+		return 0
+	}
+	// Advance the cursor to the first sample at or after `from` — the
+	// same index sort.Search finds, reached monotonically.
+	for a.lo < len(s.samples) && s.samples[a.lo].T.Before(from) {
+		a.lo++
+	}
+	i := a.lo
+	var integral float64
+	cursor := from
+	var current float64
+	haveCurrent := false
+	if i > 0 {
+		current = s.samples[i-1].V
+		haveCurrent = true
+	}
+	for ; i < len(s.samples) && s.samples[i].T.Before(to); i++ {
+		t := s.samples[i].T
+		if haveCurrent {
+			integral += current * t.Sub(cursor).Seconds()
+		}
+		cursor = t
+		current = s.samples[i].V
+		haveCurrent = true
+	}
+	if !haveCurrent {
+		return 0
+	}
+	integral += current * to.Sub(cursor).Seconds()
+	denom := to.Sub(from).Seconds()
 	if s.samples[0].T.After(from) {
 		denom = to.Sub(s.samples[0].T).Seconds()
 		if denom <= 0 {

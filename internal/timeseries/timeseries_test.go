@@ -2,6 +2,8 @@ package timeseries
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -268,5 +270,97 @@ func TestPropertyTWMeanBounded(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAppendNMatchesSequentialAppend(t *testing.T) {
+	seq := New("seq", "u")
+	batch := New("batch", "u")
+	var samples []Sample
+	for i := 0; i < 100; i++ {
+		ts := t0.Add(time.Duration(i/3) * time.Minute) // repeated stamps allowed
+		seq.MustAppend(ts, float64(i))
+		samples = append(samples, Sample{T: ts, V: float64(i)})
+	}
+	if err := batch.AppendN(samples[:50]); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.AppendN(samples[50:]); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Samples(), batch.Samples()) {
+		t.Error("AppendN contents differ from sequential Append")
+	}
+}
+
+func TestAppendNRejectsDisorder(t *testing.T) {
+	s := New("x", "u")
+	s.MustAppend(t0.Add(time.Hour), 1)
+	// Batch starting before the last appended sample.
+	if err := s.AppendN([]Sample{{T: t0, V: 2}}); err == nil {
+		t.Error("batch preceding the series tail was accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("failed AppendN mutated the series: len = %d", s.Len())
+	}
+	// Disorder inside the batch itself.
+	err := s.AppendN([]Sample{
+		{T: t0.Add(3 * time.Hour), V: 1},
+		{T: t0.Add(2 * time.Hour), V: 2},
+	})
+	if err == nil {
+		t.Error("out-of-order batch was accepted")
+	}
+	if s.Len() != 1 {
+		t.Errorf("failed AppendN mutated the series: len = %d", s.Len())
+	}
+}
+
+func TestNewWithCapacityAndReserve(t *testing.T) {
+	s := NewWithCapacity("x", "u", 1000)
+	for i := 0; i < 1000; i++ {
+		s.MustAppend(t0.Add(time.Duration(i)*time.Second), float64(i))
+	}
+	if s.Len() != 1000 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	s.Reserve(500)
+	before := s.Samples()
+	for i := 0; i < 500; i++ {
+		s.MustAppend(t0.Add(time.Duration(1000+i)*time.Second), float64(i))
+	}
+	// Reserve must have pre-grown the backing array: appending within the
+	// reservation keeps the same storage.
+	if len(before) > 0 && len(s.Samples()) > 0 && &s.Samples()[0] != &before[0] {
+		t.Error("Reserve did not pre-grow the backing array")
+	}
+}
+
+// The windowed accumulator must be bit-identical to per-window
+// TimeWeightedMean calls for any monotone window sweep, including windows
+// before the first sample, beyond the last, and zero-width ones.
+func TestWindowAccumulatorMatchesTimeWeightedMean(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	s := New("x", "u")
+	at := t0
+	for i := 0; i < 500; i++ {
+		at = at.Add(time.Duration(r.Intn(40)) * time.Minute) // ties allowed
+		s.MustAppend(at, r.NormFloat64()*10)
+	}
+	first, last, _ := s.Span()
+
+	acc := s.Accumulator()
+	from := first.Add(-3 * time.Hour)
+	for i := 0; i < 300; i++ {
+		to := from.Add(time.Duration(r.Intn(5*3600)) * time.Second)
+		want := s.TimeWeightedMean(from, to)
+		got := acc.TimeWeightedMean(from, to)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("window %d [%v, %v): accumulator %v != series %v", i, from, to, want, got)
+		}
+		from = to
+	}
+	if from.Before(last) {
+		t.Log("sweep ended before series end; still exercised interior windows")
 	}
 }
