@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -185,7 +186,7 @@ func carbonStudy(policy string, nodes, days int, gridMean, forecastSigma, foreca
 		},
 	}
 	runner := &scenario.Runner{}
-	res, err := runner.Run(spec)
+	res, err := runner.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,11 +38,13 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -89,9 +91,14 @@ func main() {
 		return
 	}
 
+	// Interrupt (Ctrl-C) cancels the sweep cleanly mid-simulation instead
+	// of abandoning worker goroutines.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
 	runner := &scenario.Runner{Workers: *workers}
-	res, err := runner.Run(spec)
+	res, err := runner.Run(ctx, spec)
 	if err != nil {
 		fail(err)
 	}

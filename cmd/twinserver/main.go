@@ -1,0 +1,97 @@
+// Command twinserver runs the ARCHER2 digital twin as a long-lived HTTP
+// service: clients POST declarative sweep specs and poll (or wait) for
+// baseline-relative results, while one shared scenario.Runner keeps an
+// LRU memo of completed simulations warm across requests — the opposite
+// economics of the one-shot cmd/sweep, which pays full simulation cost
+// per invocation.
+//
+// Usage:
+//
+//	twinserver [-addr :8990] [-workers N] [-memo-cap N]
+//	           [-max-concurrent N] [-max-finished N]
+//
+// Endpoints (see docs/sweeps.md for a walkthrough):
+//
+//	POST   /v1/sweeps             submit a JSON scenario.Spec (the same
+//	                              schema cmd/sweep -spec accepts); 202
+//	                              with the sweep's status, or 200 when the
+//	                              submission coalesced onto an existing
+//	                              identical sweep. Add ?wait=1 to block
+//	                              until completion and receive results.
+//	GET    /v1/sweeps             list sweeps, newest first
+//	GET    /v1/sweeps/{id}        status and progress
+//	GET    /v1/sweeps/{id}/results  results payload (409 until done)
+//	DELETE /v1/sweeps/{id}        cancel
+//	GET    /healthz               liveness
+//	GET    /statz                 memo-cache and registry statistics
+//
+// Concurrent identical submissions (same canonical spec) execute once;
+// repeated distinct sweeps stay fast through the Runner's memo, bounded
+// at -memo-cap simulations with least-recently-used eviction. SIGINT or
+// SIGTERM drains: in-flight sweeps are cancelled (cooperatively, down in
+// each simulation's event loop) and the listener shuts down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/scenario"
+	"github.com/greenhpc/archertwin/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("twinserver: ")
+	addr := flag.String("addr", ":8990", "listen address")
+	workers := flag.Int("workers", 0, "simulation worker-pool size per sweep (0 = GOMAXPROCS)")
+	memoCap := flag.Int("memo-cap", 0, "max memoized simulations, LRU-evicted beyond (0 = default 256, negative disables)")
+	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing sweeps")
+	maxFinished := flag.Int("max-finished", 64, "finished sweeps retained for status/result queries")
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Runner:        &scenario.Runner{Workers: *workers, MemoCap: *memoCap},
+		MaxConcurrent: *maxConcurrent,
+		MaxFinished:   *maxFinished,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Drain: cancel in-flight sweeps, then give the listener a bounded
+	// window to flush responses.
+	log.Print("shutting down")
+	svc.Shutdown()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+}

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 	}
 
 	runner := &scenario.Runner{}
-	res, err := runner.Run(spec)
+	res, err := runner.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 	// Run them across the worker pool. Results are byte-identical for
 	// any worker count; parallelism only buys wall-clock time.
 	runner := &scenario.Runner{}
-	res, err := runner.Run(spec)
+	res, err := runner.Run(context.Background(), spec)
 	if err != nil {
 		log.Fatal(err)
 	}

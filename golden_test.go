@@ -7,6 +7,7 @@
 package archertwin_test
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -116,7 +117,7 @@ func TestGoldenScaledConfigDigest(t *testing.T) {
 func TestGoldenSweepWorkerInvariance(t *testing.T) {
 	for _, workers := range []int{1, 4, 8} {
 		r := scenario.Runner{Workers: workers}
-		res, err := r.Run(goldenSweepSpec())
+		res, err := r.Run(context.Background(), goldenSweepSpec())
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -519,11 +520,40 @@ func (s *Simulator) Provider() *policy.Provider { return s.provider }
 // Run executes the timeline to the configured end and gathers results.
 // A simulator can only run once.
 func (s *Simulator) Run() (*Results, error) {
+	return s.RunContext(context.Background())
+}
+
+// cancelCheckEvents is how many events RunContext processes between
+// context-cancellation checks: coarse enough that the check is invisible
+// next to the event work itself (a full run fires millions of events),
+// fine enough that a cancelled 13-month simulation stops within
+// milliseconds.
+const cancelCheckEvents = 16384
+
+// RunContext is Run with cooperative cancellation: the event loop checks
+// ctx between chunks of events and abandons the simulation with ctx's
+// error once it is cancelled. A context that can never be cancelled (e.g.
+// context.Background) runs on the exact uninterrupted path Run always
+// used; either way the executed event sequence — and therefore every
+// result — is bit-identical.
+func (s *Simulator) RunContext(ctx context.Context) (*Results, error) {
 	if s.ran {
 		return nil, fmt.Errorf("core: simulator already ran")
 	}
 	s.ran = true
-	s.eng.RunUntil(s.cfg.End)
+	if ctx.Done() == nil {
+		s.eng.RunUntil(s.cfg.End)
+	} else {
+		for s.eng.StepsBefore(s.cfg.End, cancelCheckEvents) {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: simulation cancelled: %w", err)
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: simulation cancelled: %w", err)
+		}
+		s.eng.RunUntil(s.cfg.End)
+	}
 	s.fac.AccrueAll(s.cfg.End)
 
 	res := &Results{
@@ -562,11 +592,18 @@ func (s *Simulator) Run() (*Results, error) {
 // RunConfig builds a simulator from cfg and runs it to completion — the
 // one-call entry point used by scenario sweeps and quick experiments.
 func RunConfig(cfg Config) (*Results, error) {
+	return RunConfigContext(context.Background(), cfg)
+}
+
+// RunConfigContext is RunConfig with cooperative cancellation (see
+// Simulator.RunContext) — the entry point long-lived services use so an
+// in-flight simulation stops promptly when its sweep is cancelled.
+func RunConfigContext(ctx context.Context, cfg Config) (*Results, error) {
 	sim, err := NewSimulator(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return sim.Run()
+	return sim.RunContext(ctx)
 }
 
 // ScaledConfig returns DefaultConfig shrunk to `nodes` compute nodes over

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -357,5 +359,32 @@ func TestFleetVariantShiftsPower(t *testing.T) {
 	h := hot.Windows[0].MeanPower.Watts()
 	if h <= b {
 		t.Errorf("SIMD fleet variant did not raise power: %v vs %v", h, b)
+	}
+}
+
+// RunContext must stop a simulation promptly once its context is
+// cancelled, and a cancellable context must not perturb results: the
+// chunked event loop executes the exact sequence the plain run does.
+func TestRunContextCancellation(t *testing.T) {
+	cfg := ScaledConfig(32, t0, 2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunConfigContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled run returned %v, want context.Canceled", err)
+	}
+
+	plain, err := RunConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2() // never cancelled while running
+	viaCtx, err := RunConfigContext(ctx2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Digest() != viaCtx.Digest() {
+		t.Error("cancellable context changed simulation results")
 	}
 }

@@ -252,3 +252,30 @@ func (e *Engine) Run() {
 	for e.Step() {
 	}
 }
+
+// StepsBefore executes at most max events whose time is strictly before
+// deadline and reports whether any such events remain. Unlike RunUntil it
+// never advances the clock to the deadline, so callers can interleave
+// chunks of event processing with out-of-band work (cancellation checks,
+// progress reporting) and finish with RunUntil once it returns false; the
+// event sequence executed is exactly the one RunUntil alone would have
+// executed, preserving bit-identical results.
+func (e *Engine) StepsBefore(deadline time.Time, max int) bool {
+	dn := deadline.UnixNano()
+	for executed := 0; executed < max; {
+		if e.queue.len() == 0 {
+			return false
+		}
+		it := e.queue.peek()
+		if it.cancel {
+			putItem(e.queue.pop())
+			continue
+		}
+		if it.at >= dn {
+			return false
+		}
+		e.Step()
+		executed++
+	}
+	return e.queue.len() > 0
+}

@@ -240,3 +240,61 @@ func TestPropertyClockMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// StepsBefore must execute exactly the event sequence RunUntil would,
+// regardless of chunk size, leaving no events before the deadline and
+// honouring cancellations — the contract core.Simulator.RunContext's
+// cooperative-cancellation loop relies on.
+func TestStepsBeforeMatchesRunUntil(t *testing.T) {
+	build := func() (*Engine, *[]int) {
+		e := NewEngine(t0)
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			e.At(t0.Add(time.Duration(i%37)*time.Minute), func(time.Time) { order = append(order, i) })
+		}
+		// Some events beyond the deadline, and one cancelled before it.
+		for i := 0; i < 5; i++ {
+			e.At(t0.Add(2*time.Hour), func(time.Time) { order = append(order, -1) })
+		}
+		h := e.At(t0.Add(time.Minute), func(time.Time) { order = append(order, -2) })
+		e.Cancel(h)
+		return e, &order
+	}
+	deadline := t0.Add(time.Hour)
+
+	ref, refOrder := build()
+	ref.RunUntil(deadline)
+
+	for _, chunk := range []int{1, 7, 1000} {
+		e, order := build()
+		steps := 0
+		for e.StepsBefore(deadline, chunk) {
+			if steps++; steps > 1000 {
+				t.Fatalf("chunk %d: StepsBefore never drained", chunk)
+			}
+		}
+		e.RunUntil(deadline)
+		if len(*order) != len(*refOrder) {
+			t.Fatalf("chunk %d: fired %d events, want %d", chunk, len(*order), len(*refOrder))
+		}
+		for i := range *order {
+			if (*order)[i] != (*refOrder)[i] {
+				t.Fatalf("chunk %d: event order diverges at %d", chunk, i)
+			}
+		}
+		if !e.Now().Equal(ref.Now()) {
+			t.Fatalf("chunk %d: clock %v, want %v", chunk, e.Now(), ref.Now())
+		}
+		if e.Fired() != ref.Fired() {
+			t.Fatalf("chunk %d: fired %d, want %d", chunk, e.Fired(), ref.Fired())
+		}
+	}
+}
+
+func TestStepsBeforeEmptyQueue(t *testing.T) {
+	e := NewEngine(t0)
+	if e.StepsBefore(t0.Add(time.Hour), 10) {
+		t.Fatal("empty engine claims events remain")
+	}
+}

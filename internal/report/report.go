@@ -12,6 +12,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 
@@ -94,6 +95,27 @@ func (t *Table) String() string {
 	return b.String()
 }
 
+// tableJSON is the structured wire form shared by every table type: the
+// title, the column headers and the fully rendered cell rows, exactly as
+// String lays them out (deltas and units included), so JSON consumers see
+// the same deterministic content as the terminal.
+type tableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+// MarshalJSON encodes the table as {title, headers, rows}. Like String,
+// it is a pure function of the added rows, so encoding is byte-identical
+// run to run.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(tableJSON{Title: t.Title, Headers: t.headers, Rows: rows})
+}
+
 // Pct formats a fraction as a signed percentage, e.g. -0.065 -> "-6.5%".
 func Pct(frac float64) string {
 	return fmt.Sprintf("%+.1f%%", frac*100)
@@ -128,6 +150,9 @@ func (c *Comparison) Add(metric string, paper, sim float64, format func(float64)
 
 // String renders the comparison.
 func (c *Comparison) String() string { return c.t.String() }
+
+// MarshalJSON encodes the comparison as its underlying table.
+func (c *Comparison) MarshalJSON() ([]byte, error) { return c.t.MarshalJSON() }
 
 // RowCount returns the number of comparison rows.
 func (c *Comparison) RowCount() int { return c.t.RowCount() }
@@ -210,6 +235,27 @@ func (d *DeltaTable) RowCount() int { return d.t.RowCount() }
 
 // String renders the table.
 func (d *DeltaTable) String() string { return d.t.String() }
+
+// MarshalJSON encodes the delta table as its underlying table — rendered
+// cells, baseline deltas included — plus the raw baseline metric values
+// so consumers can recompute deltas without parsing cells.
+func (d *DeltaTable) MarshalJSON() ([]byte, error) {
+	base := d.base
+	if base == nil {
+		base = []float64{}
+	}
+	rows := d.t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		tableJSON
+		Baseline []float64 `json:"baseline"`
+	}{
+		tableJSON{Title: d.t.Title, Headers: d.t.headers, Rows: rows},
+		base,
+	})
+}
 
 // Figure renders a time series as the paper renders its power figures: an
 // ASCII chart plus window-mean annotations.

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"time"
@@ -146,5 +147,86 @@ func TestDeltaTableZeroBaseline(t *testing.T) {
 	d.Add("x", 100)
 	if s := d.String(); strings.Contains(s, "%") {
 		t.Errorf("delta printed against zero baseline:\n%s", s)
+	}
+}
+
+// The JSON forms serve the twinserver API: structured {title, headers,
+// rows} whose cells match the rendered table exactly, deterministic and
+// round-trippable.
+func TestTableMarshalJSON(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x", "1")
+	tb.AddRow("y", "2")
+	data, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "T" || len(got.Headers) != 2 || len(got.Rows) != 2 || got.Rows[1][1] != "2" {
+		t.Errorf("table JSON = %s", data)
+	}
+	again, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(data) {
+		t.Error("table JSON encoding is not deterministic")
+	}
+
+	// An empty table must encode empty arrays, not null.
+	empty, err := json.Marshal(NewTable("E", "h"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(empty), "null") {
+		t.Errorf("empty table encodes null: %s", empty)
+	}
+}
+
+func TestDeltaTableMarshalJSON(t *testing.T) {
+	d := NewDeltaTable("D", "scenario", DeltaColumn{Header: "kw", Format: KW})
+	d.SetBaseline("base", 100)
+	d.Add("other", 110)
+	data, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Title    string     `json:"title"`
+		Headers  []string   `json:"headers"`
+		Rows     [][]string `json:"rows"`
+		Baseline []float64  `json:"baseline"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "D" || len(got.Rows) != 2 {
+		t.Fatalf("delta table JSON = %s", data)
+	}
+	// Cells carry the rendered delta, exactly as String would print.
+	if !strings.Contains(got.Rows[1][1], "+10.0%") {
+		t.Errorf("delta cell %q lacks rendered delta", got.Rows[1][1])
+	}
+	if len(got.Baseline) != 1 || got.Baseline[0] != 100 {
+		t.Errorf("baseline values = %v", got.Baseline)
+	}
+}
+
+func TestComparisonMarshalJSON(t *testing.T) {
+	c := NewComparison("C")
+	c.Add("power", 100, 103, KW)
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "+3.0%") {
+		t.Errorf("comparison JSON %s lacks the deviation cell", data)
 	}
 }

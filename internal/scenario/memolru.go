@@ -1,0 +1,69 @@
+package scenario
+
+import (
+	"container/list"
+
+	"github.com/greenhpc/archertwin/internal/core"
+)
+
+// memoEntry is one cached simulation: the shared results plus their
+// digest, computed once at admission so repeat sweeps and the service
+// layer can prove result identity without re-hashing the series on every
+// hit.
+type memoEntry struct {
+	key    string
+	res    *core.Results
+	digest string
+}
+
+// memoLRU is the Runner's bounded memo store: a map for O(1) lookup over
+// a recency list, most recently used at the front. A lookup refreshes the
+// entry's recency and an admission beyond capacity evicts the coldest
+// entry, so a long-lived Runner sweeping ever-new configurations keeps
+// the hottest working set warm under bounded memory — in contrast to the
+// earlier cache, which simply stopped admitting once full and pinned its
+// first 256 entries forever.
+type memoLRU struct {
+	cap       int
+	ll        *list.List // of *memoEntry; front = most recently used
+	byKey     map[string]*list.Element
+	evictions int
+}
+
+func newMemoLRU(cap int) *memoLRU {
+	return &memoLRU{cap: cap, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, refreshing its recency on a hit.
+func (l *memoLRU) get(key string) (*memoEntry, bool) {
+	el, ok := l.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	l.ll.MoveToFront(el)
+	return el.Value.(*memoEntry), true
+}
+
+// put admits an entry as the most recently used, evicting the
+// least-recently-used entry if the cache is over capacity. A put for an
+// existing key replaces the entry and refreshes its recency.
+func (l *memoLRU) put(e *memoEntry) {
+	if l.cap <= 0 {
+		return
+	}
+	if el, ok := l.byKey[e.key]; ok {
+		el.Value = e
+		l.ll.MoveToFront(el)
+		return
+	}
+	l.byKey[e.key] = l.ll.PushFront(e)
+	for l.ll.Len() > l.cap {
+		coldest := l.ll.Back()
+		l.ll.Remove(coldest)
+		delete(l.byKey, coldest.Value.(*memoEntry).key)
+		l.evictions++
+	}
+}
+
+// len returns the number of cached entries.
+func (l *memoLRU) len() int { return l.ll.Len() }

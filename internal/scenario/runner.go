@@ -1,11 +1,13 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/greenhpc/archertwin/internal/core"
@@ -59,6 +61,12 @@ type Result struct {
 	// MeanWait is their mean queue wait.
 	Completed int
 	MeanWait  time.Duration
+
+	// SimDigest is the core.Results digest of the simulation this result
+	// was derived from (scenarios sharing a simulation share the digest).
+	// It proves result identity across transports: a sweep served from the
+	// twinserver memo carries the same digest a direct Runner.Run would.
+	SimDigest string
 }
 
 // SweepResults aggregates a completed sweep. Results[0] is the baseline.
@@ -91,50 +99,89 @@ type Runner struct {
 	// scenario's simulation-affecting axes only (Scenario.simKey).
 	Workers int
 
-	// runCfg executes one simulation; nil means core.RunConfig. Tests
-	// substitute it to exercise failure aggregation deterministically.
-	runCfg func(core.Config) (*core.Results, error)
+	// MemoCap bounds the memo cache: each entry retains a simulation's
+	// full results (power/utilisation series included), so the cache holds
+	// at most this many distinct simulations, evicting the least recently
+	// used beyond that. Zero means DefaultMemoCap; negative disables
+	// memoization entirely (within-sweep simulation sharing still works).
+	MemoCap int
+
+	// runCfg executes one simulation; nil means core.RunConfigContext.
+	// Tests substitute it to exercise failure aggregation and
+	// cancellation deterministically.
+	runCfg func(context.Context, core.Config) (*core.Results, error)
 
 	// memo caches completed simulations by memoKey — the scenario's full
 	// derived seed plus a hash of every config-shaping spec field, so
 	// scenarios differing in any simulation-affecting axis (-nodes,
 	// -freq, days, oversubscription, carbon tunables, ...) can never
-	// collide. Guarded by mu together with the hit/miss counters.
+	// collide. LRU-bounded at MemoCap entries; guarded by mu together
+	// with the hit/miss counters.
 	mu     sync.Mutex
-	memo   map[string]*core.Results
+	memo   *memoLRU
 	hits   int
 	misses int
 }
 
+// DefaultMemoCap is the memo-cache bound when Runner.MemoCap is zero.
+const DefaultMemoCap = 256
+
 // CacheStats reports the Runner's memoization counters, accumulated
 // across every Run call: Misses counts simulations actually executed,
 // Hits counts scenarios served from an already-computed simulation
-// (within-sweep sharing or a cross-sweep memo hit).
+// (within-sweep sharing or a cross-sweep memo hit). Size and Evictions
+// describe the LRU store itself: entries currently held against the
+// Capacity bound, and how many cold entries have been evicted to admit
+// warmer ones.
 type CacheStats struct {
-	Hits   int
-	Misses int
+	Hits      int `json:"hits"`
+	Misses    int `json:"misses"`
+	Size      int `json:"size"`
+	Capacity  int `json:"capacity"`
+	Evictions int `json:"evictions"`
 }
 
 // CacheStats returns the memoization counters.
 func (r *Runner) CacheStats() CacheStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return CacheStats{Hits: r.hits, Misses: r.misses}
+	cs := CacheStats{Hits: r.hits, Misses: r.misses, Capacity: r.memoCap()}
+	if r.memo != nil {
+		cs.Size = r.memo.len()
+		cs.Evictions = r.memo.evictions
+	}
+	return cs
 }
 
-// memoCap bounds the memo cache: each entry retains a simulation's full
-// results (power/utilisation series included), so admission stops once
-// the cache holds this many distinct simulations.
-const memoCap = 256
+// memoCap resolves the effective cache bound from the MemoCap knob.
+func (r *Runner) memoCap() int {
+	switch {
+	case r.MemoCap == 0:
+		return DefaultMemoCap
+	case r.MemoCap < 0:
+		return 0
+	}
+	return r.MemoCap
+}
 
 // memoKey is the cache identity of one simulation: the full derived seed
 // (which already folds in the spec seed and the scenario's simulation
-// axes) plus a hash over every remaining config-shaping spec field.
+// axes) plus a hash over every remaining config-shaping spec field. Each
+// field is written explicitly under a stable label — never via struct
+// formatting verbs, whose output shifts whenever a field is added,
+// renamed or reordered (silently invalidating or, worse, colliding every
+// key) and which would fold a pointer address into the identity the
+// moment a non-scalar field appears.
 func memoKey(spec Spec, sc Scenario, cfg core.Config) string {
+	c := spec.Carbon.withDefaults()
 	h := fnv.New64a()
-	fmt.Fprintf(h, "seed=%d|sim=%s|days=%d|warmup=%d|oversub=%g|carbon=%+v",
-		cfg.Seed, sc.simKey(), spec.Days, spec.WarmupDays, spec.OverSubscription,
-		spec.Carbon.withDefaults())
+	fmt.Fprintf(h,
+		"seed=%d|sim=%s|days=%d|warmup=%d|oversub=%g"+
+			"|carbon.threshold=%g|carbon.maxdelay=%g|carbon.flexshare=%g"+
+			"|carbon.budgetfrac=%g|carbon.fsigma=%g|carbon.fgrowth=%g",
+		cfg.Seed, sc.simKey(), spec.Days, spec.warmupDays(), spec.OverSubscription,
+		c.ThresholdGrams, c.MaxDelayHours, c.FlexibleShare,
+		c.BudgetFraction, c.ForecastSigma, c.ForecastGrowth)
 	return fmt.Sprintf("%d-%016x", cfg.Seed, h.Sum64())
 }
 
@@ -159,13 +206,32 @@ func (e *ScenarioError) Unwrap() error { return e.Err }
 // grid trace and emissions accounting are re-derived from the shared
 // result, so the flagship frequency x grid sweep costs two simulations,
 // not eight, with byte-identical output. Completed simulations are also
-// memoized on the Runner (see memoKey), so repeating or extending a sweep
-// on the same Runner re-simulates only what changed; CacheStats reports
-// the hit/miss counters. When scenarios fail, the errors
+// memoized on the Runner (see memoKey) in an LRU store bounded at
+// MemoCap, so repeating or extending a sweep on the same Runner
+// re-simulates only what changed; CacheStats reports the hit/miss and
+// eviction counters. When scenarios fail, the errors
 // of every failing scenario are joined in scenario-index order (each a
 // *ScenarioError), deterministically regardless of which worker hit one
 // first — no scenario is ever silently dropped.
-func (r *Runner) Run(spec Spec) (*SweepResults, error) {
+//
+// Cancelling ctx stops the sweep: queued simulations are abandoned,
+// in-flight ones cancel cooperatively (core.RunConfigContext), and Run
+// returns ctx's error. Simulations completed before the cancellation are
+// still memoized, so a retried sweep resumes where it left off.
+func (r *Runner) Run(ctx context.Context, spec Spec) (*SweepResults, error) {
+	return r.RunProgress(ctx, spec, nil)
+}
+
+// RunProgress is Run with per-sweep progress reporting: progress (when
+// non-nil) is called with (resolved, total) unique-simulation counts —
+// once after memo resolution and again as each executed simulation
+// completes. It may be called concurrently from worker goroutines and
+// must be safe for that; the twinserver uses it to serve live sweep
+// status.
+func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done, total int)) (*SweepResults, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	scenarios, err := spec.Expand()
 	if err != nil {
 		return nil, err
@@ -197,19 +263,35 @@ func (r *Runner) Run(spec Spec) (*SweepResults, error) {
 		groups[gi].members = append(groups[gi].members, i)
 	}
 
-	// Resolve memoized simulations; only the rest go to the pool.
+	// Resolve memoized simulations; only the rest go to the pool. A memo
+	// hit refreshes the entry's recency, so a server's steadily re-run
+	// sweeps stay warm while one-off configs age out.
 	sims := make([]*core.Results, len(groups))
+	digests := make([]string, len(groups))
 	errs := make([]error, len(groups))
 	var pending []int
 	r.mu.Lock()
+	if r.memo == nil {
+		r.memo = newMemoLRU(r.memoCap())
+	}
 	for g := range groups {
-		if res, ok := r.memo[groups[g].key]; ok {
-			sims[g] = res
+		if e, ok := r.memo.get(groups[g].key); ok {
+			sims[g] = e.res
+			digests[g] = e.digest
 			continue
 		}
 		pending = append(pending, g)
 	}
 	r.mu.Unlock()
+
+	var resolved atomic.Int64
+	resolved.Store(int64(len(groups) - len(pending)))
+	report := func() {
+		if progress != nil {
+			progress(int(resolved.Load()), len(groups))
+		}
+	}
+	report()
 
 	workers := r.Workers
 	if workers <= 0 {
@@ -222,41 +304,70 @@ func (r *Runner) Run(spec Spec) (*SweepResults, error) {
 	jobs := make(chan int)
 	runCfg := r.runCfg
 	if runCfg == nil {
-		runCfg = core.RunConfig
+		runCfg = core.RunConfigContext
 	}
+	var executed atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for g := range jobs {
-				sims[g], errs[g] = runCfg(groups[g].cfg)
+				if err := ctx.Err(); err != nil {
+					errs[g] = err
+					continue
+				}
+				executed.Add(1)
+				sims[g], errs[g] = runCfg(ctx, groups[g].cfg)
+				if errs[g] == nil {
+					resolved.Add(1)
+					report()
+				}
 			}
 		}()
 	}
+feed:
 	for _, g := range pending {
-		jobs <- g
+		select {
+		case jobs <- g:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
 
-	// Memoize fresh successes. Misses count executed simulations; hits
-	// count scenarios that rode along on one already computed. The cache
-	// stops admitting new entries at memoCap — each entry pins a full
-	// results series, and a long-lived tool sweeping ever-new configs
-	// must not grow memory without bound (retained entries keep hitting).
-	r.mu.Lock()
-	if r.memo == nil {
-		r.memo = make(map[string]*core.Results)
-	}
+	// Memoize fresh successes, evicting the least-recently-used entries
+	// beyond the cache bound — each entry pins a full results series, and
+	// a long-lived service sweeping ever-new configs must not grow memory
+	// without bound, yet must keep admitting so its hot set stays warm.
+	// Digests are computed once here, outside the lock, and cached with
+	// the entry. Misses count executed simulations; hits count scenarios
+	// served from an already-computed simulation.
 	for _, g := range pending {
-		if errs[g] == nil && len(r.memo) < memoCap {
-			r.memo[groups[g].key] = sims[g]
+		if errs[g] == nil && sims[g] != nil {
+			digests[g] = sims[g].Digest()
 		}
 	}
-	r.misses += len(pending)
-	r.hits += len(scenarios) - len(pending)
+	r.mu.Lock()
+	for _, g := range pending {
+		if errs[g] == nil && sims[g] != nil {
+			r.memo.put(&memoEntry{key: groups[g].key, res: sims[g], digest: digests[g]})
+		}
+	}
+	r.misses += int(executed.Load())
+	// Hits count scenarios actually served; a cancelled sweep serves
+	// nothing, so its memo-resolved groups are not credited.
+	if ctx.Err() == nil {
+		r.hits += len(scenarios) - len(pending)
+	}
 	r.mu.Unlock()
+
+	// A cancelled sweep reports the cancellation, not the per-scenario
+	// fallout of abandoning the queue.
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("scenario: sweep cancelled: %w", err)
+	}
 
 	// Report every failing scenario, in scenario-index order, rather than
 	// just the first: a sweep that half-fails should say exactly which
@@ -299,6 +410,7 @@ func (r *Runner) Run(spec Spec) (*SweepResults, error) {
 			if err != nil {
 				return nil, &ScenarioError{Index: i, Name: scenarios[i].Name, Err: err}
 			}
+			results[i].SimDigest = digests[g]
 		}
 	}
 	fillAvoidedCarbon(spec, scenarios, results)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"context"
 	"errors"
 	"reflect"
 	"strings"
@@ -28,13 +29,13 @@ func tinySpec() Spec {
 // byte-identical aggregate results at 1, 4 and 8 workers.
 func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 	spec := tinySpec()
-	ref, err := (&Runner{Workers: 1}).Run(spec)
+	ref, err := (&Runner{Workers: 1}).Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	refTable := ref.Table().String()
 	for _, workers := range []int{4, 8} {
-		got, err := (&Runner{Workers: workers}).Run(spec)
+		got, err := (&Runner{Workers: workers}).Run(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,12 +53,12 @@ func TestRunnerDeterministicAcrossWorkerCounts(t *testing.T) {
 // above is not a constant function).
 func TestRunnerSeedSensitivity(t *testing.T) {
 	spec := tinySpec()
-	a, err := (&Runner{Workers: 2}).Run(spec)
+	a, err := (&Runner{Workers: 2}).Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	spec.Seed = 7
-	b, err := (&Runner{Workers: 2}).Run(spec)
+	b, err := (&Runner{Workers: 2}).Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestRunnerSeedSensitivity(t *testing.T) {
 
 func TestRunnerSingleScenario(t *testing.T) {
 	spec := Spec{Nodes: 32, Days: 2, WarmupDays: 1}
-	res, err := (&Runner{Workers: 8}).Run(spec) // more workers than scenarios
+	res, err := (&Runner{Workers: 8}).Run(context.Background(), spec) // more workers than scenarios
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestRunnerSingleScenario(t *testing.T) {
 // Physical sanity on the flagship axes: capping the frequency must cut
 // mean power, and a cleaner grid must cut emissions at equal power.
 func TestRunnerAxisEffects(t *testing.T) {
-	res, err := (&Runner{Workers: 4}).Run(tinySpec())
+	res, err := (&Runner{Workers: 4}).Run(context.Background(), tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,13 +122,13 @@ func TestRunnerAxisEffects(t *testing.T) {
 func TestRunnerPropagatesExpansionErrors(t *testing.T) {
 	spec := tinySpec()
 	spec.Axes.Frequency = []string{"warp9"}
-	if _, err := (&Runner{}).Run(spec); err == nil {
+	if _, err := (&Runner{}).Run(context.Background(), spec); err == nil {
 		t.Fatal("invalid axis value did not fail the run")
 	}
 }
 
 func TestSweepTables(t *testing.T) {
-	res, err := (&Runner{Workers: 4}).Run(tinySpec())
+	res, err := (&Runner{Workers: 4}).Run(context.Background(), tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSweepTables(t *testing.T) {
 // 2x2 tiny sweep has two unique simulation keys, so exactly two
 // simulations run for four scenarios.
 func TestRunnerDeduplicatesSimulations(t *testing.T) {
-	res, err := (&Runner{Workers: 4}).Run(tinySpec())
+	res, err := (&Runner{Workers: 4}).Run(context.Background(), tinySpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,13 +183,13 @@ func carbonSpec() Spec {
 // deltas against the fcfs baseline.
 func TestRunnerCarbonSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	spec := carbonSpec()
-	ref, err := (&Runner{Workers: 1}).Run(spec)
+	ref, err := (&Runner{Workers: 1}).Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
 	refCarbon := ref.CarbonTable().String()
 	for _, workers := range []int{3, 8} {
-		got, err := (&Runner{Workers: workers}).Run(spec)
+		got, err := (&Runner{Workers: workers}).Run(context.Background(), spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func TestRunnerCarbonSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 // hold jobs, the fcfs ones never do, and avoided carbon is populated
 // against the matching fcfs counterpart (zero for fcfs itself).
 func TestRunnerCarbonPolicyEffects(t *testing.T) {
-	res, err := (&Runner{Workers: 4}).Run(carbonSpec())
+	res, err := (&Runner{Workers: 4}).Run(context.Background(), carbonSpec())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,11 +261,11 @@ func TestRunnerAggregatesWorkerErrors(t *testing.T) {
 	spec := tinySpec()
 	boom := errors.New("boom")
 	var calls atomic.Int32
-	r := Runner{Workers: 2, runCfg: func(cfg core.Config) (*core.Results, error) {
+	r := Runner{Workers: 2, runCfg: func(_ context.Context, cfg core.Config) (*core.Results, error) {
 		calls.Add(1)
 		return nil, boom
 	}}
-	_, err := r.Run(spec)
+	_, err := r.Run(context.Background(), spec)
 	if err == nil {
 		t.Fatal("worker failures produced no error")
 	}
@@ -312,7 +313,7 @@ func TestCarbonTableWithoutCounterpart(t *testing.T) {
 			CarbonPolicy: []string{"fcfs", "delay-flexible"},
 		},
 	}
-	res, err := (&Runner{Workers: 2}).Run(spec)
+	res, err := (&Runner{Workers: 2}).Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestCarbonTableWithoutCounterpart(t *testing.T) {
 func TestRunnerMemoization(t *testing.T) {
 	r := &Runner{Workers: 2}
 	spec := tinySpec()
-	first, err := r.Run(spec)
+	first, err := r.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +351,7 @@ func TestRunnerMemoization(t *testing.T) {
 		t.Fatalf("after first run: stats = %+v, want 2 misses, 2 hits", cs)
 	}
 
-	second, err := r.Run(spec)
+	second, err := r.Run(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestRunnerMemoization(t *testing.T) {
 	// derived seed + config hash, so -nodes axes never collide.
 	bigger := spec
 	bigger.Nodes = 48
-	if _, err := r.Run(bigger); err != nil {
+	if _, err := r.Run(context.Background(), bigger); err != nil {
 		t.Fatal(err)
 	}
 	cs = r.CacheStats()
@@ -378,11 +379,281 @@ func TestRunnerMemoization(t *testing.T) {
 	// collide, the config hash must not.
 	longer := spec
 	longer.Days = 4
-	if _, err := r.Run(longer); err != nil {
+	if _, err := r.Run(context.Background(), longer); err != nil {
 		t.Fatal(err)
 	}
 	cs = r.CacheStats()
 	if cs.Misses != 6 {
 		t.Errorf("distinct -days spec hit the cache: stats = %+v, want 6 misses", cs)
+	}
+}
+
+// seedSpec is a single-scenario, single-simulation spec distinguished
+// only by its seed — the cheapest way to mint distinct cache entries.
+func seedSpec(seed uint64) Spec {
+	return Spec{Nodes: 32, Days: 2, WarmupDays: 1, Seed: seed}
+}
+
+// The memo must be a true LRU: admission beyond MemoCap evicts the
+// least-recently-used entry (never stops admitting), a hit refreshes
+// recency, and recently-used entries keep hitting. This is the
+// regression test for the old cache that silently stopped admitting at
+// capacity, permanently cold for every new config.
+func TestRunnerMemoLRUEviction(t *testing.T) {
+	r := &Runner{Workers: 1, MemoCap: 3}
+	run := func(seed uint64) {
+		t.Helper()
+		if _, err := r.Run(context.Background(), seedSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Overfill: 6 distinct simulations through a 3-entry cache.
+	for seed := uint64(1); seed <= 6; seed++ {
+		run(seed)
+	}
+	cs := r.CacheStats()
+	if cs.Size != 3 || cs.Capacity != 3 {
+		t.Fatalf("cache size %d (cap %d), want 3/3", cs.Size, cs.Capacity)
+	}
+	if cs.Misses != 6 || cs.Evictions != 3 {
+		t.Fatalf("stats %+v, want 6 misses, 3 evictions", cs)
+	}
+
+	// The three most recent (4, 5, 6) are warm; 1-3 were evicted coldest
+	// first.
+	run(6)
+	if cs = r.CacheStats(); cs.Misses != 6 || cs.Hits != 1 {
+		t.Fatalf("recent entry missed: %+v", cs)
+	}
+	run(1)
+	if cs = r.CacheStats(); cs.Misses != 7 || cs.Evictions != 4 {
+		t.Fatalf("evicted entry hit, or admission stopped: %+v", cs)
+	}
+
+	// Recency refresh: cache now holds {5, 6, 1} with 5 coldest. Hitting
+	// 5 then admitting a new entry must evict 6, not 5.
+	run(5)
+	run(2)
+	cs = r.CacheStats()
+	if cs.Misses != 8 {
+		t.Fatalf("unexpected miss pattern: %+v", cs)
+	}
+	run(5) // refreshed survivor: hit
+	if got := r.CacheStats(); got.Misses != 8 {
+		t.Fatalf("hit-refreshed entry was evicted: %+v", got)
+	}
+	run(6) // unrefreshed: evicted, miss
+	if got := r.CacheStats(); got.Misses != 9 {
+		t.Fatalf("expected LRU (not refreshed) entry to have been evicted: %+v", got)
+	}
+}
+
+// A negative MemoCap disables cross-sweep memoization without touching
+// within-sweep simulation sharing.
+func TestRunnerMemoDisabled(t *testing.T) {
+	r := &Runner{Workers: 2, MemoCap: -1}
+	for i := 0; i < 2; i++ {
+		if _, err := r.Run(context.Background(), tinySpec()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := r.CacheStats()
+	// 2 sims per run, re-simulated both times; ride-along hits remain.
+	if cs.Misses != 4 || cs.Hits != 4 || cs.Size != 0 || cs.Capacity != 0 {
+		t.Errorf("disabled cache stats %+v, want 4 misses, 4 hits, size 0", cs)
+	}
+}
+
+// memoKeyOf derives the cache key exactly as Run does for the spec's
+// first scenario.
+func memoKeyOf(t *testing.T, spec Spec) string {
+	t.Helper()
+	scenarios, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := scenarios[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return memoKey(spec.withDefaults(), scenarios[0], cfg)
+}
+
+// The cache identity must be built from explicit named fields: every
+// config-shaping spec field perturbs the key (no two perturbations
+// collide), and equal specs produce equal keys. This is the regression
+// test for hashing structs via fmt "%+v", where adding or reordering
+// fields silently changes every key and a future pointer field would
+// fold an address into the identity.
+func TestMemoKeyDistinguishesEveryConfigField(t *testing.T) {
+	base := func() Spec {
+		return Spec{
+			Nodes: 32, Days: 5, WarmupDays: 1, Seed: 42,
+			OverSubscription: 0.7,
+			Carbon: CarbonSpec{
+				ThresholdGrams: 120, MaxDelayHours: 8, FlexibleShare: 0.5,
+				BudgetFraction: 0.85, ForecastSigma: 5, ForecastGrowth: 0.5,
+			},
+			Axes: Axes{CarbonPolicy: []string{CarbonDelayFlexible}},
+		}
+	}
+	if memoKeyOf(t, base()) != memoKeyOf(t, base()) {
+		t.Fatal("equal specs produced different keys")
+	}
+
+	perturbations := []struct {
+		name   string
+		mutate func(*Spec)
+	}{
+		{"Days", func(s *Spec) { s.Days = 6 }},
+		{"WarmupDays", func(s *Spec) { s.WarmupDays = 2 }},
+		{"OverSubscription", func(s *Spec) { s.OverSubscription = 0.8 }},
+		{"Seed", func(s *Spec) { s.Seed = 43 }},
+		{"Carbon.ThresholdGrams", func(s *Spec) { s.Carbon.ThresholdGrams = 121 }},
+		{"Carbon.MaxDelayHours", func(s *Spec) { s.Carbon.MaxDelayHours = 9 }},
+		{"Carbon.FlexibleShare", func(s *Spec) { s.Carbon.FlexibleShare = 0.6 }},
+		{"Carbon.BudgetFraction", func(s *Spec) { s.Carbon.BudgetFraction = 0.9 }},
+		{"Carbon.ForecastSigma", func(s *Spec) { s.Carbon.ForecastSigma = 6 }},
+		{"Carbon.ForecastGrowth", func(s *Spec) { s.Carbon.ForecastGrowth = 0.6 }},
+	}
+	keys := map[string]string{"base": memoKeyOf(t, base())}
+	for _, p := range perturbations {
+		spec := base()
+		p.mutate(&spec)
+		key := memoKeyOf(t, spec)
+		for name, other := range keys {
+			if key == other {
+				t.Errorf("perturbing %s collides with %s", p.name, name)
+			}
+		}
+		keys[p.name] = key
+	}
+}
+
+// Cancelling the context stops the sweep: in-flight simulations see the
+// cancellation, queued ones never start, and Run reports the context
+// error rather than per-scenario fallout.
+func TestRunnerRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 4)
+	r := Runner{Workers: 1, runCfg: func(ctx context.Context, cfg core.Config) (*core.Results, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, tinySpec()) // 2 unique sims on 1 worker
+		done <- err
+	}()
+	<-started
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+	cs := r.CacheStats()
+	if cs.Size != 0 {
+		t.Errorf("failed simulations were memoized: %+v", cs)
+	}
+	if cs.Misses > 1 {
+		t.Errorf("queued simulation started after cancellation: %+v", cs)
+	}
+}
+
+// A context cancelled before Run starts must not execute anything.
+func TestRunnerRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int32
+	r := Runner{Workers: 2, runCfg: func(context.Context, core.Config) (*core.Results, error) {
+		calls.Add(1)
+		return nil, nil
+	}}
+	if _, err := r.Run(ctx, tinySpec()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Errorf("%d simulations ran under a pre-cancelled context", n)
+	}
+}
+
+// Every result must carry its simulation's digest, shared across
+// scenarios that shared the simulation and stable across memoized
+// re-runs.
+func TestRunnerSimDigests(t *testing.T) {
+	r := &Runner{Workers: 2}
+	first, err := r.Run(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Result{}
+	for _, res := range first.Results {
+		if res.SimDigest == "" {
+			t.Fatalf("scenario %q has no simulation digest", res.Scenario.Name)
+		}
+		byName[res.Scenario.Name] = res
+	}
+	// Grid-axis pairs share a simulation, frequency-axis pairs do not.
+	if byName["freq=stock grid=200"].SimDigest != byName["freq=stock grid=20"].SimDigest {
+		t.Error("grid-sharing scenarios have different digests")
+	}
+	if byName["freq=stock grid=200"].SimDigest == byName["freq=capped grid=200"].SimDigest {
+		t.Error("distinct simulations share a digest")
+	}
+	second, err := r.Run(context.Background(), tinySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Error("memoized re-run changed results or digests")
+	}
+}
+
+// A cancelled sweep serves nothing, so it must not inflate the hit
+// counter for its memo-resolved groups (misses already count only
+// executed simulations).
+func TestRunnerCancellationDoesNotInflateHits(t *testing.T) {
+	var blocking atomic.Bool
+	inFlight := make(chan struct{}, 1)
+	r := Runner{Workers: 1, runCfg: func(ctx context.Context, cfg core.Config) (*core.Results, error) {
+		if blocking.Load() {
+			inFlight <- struct{}{}
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return &core.Results{}, nil
+	}}
+
+	// Prewarm the memo with the freq=stock simulation group (the fake
+	// results fail accounting later, but memoization happens first).
+	prewarm := tinySpec()
+	prewarm.Axes.Frequency = []string{"stock"}
+	_, _ = r.Run(context.Background(), prewarm)
+	base := r.CacheStats()
+	if base.Size != 1 || base.Hits != 1 {
+		t.Fatalf("prewarm stats %+v, want 1 cached sim, 1 ride-along hit", base)
+	}
+
+	// Cancel a sweep whose stock group is a memo hit and whose capped
+	// group blocks in-flight.
+	blocking.Store(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx, tinySpec())
+		done <- err
+	}()
+	<-inFlight // the worker is executing the capped group
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	cs := r.CacheStats()
+	if cs.Hits != base.Hits {
+		t.Errorf("cancelled sweep inflated hits: %d -> %d", base.Hits, cs.Hits)
+	}
+	if cs.Misses != base.Misses+1 {
+		t.Errorf("misses = %d, want %d (one in-flight execution)", cs.Misses, base.Misses+1)
 	}
 }

@@ -186,13 +186,16 @@ func (s Spec) withDefaults() Spec {
 	if s.Days == 0 {
 		s.Days = 28
 	}
+	// Negative WarmupDays (the "measure from day zero" sentinel) is
+	// preserved rather than resolved to 0: a resolved 0 would re-default
+	// to 4 on the next withDefaults pass, so collapsing the sentinel
+	// would make defaulting non-idempotent (and Canonical unstable).
+	// Consumers read the effective value through warmupDays.
 	if s.WarmupDays == 0 {
 		s.WarmupDays = 4
 		if s.WarmupDays >= s.Days {
 			s.WarmupDays = s.Days - 1
 		}
-	} else if s.WarmupDays < 0 {
-		s.WarmupDays = 0
 	}
 	if s.Seed == 0 {
 		s.Seed = 42
@@ -203,8 +206,27 @@ func (s Spec) withDefaults() Spec {
 	if s.MaxScenarios == 0 {
 		s.MaxScenarios = DefaultMaxScenarios
 	}
+	s.Carbon = s.Carbon.withDefaults()
 	return s
 }
+
+// warmupDays is the effective warmup span after defaulting: the negative
+// "measure from day zero" sentinel reads as 0.
+func (s Spec) warmupDays() int {
+	if s.WarmupDays < 0 {
+		return 0
+	}
+	return s.WarmupDays
+}
+
+// Canonical returns the spec with every defaultable field — the carbon
+// tunables included — resolved to its effective value: the form under
+// which two specs that mean the same sweep compare (and JSON-marshal)
+// equal, whether defaults were spelled out or omitted. The twinserver
+// derives its singleflight/dedup identity from the canonical form, so
+// submitting {"days":28} and {} coalesce onto one sweep. Canonical is
+// idempotent: Canonical(Canonical(s)) == Canonical(s).
+func (s Spec) Canonical() Spec { return s.withDefaults() }
 
 // Validate checks the spec (after defaulting).
 func (s Spec) Validate() error {
@@ -215,9 +237,9 @@ func (s Spec) Validate() error {
 	if s.Days < 1 {
 		return fmt.Errorf("scenario: days %d below minimum 1", s.Days)
 	}
-	if s.WarmupDays < 0 || s.WarmupDays >= s.Days {
+	if s.warmupDays() >= s.Days {
 		return fmt.Errorf("scenario: warmup %d days does not leave a measurement window in %d days",
-			s.WarmupDays, s.Days)
+			s.warmupDays(), s.Days)
 	}
 	if s.Mode != ModeGrid && s.Mode != ModeList {
 		return fmt.Errorf("scenario: unknown mode %q (want %q or %q)", s.Mode, ModeGrid, ModeList)
@@ -561,7 +583,7 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 	}
 	cfg.Windows = []core.Window{{
 		Label: "measure",
-		From:  sweepStart.AddDate(0, 0, s.WarmupDays),
+		From:  sweepStart.AddDate(0, 0, s.warmupDays()),
 		To:    sweepStart.AddDate(0, 0, s.Days),
 	}}
 	gm := grid.GB2022().Scaled(sc.GridMean)

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -391,5 +392,44 @@ func TestSpecValidateCarbonTunables(t *testing.T) {
 	spec = Spec{Carbon: CarbonSpec{ForecastSigma: -2}}
 	if err := spec.Validate(); err == nil {
 		t.Error("negative forecast sigma accepted")
+	}
+}
+
+// Canonical must be idempotent — a canonicalised spec re-entering
+// defaulting (as it does when a service hands it to Runner.Run) must not
+// shift. The -1 warmup sentinel is the regression case: resolving it to
+// 0 would re-default to 4 days on the second pass.
+func TestCanonicalIdempotent(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Days: 2, WarmupDays: -1},
+		{Days: 1},
+		{Days: 10, WarmupDays: 3, OverSubscription: 0.7},
+		{Carbon: CarbonSpec{ThresholdGrams: 50}},
+	}
+	for _, s := range specs {
+		once := s.Canonical()
+		twice := once.Canonical()
+		if !reflect.DeepEqual(once, twice) {
+			t.Errorf("Canonical not idempotent for %+v:\nonce  %+v\ntwice %+v", s, once, twice)
+		}
+	}
+}
+
+// The -1 warmup sentinel must mean "measure from day zero" end to end:
+// the measurement window starts at the sweep start, at any defaulting
+// depth.
+func TestWarmupSentinelMeasuresFromDayZero(t *testing.T) {
+	spec := Spec{Nodes: 32, Days: 2, WarmupDays: -1}.Canonical()
+	scenarios, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := scenarios[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Windows[0].From.Equal(sweepStart) {
+		t.Errorf("measurement window starts %v, want sweep start %v", cfg.Windows[0].From, sweepStart)
 	}
 }

@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// jqModel drives jobQueue and a plain-slice reference model through the
+// same operation and asserts identical logical contents after every one.
+// The plain slice is the queue's specified behaviour (the pre-refactor
+// representation); the head-indexed buffer with in-place compaction must
+// be observationally indistinguishable from it.
+type jqModel struct {
+	t    *testing.T
+	q    jobQueue
+	ref  []*Job
+	step int
+}
+
+func (m *jqModel) push(j *Job) {
+	m.q.PushBack(j)
+	m.ref = append(m.ref, j)
+	m.check("PushBack")
+}
+
+func (m *jqModel) pop() {
+	got := m.q.PopFront()
+	want := m.ref[0]
+	m.ref = m.ref[1:]
+	if got != want {
+		m.t.Fatalf("step %d: PopFront returned wrong job", m.step)
+	}
+	m.check("PopFront")
+}
+
+func (m *jqModel) removeAt(i int) {
+	m.q.RemoveAt(i)
+	m.ref = append(m.ref[:i:i], m.ref[i+1:]...)
+	m.check("RemoveAt")
+}
+
+func (m *jqModel) insertAt(i int, j *Job) {
+	m.q.InsertAt(i, j)
+	m.ref = append(m.ref[:i:i], append([]*Job{j}, m.ref[i:]...)...)
+	m.check("InsertAt")
+}
+
+// check asserts Len, Head, every At index and a full Snapshot agree with
+// the reference model.
+func (m *jqModel) check(op string) {
+	m.t.Helper()
+	m.step++
+	if m.q.Len() != len(m.ref) {
+		m.t.Fatalf("step %d (%s): Len = %d, want %d", m.step, op, m.q.Len(), len(m.ref))
+	}
+	if len(m.ref) > 0 && m.q.Head() != m.ref[0] {
+		m.t.Fatalf("step %d (%s): Head diverges", m.step, op)
+	}
+	snap := m.q.Snapshot()
+	if len(snap) != len(m.ref) {
+		m.t.Fatalf("step %d (%s): Snapshot has %d jobs, want %d", m.step, op, len(snap), len(m.ref))
+	}
+	for i := range m.ref {
+		if snap[i] != m.ref[i] {
+			m.t.Fatalf("step %d (%s): Snapshot[%d] diverges", m.step, op, i)
+		}
+		if m.q.At(i) != m.ref[i] {
+			m.t.Fatalf("step %d (%s): At(%d) diverges", m.step, op, i)
+		}
+	}
+}
+
+// TestJobQueueMatchesReferenceModel drives a seeded random operation
+// sequence — heavy enough in pops to cross the in-place compaction
+// threshold (head >= 256 with a dominating dead prefix) several times —
+// and verifies the queue never diverges from the plain-slice model,
+// including RemoveAt/InsertAt/Snapshot against a compacted buffer.
+func TestJobQueueMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &jqModel{t: t}
+
+	// Phase 1: random churn around a modest backlog.
+	for i := 0; i < 2000; i++ {
+		switch op := rng.Intn(100); {
+		case op < 40:
+			m.push(&Job{})
+		case op < 70:
+			if len(m.ref) > 0 {
+				m.pop()
+			} else {
+				m.push(&Job{})
+			}
+		case op < 85:
+			if len(m.ref) > 0 {
+				m.removeAt(rng.Intn(len(m.ref)))
+			}
+		default:
+			m.insertAt(rng.Intn(len(m.ref)+1), &Job{})
+		}
+	}
+
+	// Phase 2: build a deep backlog, then drain most of it. With ~700
+	// buffered jobs the dead prefix dominates around pop 350, forcing the
+	// compaction branch (head >= 256 && 2*head >= len) mid-drain; the
+	// full drain then exercises the head == len reset too.
+	for i := 0; i < 700; i++ {
+		m.push(&Job{})
+	}
+	for len(m.ref) > 100 {
+		m.pop()
+	}
+	if m.q.head >= 256 {
+		t.Fatalf("compaction never triggered: head = %d with %d jobs", m.q.head, m.q.Len())
+	}
+
+	// Phase 3: positional ops against the compacted buffer, then random
+	// churn to mix all branches.
+	for i := 0; i < 50; i++ {
+		m.insertAt(rng.Intn(len(m.ref)+1), &Job{})
+		m.removeAt(rng.Intn(len(m.ref)))
+	}
+	for i := 0; i < 1500; i++ {
+		switch op := rng.Intn(100); {
+		case op < 30:
+			m.push(&Job{})
+		case op < 75:
+			if len(m.ref) > 0 {
+				m.pop()
+			} else {
+				m.push(&Job{})
+			}
+		case op < 90:
+			if len(m.ref) > 0 {
+				m.removeAt(rng.Intn(len(m.ref)))
+			}
+		default:
+			m.insertAt(rng.Intn(len(m.ref)+1), &Job{})
+		}
+	}
+	for len(m.ref) > 0 {
+		m.pop()
+	}
+	if m.step < 1000 {
+		t.Fatalf("property sequence too short: %d ops", m.step)
+	}
+}

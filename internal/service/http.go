@@ -1,0 +1,185 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// maxSpecBytes bounds a submitted spec body; real specs are a few
+// hundred bytes.
+const maxSpecBytes = 1 << 20
+
+// ResultsPayload is the JSON body served for a completed sweep: the raw
+// per-scenario results (each carrying its simulation's core.Results
+// digest) plus the rendered comparison tables in structured form.
+type ResultsPayload struct {
+	ID          string             `json:"id"`
+	Spec        scenario.Spec      `json:"spec"`
+	Workers     int                `json:"workers"`
+	Simulations int                `json:"simulations"`
+	Results     []scenario.Result  `json:"results"`
+	DeltaTable  *report.DeltaTable `json:"delta_table"`
+	RegimeTable *report.Table      `json:"regime_table"`
+	CarbonTable *report.Table      `json:"carbon_table,omitempty"`
+}
+
+// NewHandler serves the twinserver HTTP API for svc:
+//
+//	POST   /v1/sweeps            submit a JSON scenario.Spec; 202 + status
+//	                             (200 if coalesced onto an existing sweep).
+//	                             ?wait=1 blocks and answers with the
+//	                             results payload when the sweep completes.
+//	GET    /v1/sweeps            list sweep statuses, newest first
+//	GET    /v1/sweeps/{id}       one sweep's status and progress
+//	GET    /v1/sweeps/{id}/results  completed results (409 until done)
+//	DELETE /v1/sweeps/{id}       cancel the sweep
+//	GET    /healthz              liveness
+//	GET    /statz                cache + registry statistics
+func NewHandler(svc *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	mux.HandleFunc("/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		switch r.Method {
+		case http.MethodPost:
+			handleSubmit(svc, w, r)
+		case http.MethodGet:
+			writeJSON(w, http.StatusOK, svc.List())
+		default:
+			httpError(w, http.StatusMethodNotAllowed, "use POST or GET")
+		}
+	})
+	mux.HandleFunc("/v1/sweeps/", func(w http.ResponseWriter, r *http.Request) {
+		handleSweep(svc, w, r)
+	})
+	return mux
+}
+
+func handleSubmit(svc *Service, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	spec, err := scenario.ParseSpec(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	wait := isTrue(r.URL.Query().Get("wait"))
+
+	// A waiting client is attached: its disconnect releases its
+	// reference on the sweep. A fire-and-poll submission pins the sweep
+	// so it survives the immediate end of this request.
+	sw, joined, err := svc.Submit(r.Context(), spec, wait)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if !wait {
+		code := http.StatusAccepted
+		if joined {
+			code = http.StatusOK
+		}
+		writeJSON(w, code, sw.Status())
+		return
+	}
+	select {
+	case <-sw.Done():
+		writeTerminal(w, sw)
+	case <-r.Context().Done():
+		// Client gone; the attach reference it held has been released.
+	}
+}
+
+func handleSweep(svc *Service, w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	id, sub, _ := strings.Cut(rest, "/")
+	sw, ok := svc.Get(id)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such sweep "+id)
+		return
+	}
+	switch {
+	case r.Method == http.MethodDelete && sub == "":
+		svc.Cancel(id)
+		writeJSON(w, http.StatusOK, sw.Status())
+	case r.Method == http.MethodGet && sub == "":
+		writeJSON(w, http.StatusOK, sw.Status())
+	case r.Method == http.MethodGet && sub == "results":
+		st := sw.Status()
+		if st.State == StatePending || st.State == StateRunning {
+			writeJSON(w, http.StatusConflict, st)
+			return
+		}
+		writeTerminal(w, sw)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "unsupported method or path")
+	}
+}
+
+// writeTerminal renders a finished sweep: the results payload when it
+// completed, its status otherwise (500 for a failure, 409 for a
+// cancellation).
+func writeTerminal(w http.ResponseWriter, sw *Sweep) {
+	res, err := sw.Results()
+	switch {
+	case err != nil:
+		code := http.StatusInternalServerError
+		if sw.Status().State == StateCanceled {
+			code = http.StatusConflict
+		}
+		writeJSON(w, code, sw.Status())
+	case res != nil:
+		payload := ResultsPayload{
+			ID:          sw.ID,
+			Spec:        res.Spec,
+			Workers:     res.Workers,
+			Simulations: res.Simulations,
+			Results:     res.Results,
+			DeltaTable:  res.Table(),
+			RegimeTable: res.RegimeTable(),
+		}
+		if res.CarbonSwept() {
+			payload.CarbonTable = res.CarbonTable()
+		}
+		writeJSON(w, http.StatusOK, payload)
+	default:
+		// Terminal without results or error cannot happen; be explicit
+		// rather than serving an empty 200.
+		httpError(w, http.StatusInternalServerError, "sweep finished without results")
+	}
+}
+
+func isTrue(v string) bool {
+	switch strings.ToLower(v) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
+		// The body is already streaming; nothing useful left to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,458 @@
+// Package service is the long-lived face of the scenario engine: a sweep
+// registry plus a bounded executor that turns one shared scenario.Runner
+// into something a daemon (cmd/twinserver) can safely expose to many
+// concurrent clients.
+//
+// Where the one-shot CLIs (cmd/sweep, cmd/gridcitizen) pay full
+// simulation cost per invocation and exit, a Service keeps the Runner —
+// and its LRU memo of completed simulations — alive across requests:
+//
+//   - every submitted sweep gets a registry entry with a state machine
+//     (pending → running → done/failed/canceled) and live progress;
+//   - concurrent submissions of the same canonical Spec coalesce onto one
+//     execution (singleflight) — N identical requests cost one sweep, and
+//     a completed sweep keeps serving later identical submissions from
+//     the registry until it is retired;
+//   - executions are bounded by a semaphore so a burst of distinct sweeps
+//     queues instead of oversubscribing the machine (each sweep already
+//     parallelises internally across the Runner's worker pool);
+//   - cancellation is reference-counted: a sweep whose every attached
+//     client has disconnected before completion is cancelled (the context
+//     threads through Runner.Run into the event loop of each in-flight
+//     simulation), while detached submissions pin the sweep until an
+//     explicit Cancel or service Shutdown.
+//
+// Determinism is inherited, not re-implemented: a sweep served through
+// the service carries the same per-simulation core.Results digests
+// (Result.SimDigest) a direct Runner.Run would produce.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// State is a sweep's position in its lifecycle.
+type State string
+
+// Sweep lifecycle states.
+const (
+	// StatePending: registered, waiting for an executor slot.
+	StatePending State = "pending"
+	// StateRunning: simulations are executing.
+	StateRunning State = "running"
+	// StateDone: completed successfully; results are available.
+	StateDone State = "done"
+	// StateFailed: the run returned an error other than cancellation.
+	StateFailed State = "failed"
+	// StateCanceled: cancelled by clients disconnecting, an explicit
+	// Cancel, or service shutdown.
+	StateCanceled State = "canceled"
+)
+
+// RunFunc executes one sweep. The default is the configured Runner's
+// RunProgress; tests substitute it to control timing and failure modes.
+type RunFunc func(ctx context.Context, spec scenario.Spec, progress func(done, total int)) (*scenario.SweepResults, error)
+
+// Config parameterises a Service.
+type Config struct {
+	// Runner executes sweeps and owns the cross-sweep memo cache.
+	// Required unless Run is set.
+	Runner *scenario.Runner
+	// Run overrides the executor (tests). Nil means Runner.RunProgress.
+	Run RunFunc
+	// MaxConcurrent bounds concurrently executing sweeps (default 2);
+	// each sweep already fans out internally across the Runner's workers.
+	MaxConcurrent int
+	// MaxFinished bounds how many finished sweeps the registry retains
+	// for status/result queries and dedup of repeat submissions (default
+	// 64); the oldest-finished are retired first. Results they pinned
+	// remain reachable through the Runner's memo until that evicts them.
+	MaxFinished int
+}
+
+// Service is a long-lived sweep registry and executor. Create with New;
+// a Service must not be copied.
+type Service struct {
+	cfg  Config
+	run  RunFunc
+	sem  chan struct{}
+	base context.Context
+	stop context.CancelFunc
+
+	mu       sync.Mutex
+	sweeps   map[string]*Sweep // by ID
+	byKey    map[string]*Sweep // latest sweep per canonical spec key
+	finished []string          // retirement order (IDs, oldest first)
+	nextID   int
+}
+
+// New creates a Service around cfg.
+func New(cfg Config) (*Service, error) {
+	if cfg.Runner == nil && cfg.Run == nil {
+		return nil, errors.New("service: Config.Runner (or Run) is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 2
+	}
+	if cfg.MaxFinished <= 0 {
+		cfg.MaxFinished = 64
+	}
+	run := cfg.Run
+	if run == nil {
+		run = cfg.Runner.RunProgress
+	}
+	base, stop := context.WithCancel(context.Background())
+	return &Service{
+		cfg:    cfg,
+		run:    run,
+		sem:    make(chan struct{}, cfg.MaxConcurrent),
+		base:   base,
+		stop:   stop,
+		sweeps: make(map[string]*Sweep),
+		byKey:  make(map[string]*Sweep),
+	}, nil
+}
+
+// Shutdown cancels every in-flight sweep and rejects further
+// submissions. It does not wait for executors to unwind; callers that
+// need to can poll sweep states.
+func (s *Service) Shutdown() { s.stop() }
+
+// SpecKey is the canonical identity of a sweep spec: a digest of the
+// spec's canonical (fully defaulted) form, so specs that mean the same
+// sweep — whether defaults are spelled out or omitted — coalesce onto
+// one key. This is the singleflight/dedup key, deliberately coarser than
+// the Runner's per-simulation memo keys.
+func SpecKey(spec scenario.Spec) string {
+	data, err := json.Marshal(spec.Canonical())
+	if err != nil {
+		// Spec is a plain data struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("service: marshalling spec: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+}
+
+// Submit registers a sweep for spec, or joins the caller onto an
+// existing sweep with the same canonical spec that is pending, running
+// or done (singleflight + registry dedup). The returned bool reports
+// whether an existing sweep was joined.
+//
+// When attach is true the submission is tied to ctx: if every attached
+// context is cancelled (clients disconnected) before the sweep finishes
+// and no detached submission has pinned it, the sweep is cancelled. When
+// attach is false the sweep is pinned and runs to completion unless
+// explicitly cancelled or the service shuts down.
+func (s *Service) Submit(ctx context.Context, spec scenario.Spec, attach bool) (*Sweep, bool, error) {
+	if err := s.base.Err(); err != nil {
+		return nil, false, errors.New("service: shut down")
+	}
+	// Validate (and count) up front so a bad spec fails the submission,
+	// not the executor.
+	scenarios, err := spec.Expand()
+	if err != nil {
+		return nil, false, err
+	}
+	spec = spec.Canonical()
+	key := SpecKey(spec)
+
+	s.mu.Lock()
+	if sw := s.byKey[key]; sw != nil {
+		if st := sw.state(); st != StateFailed && st != StateCanceled {
+			s.mu.Unlock()
+			sw.join(ctx, attach)
+			return sw, true, nil
+		}
+	}
+	s.nextID++
+	runCtx, cancel := context.WithCancel(s.base)
+	sw := &Sweep{
+		ID:        fmt.Sprintf("sweep-%d", s.nextID),
+		Key:       key,
+		Spec:      spec,
+		scenarios: len(scenarios),
+		submitted: time.Now(),
+		st:        StatePending,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+	}
+	s.sweeps[sw.ID] = sw
+	s.byKey[key] = sw
+	s.mu.Unlock()
+
+	sw.join(ctx, attach)
+	go s.execute(runCtx, sw)
+	return sw, false, nil
+}
+
+// Get returns the sweep with the given ID.
+func (s *Service) Get(id string) (*Sweep, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	return sw, ok
+}
+
+// List returns every registered sweep's status, newest submission first.
+func (s *Service) List() []Status {
+	s.mu.Lock()
+	sweeps := make([]*Sweep, 0, len(s.sweeps))
+	for _, sw := range s.sweeps {
+		sweeps = append(sweeps, sw)
+	}
+	s.mu.Unlock()
+	out := make([]Status, len(sweeps))
+	for i, sw := range sweeps {
+		out[i] = sw.Status()
+	}
+	// Newest submission first; ID breaks ties between same-instant
+	// submissions for a stable order.
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Submitted.Equal(out[j].Submitted) {
+			return out[i].Submitted.After(out[j].Submitted)
+		}
+		return out[i].ID > out[j].ID
+	})
+	return out
+}
+
+// Cancel cancels the sweep with the given ID, regardless of pins or
+// attached clients. It reports whether the sweep exists.
+func (s *Service) Cancel(id string) bool {
+	sw, ok := s.Get(id)
+	if !ok {
+		return false
+	}
+	sw.cancel()
+	return true
+}
+
+// Stats is the service-level operational snapshot served by /statz.
+type Stats struct {
+	// Cache is the shared Runner's memoization counters — the LRU the
+	// whole service economises through.
+	Cache scenario.CacheStats `json:"cache"`
+	// Sweeps counts registered sweeps by state.
+	Sweeps map[State]int `json:"sweeps"`
+	// Executing is how many sweeps hold an executor slot right now,
+	// against the MaxConcurrent bound.
+	Executing     int `json:"executing"`
+	MaxConcurrent int `json:"max_concurrent"`
+}
+
+// Stats returns the operational snapshot.
+func (s *Service) Stats() Stats {
+	st := Stats{Sweeps: make(map[State]int), MaxConcurrent: cap(s.sem), Executing: len(s.sem)}
+	if s.cfg.Runner != nil {
+		st.Cache = s.cfg.Runner.CacheStats()
+	}
+	s.mu.Lock()
+	for _, sw := range s.sweeps {
+		st.Sweeps[sw.state()]++
+	}
+	s.mu.Unlock()
+	return st
+}
+
+// execute runs one sweep under the concurrency bound.
+func (s *Service) execute(ctx context.Context, sw *Sweep) {
+	defer close(sw.done)
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		sw.finish(nil, ctx.Err())
+		s.retire(sw)
+		return
+	}
+	sw.setRunning()
+	res, err := s.run(ctx, sw.Spec, sw.setProgress)
+	if err == nil && ctx.Err() != nil {
+		err = ctx.Err()
+	}
+	sw.finish(res, err)
+	s.retire(sw)
+}
+
+// retire records a finished sweep and evicts the oldest finished sweeps
+// beyond the registry bound. A retired sweep disappears from status
+// queries and no longer serves dedup joins; its simulations stay
+// reachable through the Runner's memo until the LRU evicts them.
+func (s *Service) retire(sw *Sweep) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.finished = append(s.finished, sw.ID)
+	for len(s.finished) > s.cfg.MaxFinished {
+		id := s.finished[0]
+		s.finished = s.finished[1:]
+		old, ok := s.sweeps[id]
+		if !ok {
+			continue
+		}
+		delete(s.sweeps, id)
+		if s.byKey[old.Key] == old {
+			delete(s.byKey, old.Key)
+		}
+	}
+}
+
+// Progress is a sweep's execution progress in unique simulations (the
+// unit of actual work; scenarios sharing a simulation resolve together).
+type Progress struct {
+	// Scenarios is the sweep's expanded scenario count.
+	Scenarios int `json:"scenarios"`
+	// Simulations is the number of unique simulations the sweep needs;
+	// zero until the sweep starts resolving.
+	Simulations int `json:"simulations"`
+	// Done is how many of those have resolved (memo hits included).
+	Done int `json:"done"`
+}
+
+// Status is a point-in-time snapshot of a sweep.
+type Status struct {
+	ID        string     `json:"id"`
+	Name      string     `json:"name"`
+	SpecKey   string     `json:"spec_key"`
+	State     State      `json:"state"`
+	Submitted time.Time  `json:"submitted"`
+	Started   *time.Time `json:"started,omitempty"`
+	Finished  *time.Time `json:"finished,omitempty"`
+	Progress  Progress   `json:"progress"`
+	Error     string     `json:"error,omitempty"`
+}
+
+// Sweep is one registered sweep. The exported fields are immutable after
+// creation; everything mutable is behind Status and Results.
+type Sweep struct {
+	ID   string
+	Key  string
+	Spec scenario.Spec
+
+	scenarios int
+	cancel    context.CancelFunc
+	done      chan struct{}
+
+	mu        sync.Mutex
+	st        State
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	simsTotal int
+	simsDone  int
+	res       *scenario.SweepResults
+	err       error
+	waiters   int
+	pinned    bool
+}
+
+// Done is closed when the sweep reaches a terminal state.
+func (sw *Sweep) Done() <-chan struct{} { return sw.done }
+
+// Status snapshots the sweep.
+func (sw *Sweep) Status() Status {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	st := Status{
+		ID:        sw.ID,
+		Name:      sw.Spec.Name,
+		SpecKey:   sw.Key,
+		State:     sw.st,
+		Submitted: sw.submitted,
+		Progress:  Progress{Scenarios: sw.scenarios, Simulations: sw.simsTotal, Done: sw.simsDone},
+	}
+	if !sw.started.IsZero() {
+		t := sw.started
+		st.Started = &t
+	}
+	if !sw.finished.IsZero() {
+		t := sw.finished
+		st.Finished = &t
+	}
+	if sw.err != nil {
+		st.Error = sw.err.Error()
+	}
+	return st
+}
+
+// Results returns the completed sweep's results, or the terminal error.
+// Before the sweep finishes both returns are nil.
+func (sw *Sweep) Results() (*scenario.SweepResults, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.res, sw.err
+}
+
+func (sw *Sweep) state() State {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.st
+}
+
+// join ties a submission to the sweep: attached contexts are
+// reference-counted for disconnect cancellation, detached submissions
+// pin the sweep alive.
+func (sw *Sweep) join(ctx context.Context, attach bool) {
+	sw.mu.Lock()
+	if !attach || ctx == nil || ctx.Done() == nil {
+		sw.pinned = true
+		sw.mu.Unlock()
+		return
+	}
+	sw.waiters++
+	sw.mu.Unlock()
+	go func() {
+		select {
+		case <-ctx.Done():
+			sw.detach()
+		case <-sw.done:
+		}
+	}()
+}
+
+// detach drops one attached client; the last one out cancels an
+// unpinned, unfinished sweep.
+func (sw *Sweep) detach() {
+	sw.mu.Lock()
+	sw.waiters--
+	abandon := sw.waiters == 0 && !sw.pinned && sw.st != StateDone &&
+		sw.st != StateFailed && sw.st != StateCanceled
+	sw.mu.Unlock()
+	if abandon {
+		sw.cancel()
+	}
+}
+
+func (sw *Sweep) setRunning() {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.st = StateRunning
+	sw.started = time.Now()
+}
+
+func (sw *Sweep) setProgress(done, total int) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.simsDone, sw.simsTotal = done, total
+}
+
+func (sw *Sweep) finish(res *scenario.SweepResults, err error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.finished = time.Now()
+	switch {
+	case err == nil:
+		sw.st, sw.res = StateDone, res
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		sw.st, sw.err = StateCanceled, err
+	default:
+		sw.st, sw.err = StateFailed, err
+	}
+}
