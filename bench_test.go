@@ -160,6 +160,21 @@ func BenchmarkFullTimeline(b *testing.B) {
 	}
 }
 
+// BenchmarkResultsFootprint measures the memo byte-accounting pass and
+// reports the retained footprint of the full-timeline results — the cost
+// one full-scale entry charges against the scenario memo's byte budget
+// (scenario.Runner.MemoBudgetBytes). The footprint metric doubles as the
+// memory-compactness trajectory for the telemetry storage layer.
+func BenchmarkResultsFootprint(b *testing.B) {
+	res := fullTimeline(b)
+	var fp int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fp = res.MemoryFootprint()
+	}
+	b.ReportMetric(float64(fp), "footprint_bytes")
+}
+
 // BenchmarkFigure1Baseline regenerates the Dec 2021 - Apr 2022 baseline.
 func BenchmarkFigure1Baseline(b *testing.B) {
 	res := fullTimeline(b)
@@ -384,7 +399,10 @@ func BenchmarkRNGStream(b *testing.B) {
 }
 
 func BenchmarkTimeseriesAppendAndMean(b *testing.B) {
-	s := timeseries.New("x", "u")
+	// Pre-sized like every producer in the hot path; it also keeps the
+	// gated B/op deterministic (an unsized series reports N-dependent
+	// slice-growth amortisation, which flaps around capacity doublings).
+	s := timeseries.NewWithCapacity("x", "u", b.N)
 	t := epoch
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

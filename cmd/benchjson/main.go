@@ -10,7 +10,15 @@
 // two such JSON documents, compares every tracked metric of every
 // benchmark present in the baseline, prints a markdown table (suitable
 // for a GitHub job summary), and exits non-zero when any metric regressed
-// beyond the tolerance. Lower is better for every tracked metric.
+// beyond its tolerance. Lower is better for every tracked metric.
+//
+// Tracked metrics take an optional per-metric tolerance with
+// "name=tolerance" entries in -metrics; entries without one use the
+// global -tolerance. Time is noisy on shared CI runners while allocation
+// counts and bytes are near-deterministic, so a typical gate loosens
+// ns/op and tightens the memory metrics:
+//
+//	benchjson -compare old.json new.json -tolerance 0.15 -metrics 'ns/op,allocs/op=0.10,B/op=0.10'
 //
 // Usage:
 //
@@ -39,7 +47,7 @@ type Record struct {
 func main() {
 	compare := flag.Bool("compare", false, "compare two benchmark JSON files: benchjson -compare old.json new.json")
 	tolerance := flag.Float64("tolerance", 0.15, "relative regression tolerance for -compare (0.15 = 15%)")
-	metrics := flag.String("metrics", "ns/op,allocs/op", "comma-separated metrics tracked by -compare")
+	metrics := flag.String("metrics", "ns/op,allocs/op,B/op", "comma-separated metrics tracked by -compare, each optionally name=tolerance")
 	flag.Parse()
 
 	if *compare {
@@ -71,11 +79,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		table, regressions := compareRecords(old, cur, *tolerance, strings.Split(*metrics, ","))
+		tracked, err := parseTracked(*metrics, *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		table, regressions := compareRecords(old, cur, tracked)
 		fmt.Print(table)
 		if regressions > 0 {
-			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond %.0f%%\n",
-				regressions, *tolerance*100)
+			fmt.Fprintf(os.Stderr, "benchjson: %d metric(s) regressed beyond tolerance\n", regressions)
 			os.Exit(1)
 		}
 		return
@@ -143,37 +155,72 @@ func loadRecords(path string) ([]Record, error) {
 	return records, nil
 }
 
+// trackedMetric is one gated metric with its regression tolerance.
+type trackedMetric struct {
+	Name      string
+	Tolerance float64
+}
+
+// parseTracked parses the -metrics value: comma-separated metric names,
+// each optionally suffixed "=tolerance" to override the global default.
+func parseTracked(spec string, defaultTol float64) ([]trackedMetric, error) {
+	var out []trackedMetric
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, tolStr, hasTol := strings.Cut(entry, "=")
+		tm := trackedMetric{Name: strings.TrimSpace(name), Tolerance: defaultTol}
+		if hasTol {
+			tol, err := strconv.ParseFloat(strings.TrimSpace(tolStr), 64)
+			if err != nil || tol < 0 {
+				return nil, fmt.Errorf("bad tolerance in -metrics entry %q", entry)
+			}
+			tm.Tolerance = tol
+		}
+		if tm.Name == "" {
+			return nil, fmt.Errorf("empty metric name in -metrics entry %q", entry)
+		}
+		out = append(out, tm)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-metrics selected no metrics")
+	}
+	return out, nil
+}
+
 // compareRecords diffs the tracked metrics of every baseline benchmark
 // against the new run, returning a markdown table and the number of
-// regressions beyond tolerance. Benchmarks only present in the new run
-// are ignored (they have no baseline yet); a baseline benchmark or
-// tracked metric missing from the new run counts as a regression — a
-// disappearing benchmark must not silently pass the gate.
-func compareRecords(old, cur []Record, tolerance float64, tracked []string) (string, int) {
+// regressions beyond each metric's tolerance. Benchmarks only present in
+// the new run are ignored (they have no baseline yet); a baseline
+// benchmark or tracked metric missing from the new run counts as a
+// regression — a disappearing benchmark must not silently pass the gate.
+func compareRecords(old, cur []Record, tracked []trackedMetric) (string, int) {
 	newBy := map[string]Record{}
 	for _, r := range cur {
 		newBy[r.Name] = r
 	}
 	var b strings.Builder
-	b.WriteString("| benchmark | metric | baseline | current | delta | status |\n")
-	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	b.WriteString("| benchmark | metric | baseline | current | delta | tolerance | status |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|---|\n")
 	regressions := 0
 	for _, o := range old {
 		n, ok := newBy[o.Name]
 		for _, m := range tracked {
-			m = strings.TrimSpace(m)
-			ov, haveOld := o.Metrics[m]
+			ov, haveOld := o.Metrics[m.Name]
 			if !haveOld {
 				continue
 			}
+			tolStr := fmt.Sprintf("%.0f%%", m.Tolerance*100)
 			if !ok {
-				fmt.Fprintf(&b, "| %s | %s | %s | — | — | missing |\n", o.Name, m, fmtMetric(ov))
+				fmt.Fprintf(&b, "| %s | %s | %s | — | — | %s | missing |\n", o.Name, m.Name, fmtMetric(ov), tolStr)
 				regressions++
 				continue
 			}
-			nv, haveNew := n.Metrics[m]
+			nv, haveNew := n.Metrics[m.Name]
 			if !haveNew {
-				fmt.Fprintf(&b, "| %s | %s | %s | — | — | missing |\n", o.Name, m, fmtMetric(ov))
+				fmt.Fprintf(&b, "| %s | %s | %s | — | — | %s | missing |\n", o.Name, m.Name, fmtMetric(ov), tolStr)
 				regressions++
 				continue
 			}
@@ -187,15 +234,15 @@ func compareRecords(old, cur []Record, tolerance float64, tracked []string) (str
 			case ov != 0:
 				delta := (nv - ov) / ov
 				deltaStr = fmt.Sprintf("%+.1f%%", delta*100)
-				if delta > tolerance {
+				if delta > m.Tolerance {
 					status = "REGRESSION"
 					regressions++
-				} else if delta < -tolerance {
+				} else if delta < -m.Tolerance {
 					status = "improved"
 				}
 			}
-			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n",
-				o.Name, m, fmtMetric(ov), fmtMetric(nv), deltaStr, status)
+			fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s | %s |\n",
+				o.Name, m.Name, fmtMetric(ov), fmtMetric(nv), deltaStr, tolStr, status)
 		}
 	}
 	return b.String(), regressions

@@ -36,6 +36,15 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+// tracked builds a tracked-metric list at one shared tolerance.
+func tracked(tol float64, names ...string) []trackedMetric {
+	out := make([]trackedMetric, len(names))
+	for i, n := range names {
+		out[i] = trackedMetric{Name: n, Tolerance: tol}
+	}
+	return out
+}
+
 func rec(name string, ns, allocs float64) Record {
 	return Record{Name: name, Iterations: 1, Metrics: map[string]float64{
 		"ns/op": ns, "allocs/op": allocs,
@@ -45,7 +54,7 @@ func rec(name string, ns, allocs float64) Record {
 func TestCompareWithinTolerance(t *testing.T) {
 	old := []Record{rec("BenchmarkA", 1000, 100)}
 	cur := []Record{rec("BenchmarkA", 1100, 105)} // +10%, +5%
-	table, regressions := compareRecords(old, cur, 0.15, []string{"ns/op", "allocs/op"})
+	table, regressions := compareRecords(old, cur, tracked(0.15, "ns/op", "allocs/op"))
 	if regressions != 0 {
 		t.Fatalf("regressions = %d, want 0\n%s", regressions, table)
 	}
@@ -57,7 +66,7 @@ func TestCompareWithinTolerance(t *testing.T) {
 func TestCompareFlagsRegression(t *testing.T) {
 	old := []Record{rec("BenchmarkA", 1000, 100), rec("BenchmarkB", 500, 10)}
 	cur := []Record{rec("BenchmarkA", 1200, 100), rec("BenchmarkB", 500, 25)}
-	table, regressions := compareRecords(old, cur, 0.15, []string{"ns/op", "allocs/op"})
+	table, regressions := compareRecords(old, cur, tracked(0.15, "ns/op", "allocs/op"))
 	if regressions != 2 {
 		t.Fatalf("regressions = %d, want 2 (ns/op of A, allocs/op of B)\n%s", regressions, table)
 	}
@@ -69,7 +78,7 @@ func TestCompareFlagsRegression(t *testing.T) {
 func TestCompareImprovementPasses(t *testing.T) {
 	old := []Record{rec("BenchmarkA", 1000, 100)}
 	cur := []Record{rec("BenchmarkA", 400, 30)}
-	table, regressions := compareRecords(old, cur, 0.15, []string{"ns/op", "allocs/op"})
+	table, regressions := compareRecords(old, cur, tracked(0.15, "ns/op", "allocs/op"))
 	if regressions != 0 {
 		t.Fatalf("improvement counted as regression:\n%s", table)
 	}
@@ -80,7 +89,7 @@ func TestCompareImprovementPasses(t *testing.T) {
 
 func TestCompareMissingBenchmarkFails(t *testing.T) {
 	old := []Record{rec("BenchmarkGone", 1000, 100)}
-	table, regressions := compareRecords(old, nil, 0.15, []string{"ns/op", "allocs/op"})
+	table, regressions := compareRecords(old, nil, tracked(0.15, "ns/op", "allocs/op"))
 	if regressions == 0 {
 		t.Fatalf("missing benchmark passed the gate:\n%s", table)
 	}
@@ -91,7 +100,7 @@ func TestCompareMissingBenchmarkFails(t *testing.T) {
 
 func TestCompareNewBenchmarkIgnored(t *testing.T) {
 	cur := []Record{rec("BenchmarkFresh", 1000, 100)}
-	_, regressions := compareRecords(nil, cur, 0.15, []string{"ns/op"})
+	_, regressions := compareRecords(nil, cur, tracked(0.15, "ns/op"))
 	if regressions != 0 {
 		t.Fatal("benchmark without a baseline failed the gate")
 	}
@@ -100,11 +109,55 @@ func TestCompareNewBenchmarkIgnored(t *testing.T) {
 func TestCompareZeroBaselineGoingNonzeroFails(t *testing.T) {
 	old := []Record{rec("BenchmarkA", 100, 0)}
 	cur := []Record{rec("BenchmarkA", 100, 1)}
-	table, regressions := compareRecords(old, cur, 0.15, []string{"allocs/op"})
+	table, regressions := compareRecords(old, cur, tracked(0.15, "allocs/op"))
 	if regressions != 1 {
 		t.Fatalf("0 -> 1 allocs/op passed the gate:\n%s", table)
 	}
 	if !strings.Contains(table, "+inf") {
 		t.Errorf("unbounded delta not rendered:\n%s", table)
+	}
+}
+
+func TestParseTracked(t *testing.T) {
+	got, err := parseTracked("ns/op, allocs/op=0.05,B/op=0.1", 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []trackedMetric{
+		{Name: "ns/op", Tolerance: 0.15},
+		{Name: "allocs/op", Tolerance: 0.05},
+		{Name: "B/op", Tolerance: 0.1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d metrics, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("metric %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []string{"", "ns/op=", "ns/op=-1", "=0.1", "ns/op=abc"} {
+		if _, err := parseTracked(bad, 0.15); err == nil {
+			t.Errorf("parseTracked(%q) accepted", bad)
+		}
+	}
+}
+
+// Per-metric tolerances gate independently: the same +12% delta passes a
+// 15% ns/op tolerance and fails a 10% B/op tolerance in one comparison.
+func TestComparePerMetricTolerance(t *testing.T) {
+	old := []Record{{Name: "BenchmarkA", Iterations: 1,
+		Metrics: map[string]float64{"ns/op": 1000, "B/op": 1000}}}
+	cur := []Record{{Name: "BenchmarkA", Iterations: 1,
+		Metrics: map[string]float64{"ns/op": 1120, "B/op": 1120}}}
+	table, regressions := compareRecords(old, cur, []trackedMetric{
+		{Name: "ns/op", Tolerance: 0.15},
+		{Name: "B/op", Tolerance: 0.10},
+	})
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (B/op only)\n%s", regressions, table)
+	}
+	if strings.Count(table, "REGRESSION") != 1 || !strings.Contains(table, "| ok |") {
+		t.Errorf("table should pass ns/op and fail B/op:\n%s", table)
 	}
 }

@@ -168,8 +168,8 @@ func printTraceYear(params emissions.Params, power units.Power, seed uint64) {
 	// Hour-by-hour scope 2 against the trace.
 	var scope2 units.Mass
 	hour := time.Hour
-	for _, smp := range tr.Samples() {
-		scope2 += power.EnergyOver(hour).Emissions(units.GramsPerKWh(smp.V))
+	for i, n := 0, tr.Len(); i < n; i++ {
+		scope2 += power.EnergyOver(hour).Emissions(units.GramsPerKWh(tr.At(i).V))
 	}
 	scope3 := params.AmortisedScope3(365 * 24 * time.Hour)
 	mean := grid.MeanIntensity(tr)

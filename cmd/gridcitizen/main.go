@@ -217,6 +217,16 @@ func carbonStudy(policy string, nodes, days int, gridMean, forecastSigma, foreca
 	full := units.Mass(avoided).Scale(5860 / float64(nodes))
 	fmt.Printf("scaled to the full 5860-node system: ~%s over %d days\n", full, days)
 	cs := runner.CacheStats()
-	fmt.Printf("%d scenarios, %d simulations (memo cache: %d hits, %d misses)\n",
-		len(res.Results), res.Simulations, cs.Hits, cs.Misses)
+	fmt.Printf("%d scenarios, %d simulations (memo cache: %d hits, %d misses, %.1f MiB of %s)\n",
+		len(res.Results), res.Simulations, cs.Hits, cs.Misses,
+		float64(cs.Bytes)/(1<<20), budgetLabel(cs.BudgetBytes))
+}
+
+// budgetLabel renders a memo byte budget, where 0 means unbounded
+// (scenario.CacheStats.BudgetBytes semantics).
+func budgetLabel(budget int64) string {
+	if budget <= 0 {
+		return "unbounded budget"
+	}
+	return fmt.Sprintf("%.0f MiB budget", float64(budget)/(1<<20))
 }

@@ -109,9 +109,9 @@ func main() {
 			fmt.Println(res.CarbonTable().String())
 		}
 		cs := runner.CacheStats()
-		fmt.Printf("%d scenarios (%d simulations) in %.1fs (workers=%d, memo cache: %d hits, %d misses)\n",
+		fmt.Printf("%d scenarios (%d simulations) in %.1fs (workers=%d, memo cache: %d hits, %d misses, %.1f MiB of %s)\n",
 			len(res.Results), res.Simulations, time.Since(start).Seconds(), res.Workers,
-			cs.Hits, cs.Misses)
+			cs.Hits, cs.Misses, float64(cs.Bytes)/(1<<20), budgetLabel(cs.BudgetBytes))
 	}
 }
 
@@ -127,4 +127,13 @@ func fail(err error) {
 		log.Fatalf("%d scenarios failed", len(joined.Unwrap()))
 	}
 	log.Fatal(err)
+}
+
+// budgetLabel renders a memo byte budget, where 0 means unbounded
+// (scenario.CacheStats.BudgetBytes semantics).
+func budgetLabel(budget int64) string {
+	if budget <= 0 {
+		return "unbounded budget"
+	}
+	return fmt.Sprintf("%.0f MiB budget", float64(budget)/(1<<20))
 }

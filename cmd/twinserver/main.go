@@ -8,7 +8,7 @@
 // Usage:
 //
 //	twinserver [-addr :8990] [-workers N] [-memo-cap N]
-//	           [-max-concurrent N] [-max-finished N]
+//	           [-memo-budget-bytes N] [-max-concurrent N] [-max-finished N]
 //
 // Endpoints (see docs/sweeps.md for a walkthrough):
 //
@@ -23,11 +23,18 @@
 //	GET    /v1/sweeps/{id}/results  results payload (409 until done)
 //	DELETE /v1/sweeps/{id}        cancel
 //	GET    /healthz               liveness
-//	GET    /statz                 memo-cache and registry statistics
+//	GET    /statz                 memo-cache and registry statistics,
+//	                              including the cache's live bytes and
+//	                              byte budget (cache.bytes,
+//	                              cache.budget_bytes)
 //
 // Concurrent identical submissions (same canonical spec) execute once;
 // repeated distinct sweeps stay fast through the Runner's memo, bounded
-// at -memo-cap simulations with least-recently-used eviction. SIGINT or
+// at -memo-cap simulations AND -memo-budget-bytes retained bytes (each
+// entry priced at its compacted core.Results.MemoryFootprint), with
+// least-recently-used eviction against both bounds — the byte budget is
+// what keeps a warm process serving full-size sweeps from growing
+// without limit. SIGINT or
 // SIGTERM drains: in-flight sweeps are cancelled (cooperatively, down in
 // each simulation's event loop) and the listener shuts down gracefully.
 package main
@@ -53,12 +60,13 @@ func main() {
 	addr := flag.String("addr", ":8990", "listen address")
 	workers := flag.Int("workers", 0, "simulation worker-pool size per sweep (0 = GOMAXPROCS)")
 	memoCap := flag.Int("memo-cap", 0, "max memoized simulations, LRU-evicted beyond (0 = default 256, negative disables)")
+	memoBudget := flag.Int64("memo-budget-bytes", 0, "memo cache byte budget, coldest entries evicted beyond (0 = default 1 GiB, negative disables the byte bound)")
 	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing sweeps")
 	maxFinished := flag.Int("max-finished", 64, "finished sweeps retained for status/result queries")
 	flag.Parse()
 
 	svc, err := service.New(service.Config{
-		Runner:        &scenario.Runner{Workers: *workers, MemoCap: *memoCap},
+		Runner:        &scenario.Runner{Workers: *workers, MemoCap: *memoCap, MemoBudgetBytes: *memoBudget},
 		MaxConcurrent: *maxConcurrent,
 		MaxFinished:   *maxFinished,
 	})

@@ -141,7 +141,7 @@ func (c *CarbonConfig) step() time.Duration {
 // Trace generates the carbon-intensity series for [from, to) — the same
 // series the simulator sees, so out-of-band accounting (the scenario
 // runner) and in-simulation forecasting always agree.
-func (c *CarbonConfig) Trace(from, to time.Time) (*timeseries.Series, error) {
+func (c *CarbonConfig) Trace(from, to time.Time) (*timeseries.RegularSeries, error) {
 	return c.Model.Trace(from, to, c.step(), rng.New(c.TraceSeed))
 }
 
@@ -281,10 +281,12 @@ type Results struct {
 	Config Config
 
 	// Power is the cabinet power series in kW (nodes + switches), the
-	// twin's equivalent of the paper's PMDB figures.
-	Power *timeseries.Series
+	// twin's equivalent of the paper's PMDB figures. A dropout-free meter
+	// records into a compact timeseries.RegularSeries; with dropout the
+	// irregular Series is behind the View instead.
+	Power timeseries.View
 	// Util is the node utilisation series.
-	Util *timeseries.Series
+	Util timeseries.View
 
 	// Windows holds per-window means, in the order of Config.Windows.
 	Windows []WindowResult
@@ -319,7 +321,7 @@ type Results struct {
 	// (gCO2/kWh), when Config.Carbon is set. Account it against Power via
 	// emissions.AccountSeries to capture the temporal correlation the
 	// carbon-aware policies create.
-	CarbonTrace *timeseries.Series
+	CarbonTrace timeseries.View
 }
 
 // WindowByLabel returns the window result with the given label.
@@ -350,7 +352,7 @@ type Simulator struct {
 	recorder     workload.Recorder
 	failStream   *rng.Stream
 	nodeFailures int
-	carbonTrace  *timeseries.Series
+	carbonTrace  *timeseries.RegularSeries
 
 	// pumpEvent is the arrival pump's event callback, created once so the
 	// O(100k) arrivals of a run do not allocate a closure each.
@@ -406,7 +408,7 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	var carbonTrace *timeseries.Series
+	var carbonTrace *timeseries.RegularSeries
 	if cfg.Carbon != nil {
 		carbonTrace, err = cfg.Carbon.Trace(cfg.Start, cfg.End)
 		if err != nil {
@@ -420,6 +422,12 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 			cfg.Sched.Temporal = cfg.Carbon.NewPolicy(fc)
 		}
 	}
+	// The simulator owns every job it submits: the arrival pump discards
+	// the *Job handle and the telemetry consumers (accountant, job log)
+	// copy what they keep, so the scheduler is free to recycle Job structs
+	// and node-ID slices through its free list instead of allocating
+	// ~300k of each over a 13-month run.
+	cfg.Sched.ReuseJobs = true
 	sch := sched.New(eng, fac, provider, cfg.Sched)
 	meter := telemetry.NewMeter(eng, fac, cfg.Meter, cfg.End, root.Split("meter"))
 	accountant := telemetry.NewAccountant(sch)
@@ -557,18 +565,20 @@ func (s *Simulator) RunContext(ctx context.Context) (*Results, error) {
 	s.fac.AccrueAll(s.cfg.End)
 
 	res := &Results{
-		Config:      s.cfg,
-		Power:       s.meter.Power(),
-		Util:        s.meter.Utilisation(),
-		Sched:       s.sch.Stats(),
-		Usage:       make(map[string]telemetry.ClassUsage),
-		TotalUsage:  s.accountant.Total(),
-		Overrides:   s.provider.Overrides(),
-		Reverts:     s.provider.Reverts(),
-		MixScale:    s.mixScale,
-		Cabinets:    s.cabinets,
-		JobLog:      s.jobLog,
-		CarbonTrace: s.carbonTrace,
+		Config:     s.cfg,
+		Power:      s.meter.Power(),
+		Util:       s.meter.Utilisation(),
+		Sched:      s.sch.Stats(),
+		Usage:      make(map[string]telemetry.ClassUsage),
+		TotalUsage: s.accountant.Total(),
+		Overrides:  s.provider.Overrides(),
+		Reverts:    s.provider.Reverts(),
+		MixScale:   s.mixScale,
+		Cabinets:   s.cabinets,
+		JobLog:     s.jobLog,
+	}
+	if s.carbonTrace != nil {
+		res.CarbonTrace = s.carbonTrace
 	}
 	if s.cfg.RecordTrace {
 		res.Trace = s.recorder.Records()
@@ -577,13 +587,16 @@ func (s *Simulator) RunContext(ctx context.Context) (*Results, error) {
 	for _, name := range s.accountant.Classes() {
 		res.Usage[name] = s.accountant.Class(name)
 	}
+	power, util := s.meter.Power(), s.meter.Utilisation()
 	for _, w := range s.cfg.Windows {
-		slice := s.meter.Power().Slice(w.From, w.To)
+		// MeanBetween sums the window's samples in order — bit-identical
+		// to the materialised Slice-then-Mean this replaces, without
+		// copying a window of samples per measurement window.
 		res.Windows = append(res.Windows, WindowResult{
 			Window:      w,
-			MeanPower:   units.Kilowatts(slice.Mean()),
-			MeanUtil:    s.meter.Utilisation().MeanBetween(w.From, w.To),
-			SampleCount: slice.Len(),
+			MeanPower:   units.Kilowatts(power.MeanBetween(w.From, w.To)),
+			MeanUtil:    util.MeanBetween(w.From, w.To),
+			SampleCount: power.CountBetween(w.From, w.To),
 		})
 	}
 	return res, nil

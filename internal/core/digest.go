@@ -34,13 +34,15 @@ func (r *Results) Digest() string {
 		u64(uint64(len(s)))
 		h.Write([]byte(s))
 	}
-	series := func(s *timeseries.Series) {
-		if s == nil {
+	series := func(v timeseries.View) {
+		if v == nil {
 			u64(0)
 			return
 		}
-		u64(uint64(s.Len()))
-		for _, smp := range s.Samples() {
+		n := v.Len()
+		u64(uint64(n))
+		for i := 0; i < n; i++ {
+			smp := v.At(i)
 			i64(smp.T.UnixNano())
 			f64(smp.V)
 		}

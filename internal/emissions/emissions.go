@@ -106,18 +106,21 @@ func (p Params) Account(power units.Power, window time.Duration, ci units.Carbon
 // The reported CI is the energy-weighted mean intensity the load actually
 // experienced; comparing it against the trace's plain mean measures how
 // much of the window's carbon the schedule avoided (or hit).
-func (p Params) AccountSeries(powerKW, ci *timeseries.Series, from, to time.Time) Window {
+func (p Params) AccountSeries(powerKW, ci timeseries.View, from, to time.Time) Window {
 	var energyKWh, scope2g float64
-	samples := ci.Samples()
+	nCI := ci.Len()
 	// The intensity segments sweep forward in time, so one accumulator
 	// walks the power series in a single pass (O(P+C)) instead of a
 	// binary search and rescan per segment; the integrals are
 	// bit-identical to per-segment TimeWeightedMean calls.
 	acc := powerKW.Accumulator()
-	for i, smp := range samples {
+	for i := 0; i < nCI; i++ {
+		smp := ci.At(i)
 		segFrom, segTo := smp.T, to
-		if i+1 < len(samples) && samples[i+1].T.Before(to) {
-			segTo = samples[i+1].T
+		if i+1 < nCI {
+			if next := ci.At(i + 1).T; next.Before(to) {
+				segTo = next
+			}
 		}
 		if segFrom.Before(from) {
 			segFrom = from

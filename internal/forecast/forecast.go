@@ -92,7 +92,7 @@ type Point struct {
 
 // Forecaster answers carbon-intensity forecast queries against a trace.
 type Forecaster struct {
-	trace *timeseries.Series
+	trace timeseries.View
 	em    ErrorModel
 	// step is the trace's sampling step, recovered from the first two
 	// samples; window searches walk the trace at this granularity.
@@ -102,7 +102,7 @@ type Forecaster struct {
 // New builds a forecaster over a carbon-intensity trace (gCO2/kWh,
 // uniformly sampled — grid.IntensityModel.Trace output) with the given
 // error model. It returns an error for empty traces or invalid models.
-func New(trace *timeseries.Series, em ErrorModel) (*Forecaster, error) {
+func New(trace timeseries.View, em ErrorModel) (*Forecaster, error) {
 	if err := em.Validate(); err != nil {
 		return nil, err
 	}
@@ -122,7 +122,7 @@ func New(trace *timeseries.Series, em ErrorModel) (*Forecaster, error) {
 // Perfect builds a perfect-information forecaster: every query returns
 // the true trace value. It is the reference the error model is tested
 // against (a zero ErrorModel is equivalent by construction).
-func Perfect(trace *timeseries.Series) (*Forecaster, error) {
+func Perfect(trace timeseries.View) (*Forecaster, error) {
 	return New(trace, ErrorModel{})
 }
 

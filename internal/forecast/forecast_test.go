@@ -13,7 +13,7 @@ import (
 var t0 = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
 
 // gbTrace generates a week of GB2022 intensity at 30-minute steps.
-func gbTrace(t *testing.T) *timeseries.Series {
+func gbTrace(t *testing.T) *timeseries.RegularSeries {
 	t.Helper()
 	tr, err := grid.GB2022().Trace(t0, t0.AddDate(0, 0, 7), 30*time.Minute, rng.New(1))
 	if err != nil {

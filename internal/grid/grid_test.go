@@ -30,8 +30,8 @@ func TestGB2022TraceStatistics(t *testing.T) {
 	}
 	// The grid must visit all three paper bands over a year.
 	low, mid, high := 0, 0, 0
-	for _, smp := range s.Samples() {
-		switch BandOf(units.GramsPerKWh(smp.V)) {
+	for i, n := 0, s.Len(); i < n; i++ {
+		switch BandOf(units.GramsPerKWh(s.At(i).V)) {
 		case VeryLowCarbon:
 			low++
 		case ModerateCarbon:

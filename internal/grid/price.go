@@ -69,18 +69,26 @@ func (m PriceModel) PriceAt(t time.Time, intensity float64, events []StressEvent
 }
 
 // PriceTrace derives a price series from an intensity trace and stress
-// events.
-func (m PriceModel) PriceTrace(intensity *timeseries.Series, events []StressEvent) (*timeseries.Series, error) {
+// events. The output carries the input's timestamps, so it mirrors the
+// input's storage layout: a regular intensity trace (the generator's
+// output) yields a compact regular price trace, any other input an
+// explicit-timestamp Series.
+func (m PriceModel) PriceTrace(intensity timeseries.View, events []StressEvent) (timeseries.View, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	batch := make([]timeseries.Sample, intensity.Len())
-	for i, smp := range intensity.Samples() {
-		batch[i] = timeseries.Sample{T: smp.T, V: float64(m.PriceAt(smp.T, smp.V, events))}
+	n := intensity.Len()
+	var out timeseries.Appender
+	if reg, ok := intensity.(*timeseries.RegularSeries); ok && n > 0 {
+		out = timeseries.NewRegular("electricity_price", "per_kWh", reg.Step(), n)
+	} else {
+		out = timeseries.NewWithCapacity("electricity_price", "per_kWh", n)
 	}
-	out := timeseries.NewWithCapacity("electricity_price", "per_kWh", len(batch))
-	if err := out.AppendN(batch); err != nil {
-		return nil, err
+	for i := 0; i < n; i++ {
+		smp := intensity.At(i)
+		if err := out.Append(smp.T, float64(m.PriceAt(smp.T, smp.V, events))); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -88,7 +96,7 @@ func (m PriceModel) PriceTrace(intensity *timeseries.Series, events []StressEven
 // EnergyCost integrates a power series (kW) against a price series using
 // sample-and-hold on both, over [from, to). The two series need not share
 // timestamps. Returns the total cost and the total energy.
-func EnergyCost(powerKW, price *timeseries.Series, from, to time.Time, step time.Duration) (units.Cost, units.Energy, error) {
+func EnergyCost(powerKW, price timeseries.View, from, to time.Time, step time.Duration) (units.Cost, units.Energy, error) {
 	if step <= 0 || !to.After(from) {
 		return 0, 0, fmt.Errorf("grid: invalid cost window [%v, %v) step %v", from, to, step)
 	}
@@ -116,7 +124,7 @@ func AnnualCostEstimate(meanPower units.Power, tariff units.CostPerKWh) units.Co
 // CheapestWindows returns the n cheapest `width`-long windows in a price
 // series (non-overlapping, greedy) — the scheduling primitive behind
 // "train the surrogate when power is cheap/clean".
-func CheapestWindows(price *timeseries.Series, width time.Duration, n int) []time.Time {
+func CheapestWindows(price timeseries.View, width time.Duration, n int) []time.Time {
 	if price.Len() == 0 || n <= 0 || width <= 0 {
 		return nil
 	}
@@ -163,8 +171,8 @@ func CheapestWindows(price *timeseries.Series, width time.Duration, n int) []tim
 // TraceWithPrices is a convenience bundling intensity, price and events
 // over a window.
 type TraceWithPrices struct {
-	Intensity *timeseries.Series
-	Price     *timeseries.Series
+	Intensity timeseries.View
+	Price     timeseries.View
 	Events    []StressEvent
 }
 

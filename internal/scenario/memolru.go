@@ -9,29 +9,40 @@ import (
 // memoEntry is one cached simulation: the shared results plus their
 // digest, computed once at admission so repeat sweeps and the service
 // layer can prove result identity without re-hashing the series on every
-// hit.
+// hit, and the entry's byte cost (core.Results.MemoryFootprint at
+// admission) charged against the cache's byte budget.
 type memoEntry struct {
 	key    string
 	res    *core.Results
 	digest string
+	cost   int64
 }
 
 // memoLRU is the Runner's bounded memo store: a map for O(1) lookup over
 // a recency list, most recently used at the front. A lookup refreshes the
-// entry's recency and an admission beyond capacity evicts the coldest
-// entry, so a long-lived Runner sweeping ever-new configurations keeps
-// the hottest working set warm under bounded memory — in contrast to the
-// earlier cache, which simply stopped admitting once full and pinned its
-// first 256 entries forever.
+// entry's recency; an admission evicts coldest-first until both bounds
+// hold again, so a long-lived Runner sweeping ever-new configurations
+// keeps the hottest working set warm under bounded memory — in contrast
+// to the earliest cache, which simply stopped admitting once full and
+// pinned its first 256 entries forever.
+//
+// Two bounds compose: cap limits the entry count (0 disables the cache),
+// budget limits the summed entry costs in bytes (0 = no byte bound). The
+// byte bound is what keeps a long-lived service honest: entries price by
+// what they actually pin (a 13-month full-machine result costs ~1000x a
+// 1-day mini sweep), so an entry-count cap alone would let a handful of
+// big results quietly hold gigabytes forever.
 type memoLRU struct {
 	cap       int
+	budget    int64
 	ll        *list.List // of *memoEntry; front = most recently used
 	byKey     map[string]*list.Element
+	bytes     int64
 	evictions int
 }
 
-func newMemoLRU(cap int) *memoLRU {
-	return &memoLRU{cap: cap, ll: list.New(), byKey: make(map[string]*list.Element)}
+func newMemoLRU(cap int, budget int64) *memoLRU {
+	return &memoLRU{cap: cap, budget: budget, ll: list.New(), byKey: make(map[string]*list.Element)}
 }
 
 // get returns the entry for key, refreshing its recency on a hit.
@@ -44,23 +55,30 @@ func (l *memoLRU) get(key string) (*memoEntry, bool) {
 	return el.Value.(*memoEntry), true
 }
 
-// put admits an entry as the most recently used, evicting the
-// least-recently-used entry if the cache is over capacity. A put for an
-// existing key replaces the entry and refreshes its recency.
+// put admits an entry as the most recently used, then evicts
+// least-recently-used entries until the count and byte bounds both hold.
+// A put for an existing key replaces the entry (re-pricing it) and
+// refreshes its recency. An entry costing more than the whole budget is
+// evicted by its own admission: the cache never holds more than budget
+// bytes, even transiently across put calls.
 func (l *memoLRU) put(e *memoEntry) {
 	if l.cap <= 0 {
 		return
 	}
 	if el, ok := l.byKey[e.key]; ok {
+		l.bytes += e.cost - el.Value.(*memoEntry).cost
 		el.Value = e
 		l.ll.MoveToFront(el)
-		return
+	} else {
+		l.byKey[e.key] = l.ll.PushFront(e)
+		l.bytes += e.cost
 	}
-	l.byKey[e.key] = l.ll.PushFront(e)
-	for l.ll.Len() > l.cap {
+	for l.ll.Len() > 0 && (l.ll.Len() > l.cap || (l.budget > 0 && l.bytes > l.budget)) {
 		coldest := l.ll.Back()
 		l.ll.Remove(coldest)
-		delete(l.byKey, coldest.Value.(*memoEntry).key)
+		ce := coldest.Value.(*memoEntry)
+		delete(l.byKey, ce.key)
+		l.bytes -= ce.cost
 		l.evictions++
 	}
 }

@@ -106,6 +106,16 @@ type Runner struct {
 	// memoization entirely (within-sweep simulation sharing still works).
 	MemoCap int
 
+	// MemoBudgetBytes bounds the memo cache by retained bytes: each entry
+	// is priced at its core.Results.MemoryFootprint at admission (after
+	// Results.Compact has dropped what the scenario layer never reads),
+	// and admissions evict coldest-first until the total fits. This is
+	// the knob that keeps a long-lived twinserver's memory flat — entry
+	// counts alone cannot, because a full-machine 13-month result costs
+	// ~1000x a 1-day mini sweep. Zero means DefaultMemoBudgetBytes;
+	// negative disables the byte bound (entry-count bound only).
+	MemoBudgetBytes int64
+
 	// runCfg executes one simulation; nil means core.RunConfigContext.
 	// Tests substitute it to exercise failure aggregation and
 	// cancellation deterministically.
@@ -126,28 +136,39 @@ type Runner struct {
 // DefaultMemoCap is the memo-cache bound when Runner.MemoCap is zero.
 const DefaultMemoCap = 256
 
+// DefaultMemoBudgetBytes is the memo-cache byte budget when
+// Runner.MemoBudgetBytes is zero: 1 GiB, roomy enough for hundreds of
+// compacted full-machine results while keeping a warm twinserver
+// process's cache growth bounded and predictable.
+const DefaultMemoBudgetBytes int64 = 1 << 30
+
 // CacheStats reports the Runner's memoization counters, accumulated
 // across every Run call: Misses counts simulations actually executed,
 // Hits counts scenarios served from an already-computed simulation
-// (within-sweep sharing or a cross-sweep memo hit). Size and Evictions
-// describe the LRU store itself: entries currently held against the
-// Capacity bound, and how many cold entries have been evicted to admit
-// warmer ones.
+// (within-sweep sharing or a cross-sweep memo hit). Size, Bytes and
+// Evictions describe the LRU store itself: entries currently held
+// against the Capacity bound, the bytes those entries pin against the
+// BudgetBytes bound (0 = unbounded), and how many cold entries have been
+// evicted to admit warmer ones.
 type CacheStats struct {
-	Hits      int `json:"hits"`
-	Misses    int `json:"misses"`
-	Size      int `json:"size"`
-	Capacity  int `json:"capacity"`
-	Evictions int `json:"evictions"`
+	Hits        int   `json:"hits"`
+	Misses      int   `json:"misses"`
+	Size        int   `json:"size"`
+	Capacity    int   `json:"capacity"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+	Evictions   int   `json:"evictions"`
 }
 
 // CacheStats returns the memoization counters.
 func (r *Runner) CacheStats() CacheStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	cs := CacheStats{Hits: r.hits, Misses: r.misses, Capacity: r.memoCap()}
+	cs := CacheStats{Hits: r.hits, Misses: r.misses,
+		Capacity: r.memoCap(), BudgetBytes: r.memoBudget()}
 	if r.memo != nil {
 		cs.Size = r.memo.len()
+		cs.Bytes = r.memo.bytes
 		cs.Evictions = r.memo.evictions
 	}
 	return cs
@@ -162,6 +183,17 @@ func (r *Runner) memoCap() int {
 		return 0
 	}
 	return r.MemoCap
+}
+
+// memoBudget resolves the effective byte budget from MemoBudgetBytes.
+func (r *Runner) memoBudget() int64 {
+	switch {
+	case r.MemoBudgetBytes == 0:
+		return DefaultMemoBudgetBytes
+	case r.MemoBudgetBytes < 0:
+		return 0
+	}
+	return r.MemoBudgetBytes
 }
 
 // memoKey is the cache identity of one simulation: the full derived seed
@@ -272,7 +304,7 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 	var pending []int
 	r.mu.Lock()
 	if r.memo == nil {
-		r.memo = newMemoLRU(r.memoCap())
+		r.memo = newMemoLRU(r.memoCap(), r.memoBudget())
 	}
 	for g := range groups {
 		if e, ok := r.memo.get(groups[g].key); ok {
@@ -338,21 +370,27 @@ feed:
 	wg.Wait()
 
 	// Memoize fresh successes, evicting the least-recently-used entries
-	// beyond the cache bound — each entry pins a full results series, and
-	// a long-lived service sweeping ever-new configs must not grow memory
-	// without bound, yet must keep admitting so its hot set stays warm.
-	// Digests are computed once here, outside the lock, and cached with
-	// the entry. Misses count executed simulations; hits count scenarios
-	// served from an already-computed simulation.
+	// beyond the entry-count and byte bounds — each entry pins a full
+	// results series, and a long-lived service sweeping ever-new configs
+	// must not grow memory without bound, yet must keep admitting so its
+	// hot set stays warm. Digests are computed once here, outside the
+	// lock, then each result is compacted (Results.Compact: capture
+	// intermediates dropped, spare series capacity released — digest
+	// unchanged by contract) and priced at its compacted footprint.
+	// Misses count executed simulations; hits count scenarios served from
+	// an already-computed simulation.
+	costs := make([]int64, len(groups))
 	for _, g := range pending {
 		if errs[g] == nil && sims[g] != nil {
 			digests[g] = sims[g].Digest()
+			sims[g].Compact()
+			costs[g] = sims[g].MemoryFootprint()
 		}
 	}
 	r.mu.Lock()
 	for _, g := range pending {
 		if errs[g] == nil && sims[g] != nil {
-			r.memo.put(&memoEntry{key: groups[g].key, res: sims[g], digest: digests[g]})
+			r.memo.put(&memoEntry{key: groups[g].key, res: sims[g], digest: digests[g], cost: costs[g]})
 		}
 	}
 	r.misses += int(executed.Load())
@@ -393,7 +431,7 @@ feed:
 	traceSeed := rng.DeriveSeed(spec.Seed, "grid-trace")
 	start := sweepStart
 	end := sweepStart.AddDate(0, 0, spec.Days)
-	traces := map[float64]*timeseries.Series{}
+	traces := map[float64]*timeseries.RegularSeries{}
 	results := make([]Result, len(scenarios))
 	for g, grp := range groups {
 		for _, i := range grp.members {
@@ -420,7 +458,7 @@ feed:
 // account derives one scenario's Result from its (possibly shared)
 // simulation by integrating the simulated power series against the
 // scenario's intensity trace over the measurement window.
-func account(sc Scenario, trace *timeseries.Series, res *core.Results) (Result, error) {
+func account(sc Scenario, trace timeseries.View, res *core.Results) (Result, error) {
 	w, ok := res.WindowByLabel("measure")
 	if !ok {
 		return Result{}, fmt.Errorf("scenario: measurement window missing")
@@ -440,7 +478,7 @@ func account(sc Scenario, trace *timeseries.Series, res *core.Results) (Result, 
 		MeanUtil:  w.MeanUtil,
 		Energy:    w.MeanPower.EnergyOver(span),
 		NodeHours: res.TotalUsage.NodeHours,
-		MeanCI:    grid.MeanIntensity(trace.Slice(w.Window.From, w.Window.To)),
+		MeanCI:    units.GramsPerKWh(trace.MeanBetween(w.Window.From, w.Window.To)),
 		Emissions: acct,
 		Regime:    emissions.RegimeOf(acct),
 		Holds:     res.Sched.Holds,

@@ -657,3 +657,97 @@ func TestRunnerCancellationDoesNotInflateHits(t *testing.T) {
 		t.Errorf("misses = %d, want %d (one in-flight execution)", cs.Misses, base.Misses+1)
 	}
 }
+
+// The memo must be byte-bounded: a sweep sequence whose admitted results
+// exceed MemoBudgetBytes keeps the cache at or under budget by evicting
+// coldest-first, and an entry larger than the whole budget is evicted by
+// its own admission rather than pinned. This is the regression test for
+// the entry-count-only cache that would let a long-lived twinserver
+// accumulate gigabytes of warm Results.
+func TestRunnerMemoByteBudget(t *testing.T) {
+	// Price one entry with an unbounded-budget runner first.
+	probe := &Runner{Workers: 1, MemoBudgetBytes: -1}
+	if _, err := probe.Run(context.Background(), seedSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	cs := probe.CacheStats()
+	if cs.Size != 1 || cs.Bytes <= 0 {
+		t.Fatalf("probe stats %+v, want 1 priced entry", cs)
+	}
+	if cs.BudgetBytes != 0 {
+		t.Fatalf("negative MemoBudgetBytes reports budget %d, want 0 (unbounded)", cs.BudgetBytes)
+	}
+	cost := cs.Bytes
+
+	// Budget for two entries: six distinct sims must keep Bytes <= budget
+	// throughout, evicting coldest-first.
+	budget := 2*cost + cost/2
+	r := &Runner{Workers: 1, MemoBudgetBytes: budget}
+	for seed := uint64(1); seed <= 6; seed++ {
+		if _, err := r.Run(context.Background(), seedSpec(seed)); err != nil {
+			t.Fatal(err)
+		}
+		cs = r.CacheStats()
+		if cs.Bytes > cs.BudgetBytes {
+			t.Fatalf("after seed %d: cache %d bytes over budget %d", seed, cs.Bytes, cs.BudgetBytes)
+		}
+	}
+	cs = r.CacheStats()
+	if cs.BudgetBytes != budget {
+		t.Fatalf("budget reported %d, want %d", cs.BudgetBytes, budget)
+	}
+	if cs.Size != 2 || cs.Evictions != 4 {
+		t.Fatalf("stats %+v, want 2 resident entries and 4 byte-budget evictions", cs)
+	}
+	// The most recent entry is warm, the oldest was evicted.
+	if _, err := r.Run(context.Background(), seedSpec(6)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheStats(); got.Misses != cs.Misses || got.Hits != cs.Hits+1 {
+		t.Fatalf("warm entry missed under byte budget: %+v -> %+v", cs, got)
+	}
+	if _, err := r.Run(context.Background(), seedSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.CacheStats(); got.Misses != cs.Misses+1 {
+		t.Fatalf("evicted entry served a hit: %+v", got)
+	}
+
+	// An entry bigger than the whole budget must not be pinned: the cache
+	// stays at or under budget (here: empty), and the sweep still runs.
+	tiny := &Runner{Workers: 1, MemoBudgetBytes: cost / 2}
+	for i := 0; i < 2; i++ {
+		if _, err := tiny.Run(context.Background(), seedSpec(9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs = tiny.CacheStats()
+	if cs.Size != 0 || cs.Bytes != 0 {
+		t.Fatalf("oversized entry pinned: %+v", cs)
+	}
+	if cs.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (oversized entries cannot be served warm)", cs.Misses)
+	}
+}
+
+// Compaction at memo admission must be observationally invisible to the
+// sweep: digests computed before compaction, served results identical on
+// repeat (memo-hit) runs.
+func TestRunnerCompactionPreservesServedResults(t *testing.T) {
+	r := &Runner{Workers: 1}
+	first, err := r.Run(context.Background(), seedSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := r.Run(context.Background(), seedSpec(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Error("memo-served sweep differs from the run that admitted it")
+	}
+	if first.Results[0].SimDigest == "" || first.Results[0].SimDigest != second.Results[0].SimDigest {
+		t.Errorf("SimDigest not stable across compacted admission: %q vs %q",
+			first.Results[0].SimDigest, second.Results[0].SimDigest)
+	}
+}

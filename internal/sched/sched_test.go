@@ -511,3 +511,49 @@ func TestPowerCapWithReclock(t *testing.T) {
 		t.Fatalf("ledger nonzero after drain: %v W", est)
 	}
 }
+
+// Job recycling (Config.ReuseJobs) must be observationally invisible:
+// an identical interleaved submission pattern — arrivals racing
+// completions so the free list is actually exercised, plus drops and a
+// node failure — must produce bit-identical scheduler statistics with
+// recycling on and off.
+func TestReuseJobsBitIdentical(t *testing.T) {
+	run := func(reuse bool) (Stats, float64) {
+		cfg := DefaultConfig()
+		cfg.MaxQueue = 8 // force the dropped-job recycle path
+		cfg.ReuseJobs = reuse
+		r := newRig(t, 24, cfg)
+		stream := rng.New(99)
+		for i := 0; i < 400; i++ {
+			at := t0.Add(time.Duration(i) * 7 * time.Minute)
+			id, nodes := i, 1+stream.Intn(12)
+			runtime := time.Duration(10+stream.Intn(300)) * time.Minute
+			r.eng.At(at, func(time.Time) {
+				r.s.Submit(r.spec(id, nodes, runtime))
+			})
+		}
+		r.eng.At(t0.Add(24*time.Hour), func(time.Time) {
+			if err := r.s.FailNode(3); err != nil {
+				t.Error(err)
+			}
+		})
+		r.eng.At(t0.Add(30*time.Hour), func(time.Time) {
+			if err := r.s.RepairNode(3); err != nil {
+				t.Error(err)
+			}
+		})
+		r.eng.Run()
+		return r.s.Stats(), r.fac.Utilisation()
+	}
+	plainStats, plainUtil := run(false)
+	reuseStats, reuseUtil := run(true)
+	if plainStats != reuseStats {
+		t.Errorf("stats diverge:\n  plain %+v\n  reuse %+v", plainStats, reuseStats)
+	}
+	if plainUtil != reuseUtil {
+		t.Errorf("utilisation diverges: %v vs %v", plainUtil, reuseUtil)
+	}
+	if plainStats.Completed == 0 || plainStats.Dropped == 0 {
+		t.Fatalf("pattern did not exercise completions and drops: %+v", plainStats)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -385,13 +386,34 @@ func TestServerValidationAndIntrospection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats Stats
-	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
 		t.Fatal(err)
 	}
-	resp.Body.Close()
+	var stats Stats
+	if err := json.Unmarshal(raw, &stats); err != nil {
+		t.Fatal(err)
+	}
 	if stats.MaxConcurrent != 2 || stats.Cache.Capacity != scenario.DefaultMemoCap {
 		t.Errorf("statz = %+v, want max_concurrent 2 and default cache capacity", stats)
+	}
+	// The byte-accounting fields must be on the wire under their stable
+	// names (the CI service-smoke job asserts them with jq) with the
+	// default budget resolved.
+	var wire struct {
+		Cache map[string]json.Number `json:"cache"`
+	}
+	if err := json.Unmarshal(raw, &wire); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"bytes", "budget_bytes"} {
+		if _, okField := wire.Cache[field]; !okField {
+			t.Errorf("statz cache payload lacks %q: %s", field, raw)
+		}
+	}
+	if stats.Cache.BudgetBytes != scenario.DefaultMemoBudgetBytes {
+		t.Errorf("budget_bytes = %d, want default %d", stats.Cache.BudgetBytes, scenario.DefaultMemoBudgetBytes)
 	}
 }
 

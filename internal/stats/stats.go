@@ -85,11 +85,22 @@ func Percentile(xs []float64, p float64) float64 {
 	if p < 0 || p > 100 {
 		panic(fmt.Sprintf("stats: percentile %v out of range", p))
 	}
-	if len(xs) == 0 {
-		return 0
-	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return PercentileOfSorted(sorted, p)
+}
+
+// PercentileOfSorted is Percentile for a slice the caller has already
+// sorted ascending: no copy, no sort, no allocation. Callers computing
+// several percentiles of one sample (timeseries.Series.Summary) sort once
+// and interpolate repeatedly.
+func PercentileOfSorted(sorted []float64, p float64) float64 {
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range", p))
+	}
+	if len(sorted) == 0 {
+		return 0
+	}
 	if len(sorted) == 1 {
 		return sorted[0]
 	}
@@ -118,17 +129,20 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes the Summary of xs.
+// Summarize computes the Summary of xs, sorting one copy of the sample
+// and interpolating all three percentiles from it.
 func Summarize(xs []float64) Summary {
 	min, max := MinMax(xs)
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
 	return Summary{
 		N:      len(xs),
 		Mean:   Mean(xs),
 		StdDev: StdDev(xs),
 		Min:    min,
-		P25:    Percentile(xs, 25),
-		Median: Median(xs),
-		P75:    Percentile(xs, 75),
+		P25:    PercentileOfSorted(sorted, 25),
+		Median: PercentileOfSorted(sorted, 50),
+		P75:    PercentileOfSorted(sorted, 75),
 		Max:    max,
 	}
 }
@@ -273,6 +287,64 @@ func (r *Rolling) Mean() float64 {
 	}
 	return r.sum / float64(n)
 }
+
+// Moments tracks a sample's streaming moments — count, running sum, sum
+// of squares, minimum and maximum — maintained in O(1) per observation so
+// containers can answer Mean/StdDev/Min/Max queries in O(1) with zero
+// allocation, however many samples they hold. The running sum accumulates
+// in observation order, so Mean is bit-identical to a post-hoc
+// stats.Mean pass over the same values in the same order; Variance uses
+// the sum-of-squares identity, which is numerically (not bitwise) equal
+// to the two-pass Variance and is clamped at zero against cancellation.
+type Moments struct {
+	N     int
+	Sum   float64
+	SumSq float64
+	Min   float64
+	Max   float64
+}
+
+// Add records one observation.
+func (m *Moments) Add(x float64) {
+	if m.N == 0 {
+		m.Min, m.Max = x, x
+	} else {
+		if x < m.Min {
+			m.Min = x
+		}
+		if x > m.Max {
+			m.Max = x
+		}
+	}
+	m.N++
+	m.Sum += x
+	m.SumSq += x * x
+}
+
+// Mean returns the running mean, or 0 before any observation.
+func (m Moments) Mean() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.N)
+}
+
+// Variance returns the population variance from the streaming moments
+// (0 when N < 2), clamped at zero against floating-point cancellation.
+func (m Moments) Variance() float64 {
+	if m.N < 2 {
+		return 0
+	}
+	mean := m.Mean()
+	v := m.SumSq/float64(m.N) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// StdDev returns the population standard deviation from the moments.
+func (m Moments) StdDev() float64 { return math.Sqrt(m.Variance()) }
 
 // RelativeChange returns (b-a)/a, or 0 when a == 0. Used for reporting
 // percentage power reductions.

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/des"
 	"github.com/greenhpc/archertwin/internal/roofline"
 	"github.com/greenhpc/archertwin/internal/sched"
+	"github.com/greenhpc/archertwin/internal/units"
 	"github.com/greenhpc/archertwin/internal/workload"
 )
 
@@ -176,6 +178,73 @@ func TestReadJobRecordsErrors(t *testing.T) {
 	for name, in := range cases {
 		if _, err := ReadJobRecords(strings.NewReader(in)); err == nil {
 			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// syntheticLog builds a log of n records directly (no scheduler), with
+// deliberately repeated energies so tie-breaking is exercised.
+func syntheticLog(n int) *JobLog {
+	l := &JobLog{}
+	for i := 0; i < n; i++ {
+		l.append(JobRecord{
+			ID:     i,
+			Class:  [3]string{"a", "b", "c"}[i%3],
+			Nodes:  1 + i%7,
+			Start:  t0,
+			End:    t0.Add(time.Duration(1+i%5) * time.Hour),
+			Energy: units.KilowattHours(float64((i * 7919) % 97)),
+		})
+	}
+	return l
+}
+
+// TopConsumers' bounded-insertion selection must return exactly what the
+// obvious reference (sort by energy descending, ties by earliest record)
+// returns, for every cut size.
+func TestTopConsumersMatchesReference(t *testing.T) {
+	l := syntheticLog(500)
+	ref := append([]JobRecord(nil), l.Records()...)
+	sort.SliceStable(ref, func(a, b int) bool { return ref[a].Energy > ref[b].Energy })
+	for _, n := range []int{1, 2, 3, 10, 96, 97, 499, 500, 1000} {
+		got := l.TopConsumers(n)
+		want := ref
+		if n < len(want) {
+			want = want[:n]
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: got %d records, want %d", n, len(got), len(want))
+		}
+		for i := range got {
+			if got[i].ID != want[i].ID {
+				t.Fatalf("n=%d: position %d is job %d (E=%v), want job %d (E=%v)",
+					n, i, got[i].ID, got[i].Energy, want[i].ID, want[i].Energy)
+			}
+		}
+	}
+}
+
+// The regression benchmarks for the satellite fix: TopConsumers was a
+// rescan-per-pick selection (O(n * len)), EnergyByClass rebuilt its map
+// without a size hint.
+func BenchmarkJobLogTopConsumers(b *testing.B) {
+	l := syntheticLog(10000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := l.TopConsumers(100); len(got) != 100 {
+			b.Fatal("short result")
+		}
+	}
+}
+
+func BenchmarkJobLogEnergyByClass(b *testing.B) {
+	l := syntheticLog(10000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if by := l.EnergyByClass(); len(by) != 3 {
+			b.Fatal("missing classes")
 		}
 	}
 }

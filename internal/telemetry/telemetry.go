@@ -35,8 +35,8 @@ func DefaultMeterConfig() MeterConfig {
 // Meter samples a facility on the simulation clock.
 type Meter struct {
 	cfg     MeterConfig
-	power   *timeseries.Series
-	util    *timeseries.Series
+	power   timeseries.Appender
+	util    timeseries.Appender
 	dropped int
 	r       *rng.Stream
 }
@@ -44,6 +44,13 @@ type Meter struct {
 // NewMeter attaches a meter to the facility on engine eng, sampling from
 // start+Interval until `until`. The stream r drives noise and dropout; it
 // may be nil when both are disabled.
+//
+// Storage layout follows the dropout setting: a dropout-free meter ticks
+// on an exact cadence and records into the compact timeseries.RegularSeries
+// (8 bytes per sample, implicit timestamps); with dropout enabled, lost
+// ticks leave gaps, so the explicit-timestamp Series is used instead.
+// Either way the sampled (time, value) stream — and every digest over
+// it — is identical.
 func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until time.Time, r *rng.Stream) *Meter {
 	// Pre-size for the whole run horizon: a 13-month run at the PMDB
 	// cadence is ~38k samples per series, appended one per tick — sizing
@@ -52,11 +59,13 @@ func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until ti
 	if horizon := until.Sub(eng.Now()); horizon > 0 && cfg.Interval > 0 {
 		capacity = int(horizon/cfg.Interval) + 1
 	}
-	m := &Meter{
-		cfg:   cfg,
-		power: timeseries.NewWithCapacity("cabinet_power", "kW", capacity),
-		util:  timeseries.NewWithCapacity("utilisation", "fraction", capacity),
-		r:     r,
+	m := &Meter{cfg: cfg, r: r}
+	if cfg.DropoutProb > 0 {
+		m.power = timeseries.NewWithCapacity("cabinet_power", "kW", capacity)
+		m.util = timeseries.NewWithCapacity("utilisation", "fraction", capacity)
+	} else {
+		m.power = timeseries.NewRegular("cabinet_power", "kW", cfg.Interval, capacity)
+		m.util = timeseries.NewRegular("utilisation", "fraction", cfg.Interval, capacity)
 	}
 	eng.Every(cfg.Interval, until, func(now time.Time) {
 		if m.cfg.DropoutProb > 0 && m.r != nil && m.r.Float64() < m.cfg.DropoutProb {
@@ -74,10 +83,10 @@ func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until ti
 }
 
 // Power returns the cabinet power series (kW).
-func (m *Meter) Power() *timeseries.Series { return m.power }
+func (m *Meter) Power() timeseries.View { return m.power }
 
 // Utilisation returns the utilisation series.
-func (m *Meter) Utilisation() *timeseries.Series { return m.util }
+func (m *Meter) Utilisation() timeseries.View { return m.util }
 
 // DroppedSamples returns how many samples were lost to dropout.
 func (m *Meter) DroppedSamples() int { return m.dropped }

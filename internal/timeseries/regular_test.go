@@ -1,0 +1,283 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func mkRegular(step time.Duration, vals ...float64) *RegularSeries {
+	r := NewRegular("power", "kW", step, len(vals))
+	for i, v := range vals {
+		r.MustAppend(t0.Add(time.Duration(i)*step), v)
+	}
+	return r
+}
+
+func TestRegularAppendCadence(t *testing.T) {
+	r := NewRegular("x", "u", time.Hour, 0)
+	if err := r.Append(t0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(t0.Add(time.Hour), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Off-cadence: early, late, duplicate.
+	for _, bad := range []time.Duration{90 * time.Minute, 3 * time.Hour, time.Hour} {
+		if err := r.Append(t0.Add(bad), 9); err == nil {
+			t.Fatalf("off-cadence append at +%v accepted", bad)
+		}
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	if from, to, ok := r.Span(); !ok || !from.Equal(t0) || !to.Equal(t0.Add(time.Hour)) {
+		t.Fatalf("span = %v %v %v", from, to, ok)
+	}
+}
+
+func TestRegularMustAppendPanics(t *testing.T) {
+	r := mkRegular(time.Hour, 1, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("off-cadence MustAppend did not panic")
+		}
+	}()
+	r.MustAppend(t0.Add(30*time.Minute), 0)
+}
+
+func TestRegularValueAtEdges(t *testing.T) {
+	r := mkRegular(time.Hour, 10, 20, 30)
+	if _, ok := r.ValueAt(t0.Add(-time.Second)); ok {
+		t.Fatal("value before epoch reported ok")
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 10}, {30 * time.Minute, 10}, {time.Hour, 20}, {5 * time.Hour, 30},
+	}
+	for _, c := range cases {
+		v, ok := r.ValueAt(t0.Add(c.at))
+		if !ok || v != c.want {
+			t.Errorf("ValueAt(+%v) = %v,%v want %v", c.at, v, ok, c.want)
+		}
+	}
+	if _, ok := NewRegular("e", "u", time.Hour, 0).ValueAt(t0); ok {
+		t.Fatal("empty series reported a value")
+	}
+}
+
+func TestRegularSliceStaysRegular(t *testing.T) {
+	r := mkRegular(time.Hour, 10, 20, 30, 40, 50)
+	sl := r.Slice(t0.Add(time.Hour), t0.Add(3*time.Hour))
+	if sl.Len() != 2 {
+		t.Fatalf("slice len = %d", sl.Len())
+	}
+	reg, ok := sl.(*RegularSeries)
+	if !ok {
+		t.Fatalf("slice of a regular series is %T", sl)
+	}
+	if reg.Step() != time.Hour {
+		t.Fatalf("slice step = %v", reg.Step())
+	}
+	if got := sl.Mean(); got != 25 {
+		t.Fatalf("slice mean = %v", got)
+	}
+	if empty := r.Slice(t0.Add(10*time.Hour), t0.Add(20*time.Hour)); empty.Len() != 0 {
+		t.Fatalf("out-of-range slice len = %d", empty.Len())
+	}
+}
+
+func TestRegularCSVAndRender(t *testing.T) {
+	r := mkRegular(time.Hour, 1.5, 2.5)
+	var b strings.Builder
+	if err := r.WriteCSV(&b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "time,power_kW\n") ||
+		!strings.Contains(b.String(), "2021-12-01T00:00:00Z,1.5") {
+		t.Fatalf("csv output wrong: %q", b.String())
+	}
+	big := NewRegular("p", "kW", time.Hour, 0)
+	for i := 0; i < 100; i++ {
+		v := 3220.0
+		if i >= 50 {
+			v = 2530
+		}
+		big.MustAppend(t0.Add(time.Duration(i)*time.Hour), v)
+	}
+	if out := big.RenderASCII(10, 60); !strings.Contains(out, "*") {
+		t.Fatalf("render missing marks:\n%s", out)
+	}
+	if step, ok := big.DetectStep(10, 0.05); !ok || !step.At.Equal(t0.Add(50*time.Hour)) {
+		t.Fatalf("step = %+v ok=%v", step, ok)
+	}
+}
+
+func TestRegularClipAndFootprint(t *testing.T) {
+	r := NewRegular("x", "u", time.Hour, 1000)
+	for i := 0; i < 10; i++ {
+		r.MustAppend(t0.Add(time.Duration(i)*time.Hour), float64(i))
+	}
+	before := r.MemoryFootprint()
+	r.Clip()
+	after := r.MemoryFootprint()
+	if after >= before {
+		t.Fatalf("Clip did not shrink footprint: %d -> %d", before, after)
+	}
+	if r.Len() != 10 || r.At(9).V != 9 {
+		t.Fatal("Clip lost samples")
+	}
+	// A Series sample costs 4x a RegularSeries sample (32 vs 8 bytes);
+	// once the struct headers are amortised the footprints must reflect
+	// that.
+	const n = 1000
+	s := NewWithCapacity("x", "u", n)
+	big := NewRegular("x", "u", time.Hour, n)
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(i) * time.Hour)
+		s.MustAppend(at, float64(i))
+		big.MustAppend(at, float64(i))
+	}
+	if s.MemoryFootprint() < 3*big.MemoryFootprint() {
+		t.Fatalf("Series footprint %d not ~4x Regular %d", s.MemoryFootprint(), big.MemoryFootprint())
+	}
+}
+
+// TestPropertyRegularMatchesSeries is the reference-model property test:
+// on identical fixed-interval data, RegularSeries must agree bit-exactly
+// with plain Series on every read-API query — same indices found, same
+// arithmetic performed.
+func TestPropertyRegularMatchesSeries(t *testing.T) {
+	rnd := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		step := time.Duration(1+rnd.Intn(120)) * time.Minute
+		n := 2 + rnd.Intn(400)
+		ref := New("x", "u")
+		reg := NewRegular("x", "u", step, 0)
+		for i := 0; i < n; i++ {
+			at := t0.Add(time.Duration(i) * step)
+			v := rnd.NormFloat64() * 1000
+			ref.MustAppend(at, v)
+			reg.MustAppend(at, v)
+		}
+		span := time.Duration(n) * step
+
+		if a, b := ref.Mean(), reg.Mean(); math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("trial %d: Mean %v != %v", trial, a, b)
+		}
+		sa, sb := ref.Summary(), reg.Summary()
+		if sa != sb {
+			t.Fatalf("trial %d: Summary %+v != %+v", trial, sa, sb)
+		}
+
+		accRef, accReg := ref.Accumulator(), reg.Accumulator()
+		from := t0.Add(-time.Duration(rnd.Intn(3)) * step)
+		for q := 0; q < 200; q++ {
+			at := t0.Add(time.Duration(rnd.Int63n(int64(span+4*step))) - 2*step)
+			va, oka := ref.ValueAt(at)
+			vb, okb := reg.ValueAt(at)
+			if oka != okb || math.Float64bits(va) != math.Float64bits(vb) {
+				t.Fatalf("trial %d: ValueAt(%v) = (%v,%v) != (%v,%v)", trial, at, va, oka, vb, okb)
+			}
+
+			to := at.Add(time.Duration(rnd.Int63n(int64(span))))
+			ma := ref.MeanBetween(at, to)
+			mb := reg.MeanBetween(at, to)
+			if math.Float64bits(ma) != math.Float64bits(mb) {
+				t.Fatalf("trial %d: MeanBetween(%v,%v) = %v != %v", trial, at, to, ma, mb)
+			}
+			if ca, cb := ref.CountBetween(at, to), reg.CountBetween(at, to); ca != cb {
+				t.Fatalf("trial %d: CountBetween = %d != %d", trial, ca, cb)
+			}
+
+			ta := ref.TimeWeightedMean(at, to)
+			tb := reg.TimeWeightedMean(at, to)
+			if math.Float64bits(ta) != math.Float64bits(tb) {
+				t.Fatalf("trial %d: TimeWeightedMean(%v,%v) = %v != %v", trial, at, to, ta, tb)
+			}
+
+			// Monotone window sweep through both accumulators.
+			wTo := from.Add(time.Duration(rnd.Int63n(int64(3 * step))))
+			wa := accRef.TimeWeightedMean(from, wTo)
+			wb := accReg.TimeWeightedMean(from, wTo)
+			if math.Float64bits(wa) != math.Float64bits(wb) {
+				t.Fatalf("trial %d: accumulator window (%v,%v) = %v != %v", trial, from, wTo, wa, wb)
+			}
+			from = wTo
+		}
+
+		// Slices over random windows agree sample for sample.
+		lo := t0.Add(time.Duration(rnd.Int63n(int64(span))) - step)
+		hi := lo.Add(time.Duration(rnd.Int63n(int64(span))))
+		sla, slb := ref.Slice(lo, hi), reg.Slice(lo, hi)
+		if sla.Len() != slb.Len() {
+			t.Fatalf("trial %d: slice lens %d != %d", trial, sla.Len(), slb.Len())
+		}
+		for i := 0; i < sla.Len(); i++ {
+			a, b := sla.At(i), slb.At(i)
+			if !a.T.Equal(b.T) || math.Float64bits(a.V) != math.Float64bits(b.V) {
+				t.Fatalf("trial %d: slice[%d] = %v != %v", trial, i, a, b)
+			}
+		}
+	}
+}
+
+// The alloc-regression satellite: Mean and Summary must not allocate on
+// either storage layout (Mean is O(1) from moments; Summary's percentile
+// scratch is pooled), and the regular append path must be allocation-free
+// once capacity is reserved.
+func TestMeanAndSummaryAllocFree(t *testing.T) {
+	series := mk(make([]float64, 4096)...)
+	regular := mkRegular(time.Minute, make([]float64, 4096)...)
+	views := map[string]View{"series": series, "regular": regular}
+	for name, v := range views {
+		if n := testing.AllocsPerRun(100, func() { _ = v.Mean() }); n != 0 {
+			t.Errorf("%s: Mean allocates %v per call", name, n)
+		}
+		if n := testing.AllocsPerRun(100, func() { _ = v.Summary() }); n != 0 {
+			t.Errorf("%s: Summary allocates %v per call", name, n)
+		}
+		if n := testing.AllocsPerRun(100, func() { _ = v.MeanBetween(t0, t0.Add(time.Hour)) }); n != 0 {
+			t.Errorf("%s: MeanBetween allocates %v per call", name, n)
+		}
+	}
+}
+
+func TestRegularAppendAllocFree(t *testing.T) {
+	r := NewRegular("x", "u", time.Second, 200)
+	i := 0
+	if n := testing.AllocsPerRun(100, func() {
+		r.MustAppend(t0.Add(time.Duration(i)*time.Second), float64(i))
+		i++
+	}); n != 0 {
+		t.Errorf("pre-sized regular append allocates %v per call", n)
+	}
+}
+
+// Inverted windows (from after to) must degrade to empty results on both
+// layouts — never panic, never go negative.
+func TestInvertedWindowsAreEmpty(t *testing.T) {
+	views := map[string]View{
+		"series":  mk(1, 2, 3, 4, 5),
+		"regular": mkRegular(time.Hour, 1, 2, 3, 4, 5),
+	}
+	from, to := t0.Add(4*time.Hour), t0.Add(time.Hour) // inverted
+	for name, v := range views {
+		if got := v.Slice(from, to); got.Len() != 0 {
+			t.Errorf("%s: inverted Slice has %d samples", name, got.Len())
+		}
+		if got := v.CountBetween(from, to); got != 0 {
+			t.Errorf("%s: inverted CountBetween = %d", name, got)
+		}
+		if got := v.MeanBetween(from, to); got != 0 {
+			t.Errorf("%s: inverted MeanBetween = %v", name, got)
+		}
+		if got := v.TimeWeightedMean(from, to); got != 0 {
+			t.Errorf("%s: inverted TimeWeightedMean = %v", name, got)
+		}
+	}
+}

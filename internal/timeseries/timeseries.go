@@ -1,11 +1,26 @@
-// Package timeseries implements the time-series container used by the
-// facility telemetry pipeline: append-only (time, value) samples with
-// window statistics, resampling, step-change detection and export helpers.
+// Package timeseries implements the time-series containers used by the
+// facility telemetry pipeline: append-only sampled values with window
+// statistics, resampling, step-change detection and export helpers.
 //
-// Timestamps are time.Time; samples must be appended in non-decreasing time
-// order, which is what a simulation clock naturally produces.
+// Two storage layouts share one read API (View):
 //
-// A Series is the twin's equivalent of one PMDB cabinet-power trace: the
+//   - Series stores explicit (time, value) samples and handles irregular
+//     spacing — dropout gaps, event-driven appends, ragged imports.
+//   - RegularSeries (regular.go) stores an epoch, a fixed step and a
+//     contiguous []float64 block; timestamps are implicit. Fixed-cadence
+//     producers (telemetry meters, grid traces) use it for roughly a
+//     quarter of the Series footprint per sample.
+//
+// Both kinds maintain streaming moments (stats.Moments) on append, so
+// Mean and the moment half of Summary are O(1) and allocation-free. The
+// running sum accumulates in append order, which makes Mean bit-identical
+// to a stats.Mean pass over the same values — the determinism the golden
+// digests pin.
+//
+// Timestamps are time.Time; samples must be appended in non-decreasing
+// time order, which is what a simulation clock naturally produces.
+//
+// A series is the twin's equivalent of one PMDB cabinet-power trace: the
 // paper's Figures 1-3 are window means over exactly such series, and the
 // step-change detector recovers the dated operational changes from them.
 package timeseries
@@ -14,9 +29,12 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
 	"time"
+	"unsafe"
 
 	"github.com/greenhpc/archertwin/internal/stats"
 )
@@ -27,12 +45,68 @@ type Sample struct {
 	V float64
 }
 
-// Series is an ordered collection of samples with a name and a unit label.
+// View is the read API shared by Series and RegularSeries. Everything a
+// consumer of telemetry does — window means, sample-and-hold lookups,
+// emissions integration, rendering, fingerprinting — goes through this
+// interface, so producers are free to pick the storage layout that fits
+// their cadence. Methods on a View never mutate the series.
+type View interface {
+	// Label returns the series name and unit.
+	Label() (name, unit string)
+	// Len returns the number of samples.
+	Len() int
+	// At returns sample i (0 <= i < Len).
+	At(i int) Sample
+	// Span returns the first and last timestamps; ok is false when empty.
+	Span() (from, to time.Time, ok bool)
+	// ValueAt returns the sample-and-hold value in force at t.
+	ValueAt(t time.Time) (float64, bool)
+	// Mean returns the arithmetic mean of all values in O(1).
+	Mean() float64
+	// MeanBetween returns the arithmetic mean of samples in [from, to).
+	MeanBetween(from, to time.Time) float64
+	// CountBetween returns the number of samples in [from, to).
+	CountBetween(from, to time.Time) int
+	// TimeWeightedMean integrates sample-and-hold over [from, to).
+	TimeWeightedMean(from, to time.Time) float64
+	// Summary returns summary statistics over all values.
+	Summary() stats.Summary
+	// Accumulator returns a forward-sweeping window-mean accumulator.
+	Accumulator() *WindowAccumulator
+	// Slice returns an independent sub-series with from <= t < to.
+	Slice(from, to time.Time) View
+	// DetectStep locates the largest relative level shift.
+	DetectStep(minSeg int, threshold float64) (StepChange, bool)
+	// WriteCSV writes "time,value" rows with an optional header.
+	WriteCSV(w io.Writer, header bool) error
+	// RenderASCII draws the series as an ASCII chart.
+	RenderASCII(rows, cols int) string
+	// MemoryFootprint returns the series' retained bytes (see the
+	// accounting contract on core.Results.MemoryFootprint).
+	MemoryFootprint() int64
+}
+
+// Appender is a View that accepts timestamped appends — what the
+// telemetry meters hold, so a meter can be wired to either storage
+// layout at construction time.
+type Appender interface {
+	View
+	// Append adds a sample, returning an error when t violates the
+	// series' ordering (Series) or cadence (RegularSeries) contract.
+	Append(t time.Time, v float64) error
+	// MustAppend is Append for callers that guarantee valid timestamps
+	// (e.g. the DES clock); it panics on an invalid one.
+	MustAppend(t time.Time, v float64)
+}
+
+// Series is an ordered collection of explicit samples with a name and a
+// unit label — the irregular-spacing storage layout.
 type Series struct {
 	Name string
 	Unit string
 
 	samples []Sample
+	mom     stats.Moments
 }
 
 // New creates an empty series.
@@ -53,6 +127,9 @@ func NewWithCapacity(name, unit string, capacity int) *Series {
 	return s
 }
 
+// Label returns the series name and unit.
+func (s *Series) Label() (name, unit string) { return s.Name, s.Unit }
+
 // Reserve grows the sample capacity to hold at least n further samples
 // without reallocation.
 func (s *Series) Reserve(n int) {
@@ -60,6 +137,17 @@ func (s *Series) Reserve(n int) {
 		grown := make([]Sample, len(s.samples), len(s.samples)+n)
 		copy(grown, s.samples)
 		s.samples = grown
+	}
+}
+
+// Clip shrinks the backing array to exactly the held samples, releasing
+// over-reserved capacity (a meter sized for a horizon the run did not
+// reach). Used by core.Results.Compact before long-term retention.
+func (s *Series) Clip() {
+	if cap(s.samples) > len(s.samples) {
+		clipped := make([]Sample, len(s.samples))
+		copy(clipped, s.samples)
+		s.samples = clipped
 	}
 }
 
@@ -71,6 +159,7 @@ func (s *Series) Append(t time.Time, v float64) error {
 			s.Name, t, s.samples[n-1].T)
 	}
 	s.samples = append(s.samples, Sample{T: t, V: v})
+	s.mom.Add(v)
 	return nil
 }
 
@@ -100,6 +189,9 @@ func (s *Series) AppendN(batch []Sample) error {
 	}
 	s.Reserve(len(batch))
 	s.samples = append(s.samples, batch...)
+	for _, smp := range batch {
+		s.mom.Add(smp.V)
+	}
 	return nil
 }
 
@@ -131,32 +223,55 @@ func (s *Series) Span() (from, to time.Time, ok bool) {
 	return s.samples[0].T, s.samples[len(s.samples)-1].T, true
 }
 
-// Slice returns a new series view containing samples with from <= t < to.
+// searchCeil returns the index of the first sample at or after t.
+func (s *Series) searchCeil(t time.Time) int {
+	return sort.Search(len(s.samples), func(i int) bool {
+		return !s.samples[i].T.Before(t)
+	})
+}
+
+// Slice returns a new series containing samples with from <= t < to.
 // The returned series shares no mutable state with s beyond the sample
 // values themselves.
-func (s *Series) Slice(from, to time.Time) *Series {
-	lo := sort.Search(len(s.samples), func(i int) bool {
-		return !s.samples[i].T.Before(from)
-	})
-	hi := sort.Search(len(s.samples), func(i int) bool {
-		return !s.samples[i].T.Before(to)
-	})
+func (s *Series) Slice(from, to time.Time) View {
+	lo, hi := s.searchCeil(from), s.searchCeil(to)
 	out := New(s.Name, s.Unit)
-	out.samples = append(out.samples, s.samples[lo:hi]...)
+	if hi > lo {
+		out.samples = append(out.samples, s.samples[lo:hi]...)
+		for _, smp := range out.samples {
+			out.mom.Add(smp.V)
+		}
+	}
 	return out
 }
 
 // Mean returns the arithmetic mean of all values (unweighted by spacing),
-// or 0 for an empty series.
-func (s *Series) Mean() float64 { return stats.Mean(s.Values()) }
+// or 0 for an empty series. O(1) from the streaming moments, bit-identical
+// to a stats.Mean pass over Values() (same accumulation order).
+func (s *Series) Mean() float64 { return s.mom.Mean() }
 
-// MeanBetween returns the mean of samples with from <= t < to.
+// MeanBetween returns the mean of samples with from <= t < to, summing
+// the window's values in sample order (bit-identical to Slice + Mean)
+// without materialising a sub-series.
 func (s *Series) MeanBetween(from, to time.Time) float64 {
-	return s.Slice(from, to).Mean()
+	lo, hi := s.searchCeil(from), s.searchCeil(to)
+	return meanRange(s, lo, hi)
 }
 
-// Summary returns summary statistics over all values.
-func (s *Series) Summary() stats.Summary { return stats.Summarize(s.Values()) }
+// CountBetween returns the number of samples with from <= t < to
+// (0 for an inverted window).
+func (s *Series) CountBetween(from, to time.Time) int {
+	if n := s.searchCeil(to) - s.searchCeil(from); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// Summary returns summary statistics over all values: N, Mean, StdDev,
+// Min and Max come from the streaming moments in O(1); the percentile
+// fields are interpolated from a pooled sorted scratch copy, so repeated
+// calls allocate nothing.
+func (s *Series) Summary() stats.Summary { return summarize(s, s.mom) }
 
 // TimeWeightedMean integrates the series with a step-function (sample-and-
 // hold) interpretation over [from, to] and divides by the duration. Samples
@@ -166,27 +281,34 @@ func (s *Series) TimeWeightedMean(from, to time.Time) float64 {
 	if !to.After(from) || len(s.samples) == 0 {
 		return 0
 	}
-	// Find the first sample at or after `from`; the value in force at the
-	// window start is the previous sample (if any), else the first in-window
-	// sample applies from its own timestamp.
-	i := sort.Search(len(s.samples), func(i int) bool {
-		return !s.samples[i].T.Before(from)
-	})
+	return timeWeightedMean(s, s.searchCeil(from), from, to)
+}
+
+// timeWeightedMean is the shared sample-and-hold integration: v's samples
+// from index i (the first at or after `from`) bound the segments, exactly
+// the arithmetic — and arithmetic order — the original Series
+// implementation used, so every implementation routed through here is
+// bit-identical to it.
+func timeWeightedMean(v View, i int, from, to time.Time) float64 {
+	n := v.Len()
 	var integral float64
 	cursor := from
 	var current float64
 	haveCurrent := false
 	if i > 0 {
-		current = s.samples[i-1].V
+		current = v.At(i - 1).V
 		haveCurrent = true
 	}
-	for ; i < len(s.samples) && s.samples[i].T.Before(to); i++ {
-		t := s.samples[i].T
-		if haveCurrent {
-			integral += current * t.Sub(cursor).Seconds()
+	for ; i < n; i++ {
+		smp := v.At(i)
+		if !smp.T.Before(to) {
+			break
 		}
-		cursor = t
-		current = s.samples[i].V
+		if haveCurrent {
+			integral += current * smp.T.Sub(cursor).Seconds()
+		}
+		cursor = smp.T
+		current = smp.V
 		haveCurrent = true
 	}
 	if !haveCurrent {
@@ -196,78 +318,104 @@ func (s *Series) TimeWeightedMean(from, to time.Time) float64 {
 	denom := to.Sub(from).Seconds()
 	// If the first in-window sample started after `from` with no prior value,
 	// only average over the covered portion.
-	if s.samples[0].T.After(from) {
-		denom = to.Sub(s.samples[0].T).Seconds()
+	if first := v.At(0).T; first.After(from) {
+		denom = to.Sub(first).Seconds()
 		if denom <= 0 {
 			return 0
 		}
 	}
 	return integral / denom
+}
+
+// meanRange sums values[lo:hi] in index order and divides by the count —
+// the same accumulation a stats.Mean pass over the materialised window
+// performs, so window means are bit-identical to the old Slice-then-Mean
+// path without the copy.
+func meanRange(v View, lo, hi int) float64 {
+	if hi <= lo {
+		return 0
+	}
+	sum := 0.0
+	for i := lo; i < hi; i++ {
+		sum += v.At(i).V
+	}
+	return sum / float64(hi-lo)
+}
+
+// summaryScratch pools the sorted-value scratch buffers Summary uses for
+// its percentile interpolation, so steady-state Summary calls allocate
+// nothing and concurrent readers of a shared series never share a buffer.
+var summaryScratch = sync.Pool{New: func() any {
+	buf := make([]float64, 0, 1024)
+	return &buf
+}}
+
+// summarize builds a stats.Summary for v: the moment half in O(1) from
+// the streaming moments, the percentiles from a pooled sorted copy.
+func summarize(v View, mom stats.Moments) stats.Summary {
+	out := stats.Summary{
+		N:      mom.N,
+		Mean:   mom.Mean(),
+		StdDev: mom.StdDev(),
+		Min:    mom.Min,
+		Max:    mom.Max,
+	}
+	n := v.Len()
+	if n == 0 {
+		return out
+	}
+	bufp := summaryScratch.Get().(*[]float64)
+	buf := (*bufp)[:0]
+	if cap(buf) < n {
+		buf = make([]float64, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		buf = append(buf, v.At(i).V)
+	}
+	slices.Sort(buf)
+	out.P25 = stats.PercentileOfSorted(buf, 25)
+	out.Median = stats.PercentileOfSorted(buf, 50)
+	out.P75 = stats.PercentileOfSorted(buf, 75)
+	*bufp = buf[:0]
+	summaryScratch.Put(bufp)
+	return out
 }
 
 // WindowAccumulator computes time-weighted window means over a series of
 // consecutive (non-decreasing) windows in one forward pass: the cursor
 // remembers where the previous window started, so sweeping M windows over
 // an N-sample series is O(N+M) instead of M binary searches plus rescans.
-// Each call returns exactly what Series.TimeWeightedMean would — same
+// Each call returns exactly what View.TimeWeightedMean would — same
 // arithmetic, same order — so swapping it into an accounting loop (see
 // emissions.AccountSeries) changes cost, not results. Windows passed to
 // successive calls must have non-decreasing `from`; the series must not
 // be appended to while accumulating.
 type WindowAccumulator struct {
-	s *Series
+	v View
 	// lo is the index of the first sample at or after the previous
-	// window's `from` (the sort.Search result the cursor replaces).
+	// window's `from` (the search result the cursor replaces).
 	lo int
 }
 
 // Accumulator returns a WindowAccumulator positioned at the series start.
 func (s *Series) Accumulator() *WindowAccumulator {
-	return &WindowAccumulator{s: s}
+	return &WindowAccumulator{v: s}
 }
 
-// TimeWeightedMean is Series.TimeWeightedMean for the next window in the
-// sweep. It is bit-identical to the Series method for every window.
+// TimeWeightedMean is View.TimeWeightedMean for the next window in the
+// sweep. It is bit-identical to the direct method for every window.
 func (a *WindowAccumulator) TimeWeightedMean(from, to time.Time) float64 {
-	s := a.s
-	if !to.After(from) || len(s.samples) == 0 {
+	v := a.v
+	n := v.Len()
+	if !to.After(from) || n == 0 {
 		return 0
 	}
 	// Advance the cursor to the first sample at or after `from` — the
-	// same index sort.Search finds, reached monotonically.
-	for a.lo < len(s.samples) && s.samples[a.lo].T.Before(from) {
+	// same index a binary search finds, reached monotonically.
+	for a.lo < n && v.At(a.lo).T.Before(from) {
 		a.lo++
 	}
-	i := a.lo
-	var integral float64
-	cursor := from
-	var current float64
-	haveCurrent := false
-	if i > 0 {
-		current = s.samples[i-1].V
-		haveCurrent = true
-	}
-	for ; i < len(s.samples) && s.samples[i].T.Before(to); i++ {
-		t := s.samples[i].T
-		if haveCurrent {
-			integral += current * t.Sub(cursor).Seconds()
-		}
-		cursor = t
-		current = s.samples[i].V
-		haveCurrent = true
-	}
-	if !haveCurrent {
-		return 0
-	}
-	integral += current * to.Sub(cursor).Seconds()
-	denom := to.Sub(from).Seconds()
-	if s.samples[0].T.After(from) {
-		denom = to.Sub(s.samples[0].T).Seconds()
-		if denom <= 0 {
-			return 0
-		}
-	}
-	return integral / denom
+	return timeWeightedMean(v, a.lo, from, to)
 }
 
 // Resample returns a new series sampled every step using sample-and-hold
@@ -299,6 +447,15 @@ func (s *Series) ValueAt(t time.Time) (float64, bool) {
 	return s.samples[i-1].V, true
 }
 
+// MemoryFootprint returns the series' retained bytes: struct header,
+// label strings and the full backing capacity (capacity, not length —
+// over-reservation is real memory).
+func (s *Series) MemoryFootprint() int64 {
+	return int64(unsafe.Sizeof(*s)) +
+		int64(len(s.Name)) + int64(len(s.Unit)) +
+		int64(cap(s.samples))*int64(unsafe.Sizeof(Sample{}))
+}
+
 // StepChange describes a detected level shift in a series.
 type StepChange struct {
 	At          time.Time
@@ -313,15 +470,18 @@ type StepChange struct {
 // shifts, not subtle trends. Returns ok=false when fewer than 2*minSeg
 // samples exist or no shift exceeds threshold (relative).
 func (s *Series) DetectStep(minSeg int, threshold float64) (StepChange, bool) {
-	n := len(s.samples)
+	return detectStep(s, minSeg, threshold)
+}
+
+func detectStep(v View, minSeg int, threshold float64) (StepChange, bool) {
+	n := v.Len()
 	if minSeg < 1 || n < 2*minSeg {
 		return StepChange{}, false
 	}
-	vs := s.Values()
 	// Prefix sums for O(n) scanning.
 	prefix := make([]float64, n+1)
-	for i, v := range vs {
-		prefix[i+1] = prefix[i] + v
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i] + v.At(i).V
 	}
 	best := StepChange{}
 	bestAbs := 0.0
@@ -336,7 +496,7 @@ func (s *Series) DetectStep(minSeg int, threshold float64) (StepChange, bool) {
 		if math.Abs(rel) > bestAbs && math.Abs(rel) >= threshold {
 			bestAbs = math.Abs(rel)
 			best = StepChange{
-				At:          s.samples[k].T,
+				At:          v.At(k).T,
 				BeforeMean:  mb,
 				AfterMean:   ma,
 				RelativeChg: rel,
@@ -349,12 +509,18 @@ func (s *Series) DetectStep(minSeg int, threshold float64) (StepChange, bool) {
 
 // WriteCSV writes "time,value" rows with an optional header.
 func (s *Series) WriteCSV(w io.Writer, header bool) error {
+	return writeCSV(s, w, header)
+}
+
+func writeCSV(v View, w io.Writer, header bool) error {
+	name, unit := v.Label()
 	if header {
-		if _, err := fmt.Fprintf(w, "time,%s_%s\n", csvSafe(s.Name), csvSafe(s.Unit)); err != nil {
+		if _, err := fmt.Fprintf(w, "time,%s_%s\n", csvSafe(name), csvSafe(unit)); err != nil {
 			return err
 		}
 	}
-	for _, smp := range s.samples {
+	for i, n := 0, v.Len(); i < n; i++ {
+		smp := v.At(i)
 		if _, err := fmt.Fprintf(w, "%s,%.6g\n", smp.T.UTC().Format(time.RFC3339), smp.V); err != nil {
 			return err
 		}
@@ -376,17 +542,21 @@ func csvSafe(s string) string {
 // line, in the spirit of the paper's Figures 1-3. It returns "" for series
 // with fewer than two samples.
 func (s *Series) RenderASCII(rows, cols int) string {
-	if len(s.samples) < 2 || rows < 3 || cols < 8 {
+	return renderASCII(s, s.mom, rows, cols)
+}
+
+func renderASCII(v View, mom stats.Moments, rows, cols int) string {
+	n := v.Len()
+	if n < 2 || rows < 3 || cols < 8 {
 		return ""
 	}
-	vs := s.Values()
-	min, max := stats.MinMax(vs)
+	min, max := mom.Min, mom.Max
 	if max == min {
 		max = min + 1
 	}
 	pad := (max - min) * 0.05
 	min, max = min-pad, max+pad
-	mean := stats.Mean(vs)
+	mean := mom.Mean()
 
 	grid := make([][]byte, rows)
 	for i := range grid {
@@ -395,13 +565,13 @@ func (s *Series) RenderASCII(rows, cols int) string {
 	// Bucket samples into columns and plot column means.
 	colSum := make([]float64, cols)
 	colN := make([]int, cols)
-	for i, smp := range s.samples {
-		c := i * cols / len(s.samples)
-		colSum[c] += smp.V
+	for i := 0; i < n; i++ {
+		c := i * cols / n
+		colSum[c] += v.At(i).V
 		colN[c]++
 	}
-	rowOf := func(v float64) int {
-		r := int((max - v) / (max - min) * float64(rows-1))
+	rowOf := func(val float64) int {
+		r := int((max - val) / (max - min) * float64(rows-1))
 		if r < 0 {
 			r = 0
 		}
@@ -422,8 +592,9 @@ func (s *Series) RenderASCII(rows, cols int) string {
 		}
 		grid[rowOf(colSum[c]/float64(colN[c]))][c] = '*'
 	}
+	name, unit := v.Label()
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s [%s]  (mean %.4g, - marks mean)\n", s.Name, s.Unit, mean)
+	fmt.Fprintf(&b, "%s [%s]  (mean %.4g, - marks mean)\n", name, unit, mean)
 	fmt.Fprintf(&b, "%10.4g |%s|\n", max, string(grid[0]))
 	for r := 1; r < rows-1; r++ {
 		fmt.Fprintf(&b, "%10s |%s|\n", "", string(grid[r]))

@@ -226,8 +226,8 @@ func TestPropertySliceBounds(t *testing.T) {
 		}
 		from, to := t0.Add(time.Duration(lo)*time.Minute), t0.Add(time.Duration(hi)*time.Minute)
 		sl := s.Slice(from, to)
-		for _, smp := range sl.Samples() {
-			if smp.T.Before(from) || !smp.T.Before(to) {
+		for i := 0; i < sl.Len(); i++ {
+			if smp := sl.At(i); smp.T.Before(from) || !smp.T.Before(to) {
 				return false
 			}
 		}
