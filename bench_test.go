@@ -10,6 +10,7 @@
 package archertwin_test
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/policy"
 	"github.com/greenhpc/archertwin/internal/rng"
 	"github.com/greenhpc/archertwin/internal/roofline"
+	"github.com/greenhpc/archertwin/internal/scenario"
 	"github.com/greenhpc/archertwin/internal/sched"
 	"github.com/greenhpc/archertwin/internal/timeseries"
 	"github.com/greenhpc/archertwin/internal/units"
@@ -439,6 +441,69 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 		}
 	}
 	eng.Run()
+}
+
+// --- checkpoint/fork sweep benchmarks ---
+
+// benchForkSpec is a late-divergence sweep: four frequency branches that
+// share their first eight days of a ten-day run and diverge only for the
+// final two. Cold execution replays 4 x 10 simulated days; the fork path
+// runs the 8-day prefix once and 4 x 2-day tails — the late-divergence
+// shape the checkpoint/fork machinery exists for.
+func benchForkSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:             "bench-fork",
+		Nodes:            64,
+		Days:             10,
+		Seed:             7,
+		OverSubscription: 0.8,
+		DivergeDay:       8,
+		Axes: scenario.Axes{
+			MidFrequency: []string{"none", "capped", "1.5GHz", "2.0GHz"},
+		},
+	}
+}
+
+// benchSweep runs the fork spec on a fresh single-worker Runner, so ns/op
+// measures total simulation work independent of the host's core count,
+// and nothing is served from a previous iteration's memo.
+func benchSweep(b *testing.B, noFork bool) {
+	b.Helper()
+	spec := benchForkSpec()
+	for i := 0; i < b.N; i++ {
+		r := scenario.Runner{Workers: 1, NoFork: noFork}
+		if _, err := r.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForkedSweep measures the late-divergence sweep with branches
+// forked from the shared prefix checkpoint.
+func BenchmarkForkedSweep(b *testing.B) { benchSweep(b, false) }
+
+// BenchmarkColdSweep measures the same sweep with every branch replayed
+// cold from day zero (Runner.NoFork) — the baseline the fork path is
+// gated against.
+func BenchmarkColdSweep(b *testing.B) { benchSweep(b, true) }
+
+// TestForkSpeedupHeadroom guards the point of the fork path: with four
+// branches diverging at day 8 of 10, cold replay simulates 40 day-
+// equivalents against the fork path's ~16, so forked execution must stay
+// comfortably ahead — at least 1.5x — or the checkpoint machinery has
+// regressed into overhead.
+func TestForkSpeedupHeadroom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark pair: skipped in -short mode")
+	}
+	cold := testing.Benchmark(BenchmarkColdSweep)
+	forked := testing.Benchmark(BenchmarkForkedSweep)
+	ratio := float64(cold.NsPerOp()) / float64(forked.NsPerOp())
+	t.Logf("cold %v/op, forked %v/op, speedup %.2fx",
+		time.Duration(cold.NsPerOp()), time.Duration(forked.NsPerOp()), ratio)
+	if ratio < 1.5 {
+		t.Errorf("forked sweep speedup %.2fx, want >= 1.5x", ratio)
+	}
 }
 
 // --- future-work feature benchmarks (paper SS5) ---

@@ -60,6 +60,7 @@ func main() {
 	carbon := flag.String("carbon", "", "comma-separated carbon_policy axis values (e.g. fcfs,delay-flexible,carbon-budget); overrides the spec's axis")
 	list := flag.Bool("list", false, "print the expanded scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the regime/carbon tables and timing note")
+	noFork := flag.Bool("no-fork", false, "run mid-sweep divergence branches cold instead of forking them from the shared prefix checkpoint")
 	flag.Parse()
 
 	spec := scenario.DefaultSpec()
@@ -97,7 +98,7 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	runner := &scenario.Runner{Workers: *workers}
+	runner := &scenario.Runner{Workers: *workers, NoFork: *noFork}
 	res, err := runner.Run(ctx, spec)
 	if err != nil {
 		fail(err)

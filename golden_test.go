@@ -32,6 +32,10 @@ const (
 	// goldenSweepDigest is the 2x2 frequency x carbon-policy sweep below,
 	// identical at every worker count.
 	goldenSweepDigest = "98f6e12f1c8893c9b9f426bfaa1f28c4e4204f9756812f5490586486201bd6a0"
+	// goldenForkSweepDigest is the carbon-policy x mid-frequency divergence
+	// sweep below, recorded from the cold (NoFork) path; the checkpoint/fork
+	// path must reproduce it bit for bit at every worker count.
+	goldenForkSweepDigest = "d1ae73bcf24c428d4b8f10ed2a5253b3818178d16b5e2068ebd07a0d6c4d8a6f"
 )
 
 // goldenSweepSpec exercises the scheduler's backfill, hold/release and
@@ -108,6 +112,65 @@ func TestGoldenScaledConfigDigest(t *testing.T) {
 	}
 	if d := res.Digest(); d != goldenScaledDigest {
 		t.Errorf("scaled config digest = %s, golden %s", d, goldenScaledDigest)
+	}
+}
+
+// goldenForkSweepSpec sweeps two temporal policies against a mid-sweep
+// frequency divergence at day 7 of 10: the three branches of each policy
+// share their first week bit for bit, so the runner simulates that prefix
+// once per policy, checkpoints it, and forks the branches — the execution
+// path this golden pins against the cold one.
+func goldenForkSweepSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:             "golden-fork",
+		Nodes:            64,
+		Days:             10,
+		Seed:             42,
+		OverSubscription: 0.8,
+		DivergeDay:       7,
+		Axes: scenario.Axes{
+			CarbonPolicy: []string{"fcfs", "delay-flexible"},
+			MidFrequency: []string{"none", "capped", "1.5GHz"},
+		},
+	}
+}
+
+// TestGoldenForkSweep proves the checkpoint/fork execution path is
+// observationally invisible: the divergence sweep produces bit-identical
+// measured outcomes and per-scenario simulation digests whether every
+// branch runs cold from day zero (NoFork) or forks from the shared prefix
+// checkpoint, at every worker count, and both match the golden digest
+// recorded from the cold path.
+func TestGoldenForkSweep(t *testing.T) {
+	spec := goldenForkSweepSpec()
+	cold, err := (&scenario.Runner{Workers: 4, NoFork: true}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := sweepDigest(cold); d != goldenForkSweepDigest {
+		t.Errorf("cold sweep digest = %s, golden %s", d, goldenForkSweepDigest)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		r := &scenario.Runner{Workers: workers}
+		forked, err := r.Run(context.Background(), spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if d := sweepDigest(forked); d != goldenForkSweepDigest {
+			t.Errorf("workers=%d: forked sweep digest = %s, golden %s", workers, d, goldenForkSweepDigest)
+		}
+		// 2 prefix checkpoints + 6 forked branches: proves the fork path
+		// actually executed instead of silently running every branch cold.
+		if cs := r.CacheStats(); cs.Misses != 8 {
+			t.Errorf("workers=%d: misses = %d, want 8 (2 prefixes + 6 branches)", workers, cs.Misses)
+		}
+		for i := range forked.Results {
+			fd, cd := forked.Results[i].SimDigest, cold.Results[i].SimDigest
+			if fd == "" || fd != cd {
+				t.Errorf("workers=%d: scenario %s: forked SimDigest %s, cold %s",
+					workers, forked.Results[i].Scenario.Name, fd, cd)
+			}
+		}
 	}
 }
 

@@ -109,6 +109,15 @@ type Config struct {
 	// is installed in the scheduler. The trace is recorded in
 	// Results.CarbonTrace for emissions accounting.
 	Carbon *CarbonConfig
+
+	// arrivalRate, when set, installs this already calibrated workload
+	// arrival rate instead of re-running the Monte-Carlo calibration
+	// estimate. Only Fork sets it (from the snapshot, where the parent
+	// recorded the rate it calibrated from the identical configuration):
+	// the estimate is the single most expensive construction step, and
+	// paying it once per branch would eat the fork path's advantage on
+	// small configs.
+	arrivalRate float64
 }
 
 // CarbonConfig connects the grid's carbon intensity to the scheduler.
@@ -355,10 +364,37 @@ type Simulator struct {
 	carbonTrace  *timeseries.RegularSeries
 
 	// pumpEvent is the arrival pump's event callback, created once so the
-	// O(100k) arrivals of a run do not allocate a closure each.
-	pumpEvent des.Event
+	// O(100k) arrivals of a run do not allocate a closure each. The pending
+	// pump event is tracked (time, handle) so a checkpoint can capture it
+	// and a fork can resume the arrival process mid-stream.
+	pumpEvent   des.Event
+	pumpAt      time.Time
+	pumpHandle  des.Handle
+	pumpPending bool
+
+	// Failure-injection pending state. The failure process used to live in
+	// nested per-event closures; it is flattened into long-lived callbacks
+	// plus explicit pending records (the armed start event, the next
+	// failure, and every outstanding repair) for the same reason: forks
+	// must be able to re-create the exact pending event set.
+	failStartFn      des.Event
+	failStartHandle  des.Handle
+	failStartPending bool
+	failFire         des.Event
+	failAt           time.Time
+	failHandle       des.Handle
+	failPending      bool
+	repairFn         des.ArgEvent
+	repairs          []pendingRepair
 
 	ran bool
+}
+
+// pendingRepair is one outstanding node-repair event.
+type pendingRepair struct {
+	at     time.Time
+	id     int
+	handle des.Handle
 }
 
 // NewSimulator builds and wires a simulation from cfg.
@@ -400,7 +436,12 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := gen.CalibrateArrivalRate(fac.NodeCount(), cfg.OverSubscription); err != nil {
+	if cfg.arrivalRate > 0 {
+		err = gen.SetArrivalRate(cfg.arrivalRate)
+	} else {
+		err = gen.CalibrateArrivalRate(fac.NodeCount(), cfg.OverSubscription)
+	}
+	if err != nil {
 		return nil, err
 	}
 
@@ -466,17 +507,32 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}
 	// Kick off the arrival pump at the start time.
 	s.pumpEvent = func(time.Time) { s.pump() }
-	eng.At(cfg.Start, s.pumpEvent)
+	s.schedulePump(cfg.Start)
 	if cfg.Failures.MTBFPerNode > 0 {
 		s.failStream = root.Split("failures")
-		eng.At(cfg.Start, func(time.Time) { s.pumpFailures() })
+		s.failFire = func(now time.Time) { s.failNow(now) }
+		s.repairFn = func(now time.Time, arg any) { s.repairNow(now, arg.(int)) }
+		s.failStartFn = func(time.Time) {
+			s.failStartPending = false
+			s.pumpFailures()
+		}
+		s.failStartHandle = eng.At(cfg.Start, s.failStartFn)
+		s.failStartPending = true
 	}
 	return s, nil
+}
+
+// schedulePump arms the arrival pump at t and records the pending event.
+func (s *Simulator) schedulePump(t time.Time) {
+	s.pumpAt = t
+	s.pumpHandle = s.eng.At(t, s.pumpEvent)
+	s.pumpPending = true
 }
 
 // pump submits the next job and reschedules itself after the sampled
 // interarrival gap.
 func (s *Simulator) pump() {
+	s.pumpPending = false
 	spec, gap := s.gen.Next()
 	spec.Submit = s.eng.Now()
 	if s.cfg.RecordTrace {
@@ -485,32 +541,54 @@ func (s *Simulator) pump() {
 	s.sch.Submit(spec)
 	next := s.eng.Now().Add(gap)
 	if next.Before(s.cfg.End) {
-		s.eng.At(next, s.pumpEvent)
+		s.schedulePump(next)
 	}
 }
 
-// pumpFailures injects the next node failure (fleet failure rate =
-// nodes/MTBF) and schedules its repair.
+// pumpFailures draws the gap to the next node failure (fleet failure rate
+// = nodes/MTBF) and arms the failure event. The draw order (Exp for the
+// gap here, Intn for the victim when the event fires) is part of the
+// deterministic contract: forks restore the stream position and must
+// consume it identically.
 func (s *Simulator) pumpFailures() {
 	ratePerHour := float64(s.fac.NodeCount()) / s.cfg.Failures.MTBFPerNode.Hours()
 	gap := time.Duration(s.failStream.Exp(ratePerHour) * float64(time.Hour))
 	next := s.eng.Now().Add(gap)
 	if !next.Before(s.cfg.End) {
+		s.failPending = false
 		return
 	}
-	s.eng.At(next, func(time.Time) {
-		id := s.failStream.Intn(s.fac.NodeCount())
-		if err := s.sch.FailNode(id); err == nil {
-			s.nodeFailures++
-			repair := next.Add(s.cfg.Failures.RepairTime)
-			if repair.Before(s.cfg.End) {
-				s.eng.At(repair, func(time.Time) {
-					_ = s.sch.RepairNode(id)
-				})
-			}
+	s.failAt = next
+	s.failHandle = s.eng.At(next, s.failFire)
+	s.failPending = true
+}
+
+// failNow fails a random node, schedules its repair (before re-arming the
+// next failure, preserving the historical event order) and draws the next
+// failure gap.
+func (s *Simulator) failNow(now time.Time) {
+	s.failPending = false
+	id := s.failStream.Intn(s.fac.NodeCount())
+	if err := s.sch.FailNode(id); err == nil {
+		s.nodeFailures++
+		repair := now.Add(s.cfg.Failures.RepairTime)
+		if repair.Before(s.cfg.End) {
+			h := s.eng.AtArg(repair, s.repairFn, id)
+			s.repairs = append(s.repairs, pendingRepair{at: repair, id: id, handle: h})
 		}
-		s.pumpFailures()
-	})
+	}
+	s.pumpFailures()
+}
+
+// repairNow brings a node back up and retires its pending-repair record.
+func (s *Simulator) repairNow(now time.Time, id int) {
+	for i := range s.repairs {
+		if s.repairs[i].id == id && s.repairs[i].at.Equal(now) {
+			s.repairs = append(s.repairs[:i], s.repairs[i+1:]...)
+			break
+		}
+	}
+	_ = s.sch.RepairNode(id)
 }
 
 // Facility exposes the underlying facility (for examples and tools).
@@ -600,6 +678,44 @@ func (s *Simulator) RunContext(ctx context.Context) (*Results, error) {
 		})
 	}
 	return res, nil
+}
+
+// RunTo advances the simulation to virtual time t without finishing it:
+// every event strictly before t fires and the clock stops exactly at t,
+// leaving events at t and later pending. The partial run is a prefix of
+// the event sequence Run would execute, so following up with Run (or
+// another RunTo) produces bit-identical results to an uninterrupted run.
+// Between RunTo and the next advance the simulator is quiescent — the
+// moment Snapshot captures.
+func (s *Simulator) RunTo(t time.Time) error {
+	return s.RunToContext(context.Background(), t)
+}
+
+// RunToContext is RunTo with cooperative cancellation (see RunContext).
+func (s *Simulator) RunToContext(ctx context.Context, t time.Time) error {
+	if s.ran {
+		return fmt.Errorf("core: simulator already ran")
+	}
+	if t.Before(s.eng.Now()) {
+		return fmt.Errorf("core: RunTo target %v before current time %v", t, s.eng.Now())
+	}
+	if t.After(s.cfg.End) {
+		return fmt.Errorf("core: RunTo target %v after end %v", t, s.cfg.End)
+	}
+	if ctx.Done() == nil {
+		s.eng.RunUntil(t)
+		return nil
+	}
+	for s.eng.StepsBefore(t, cancelCheckEvents) {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("core: simulation cancelled: %w", err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: simulation cancelled: %w", err)
+	}
+	s.eng.RunUntil(t)
+	return nil
 }
 
 // RunConfig builds a simulator from cfg and runs it to completion — the

@@ -43,6 +43,12 @@ type Handle struct {
 	seq uint64
 }
 
+// Seq returns the handle's engine-assigned sequence number — the FIFO
+// tie-break rank among same-timestamp events. Snapshots record it so a
+// fork can re-schedule its parent's pending events in the exact relative
+// order the parent would have fired them.
+func (h Handle) Seq() uint64 { return h.seq }
+
 // item is one scheduled event. The heap orders items by (at, seq): `at`
 // is the scheduled time in unix nanoseconds so comparisons are two
 // integer compares, and `t` keeps the exact time.Time value the clock
@@ -132,6 +138,23 @@ func (e *Engine) schedule(t time.Time, fn Event, argFn ArgEvent, arg any) Handle
 	return Handle{seq: it.seq}
 }
 
+// Reset drains the engine back to an empty queue and restarts the clock
+// at `now`, returning every queued item (live or cancelled) to the shared
+// pool and zeroing the sequence and fired counters. A forked simulation
+// reuses a freshly constructed engine this way: the construction-time
+// events are discarded and the parent's pending events are re-scheduled
+// from its snapshot, so no pooled item — and no closure or argument
+// captured by one — stays live in both parent and fork.
+func (e *Engine) Reset(now time.Time) {
+	for e.queue.len() > 0 {
+		putItem(e.queue.pop())
+	}
+	clear(e.byHandle)
+	e.now = now
+	e.seq = 0
+	e.fired = 0
+}
+
 // After schedules fn after delay d from now.
 func (e *Engine) After(d time.Duration, fn Event) Handle {
 	if d < 0 {
@@ -158,6 +181,29 @@ func (e *Engine) Cancel(h Handle) bool {
 // Every schedules fn at now+d, then repeatedly every d, until `until`
 // (exclusive) or cancellation of the returned ticker.
 func (e *Engine) Every(d time.Duration, until time.Time, fn Event) *Ticker {
+	t := e.newTicker(d, until, fn)
+	t.scheduleNext()
+	return t
+}
+
+// ResumeEvery restores a ticker mid-stream: the first tick fires at
+// `first` (not now+d) and subsequent ticks continue every d until
+// `until`, exactly as if an Every ticker had been running since its
+// origin. Forked simulations use it to resume telemetry sampling at the
+// parent's pending tick. A first at or past `until` yields an
+// already-stopped ticker.
+func (e *Engine) ResumeEvery(first time.Time, d time.Duration, until time.Time, fn Event) *Ticker {
+	t := e.newTicker(d, until, fn)
+	if !first.Before(until) {
+		t.stopped = true
+		return t
+	}
+	t.next = first
+	t.handle = e.At(first, t.fire)
+	return t
+}
+
+func (e *Engine) newTicker(d time.Duration, until time.Time, fn Event) *Ticker {
 	if d <= 0 {
 		panic("des: non-positive tick interval")
 	}
@@ -169,11 +215,10 @@ func (e *Engine) Every(d time.Duration, until time.Time, fn Event) *Ticker {
 			t.scheduleNext()
 		}
 	}
-	t.scheduleNext()
 	return t
 }
 
-// Ticker is a repeating event created by Every.
+// Ticker is a repeating event created by Every or ResumeEvery.
 type Ticker struct {
 	engine  *Engine
 	period  time.Duration
@@ -181,6 +226,7 @@ type Ticker struct {
 	fn      Event
 	fire    Event
 	handle  Handle
+	next    time.Time
 	stopped bool
 }
 
@@ -190,7 +236,19 @@ func (t *Ticker) scheduleNext() {
 		t.stopped = true
 		return
 	}
+	t.next = next
 	t.handle = t.engine.At(next, t.fire)
+}
+
+// Pending returns the next scheduled tick time and that event's sequence
+// number; ok is false once the ticker has stopped (horizon reached or
+// Stop called). Snapshots use it to record where a fork must resume the
+// tick train.
+func (t *Ticker) Pending() (next time.Time, seq uint64, ok bool) {
+	if t.stopped {
+		return time.Time{}, 0, false
+	}
+	return t.next, t.handle.seq, true
 }
 
 // Stop cancels future ticks.

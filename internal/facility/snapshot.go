@@ -1,0 +1,41 @@
+package facility
+
+import (
+	"fmt"
+
+	"github.com/greenhpc/archertwin/internal/node"
+)
+
+// Snapshot is the facility's full mutable state at a checkpoint: every
+// node's state plus the fabric's last-set load level. The fleet counters
+// are not captured — they are reconciled incrementally as each node is
+// restored, so Restore leaves them equal to a fresh fleet scan.
+type Snapshot struct {
+	Nodes      []node.Snapshot
+	FabricLoad float64
+}
+
+// Snapshot captures the facility state.
+func (f *Facility) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Nodes:      make([]node.Snapshot, len(f.nodes)),
+		FabricLoad: f.fabric.Load(),
+	}
+	for i, n := range f.nodes {
+		s.Nodes[i] = n.Snapshot()
+	}
+	return s
+}
+
+// Restore overwrites this facility's node and fabric state from a
+// snapshot taken on an identically-shaped facility.
+func (f *Facility) Restore(s *Snapshot) error {
+	if len(s.Nodes) != len(f.nodes) {
+		return fmt.Errorf("facility: snapshot has %d nodes, facility has %d", len(s.Nodes), len(f.nodes))
+	}
+	for i, n := range f.nodes {
+		n.Restore(s.Nodes[i])
+	}
+	f.fabric.SetLoad(s.FabricLoad)
+	return nil
+}

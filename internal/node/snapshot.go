@@ -1,0 +1,60 @@
+package node
+
+import (
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/units"
+)
+
+// Snapshot is one node's full mutable state at a checkpoint. The cached
+// power draw is deliberately absent: it is a pure function of the
+// captured fields and is recomputed bit-identically on Restore.
+type Snapshot struct {
+	Setting    cpu.FreqSetting
+	Mode       cpu.Mode
+	State      State
+	DieFactor  float64
+	PerfFactor float64
+	Activity   cpu.Activity
+	Busy       bool
+	Energy     units.Energy
+	LastUpdate time.Time
+	Rng        [4]uint64
+}
+
+// Snapshot captures the node's mutable state, including the position of
+// its die-variation RNG stream (consumed on mode changes, so a fork must
+// resume it exactly).
+func (n *Node) Snapshot() Snapshot {
+	return Snapshot{
+		Setting:    n.setting,
+		Mode:       n.mode,
+		State:      n.state,
+		DieFactor:  n.dieFactor,
+		PerfFactor: n.perfFactor,
+		Activity:   n.activity,
+		Busy:       n.busy,
+		Energy:     n.energy,
+		LastUpdate: n.lastUpdate,
+		Rng:        n.rng.State(),
+	}
+}
+
+// Restore overwrites the node's mutable state from a snapshot, refreshing
+// the power cache and reconciling any attached fleet counters.
+func (n *Node) Restore(s Snapshot) {
+	wasUp, wasBusy := n.state != Down, n.busy
+	n.setting = s.Setting
+	n.mode = s.Mode
+	n.state = s.State
+	n.dieFactor = s.DieFactor
+	n.perfFactor = s.PerfFactor
+	n.activity = s.Activity
+	n.busy = s.Busy
+	n.energy = s.Energy
+	n.lastUpdate = s.LastUpdate
+	n.rng.SetState(s.Rng)
+	n.refreshPower()
+	n.updateCounters(wasUp, wasBusy)
+}

@@ -85,6 +85,15 @@ func DeriveSeed(base uint64, label string) uint64 {
 	return z ^ (z >> 31)
 }
 
+// State returns the stream's internal xoshiro256** state, for
+// checkpointing. A stream restored from it with SetState produces the
+// identical draw sequence from that point on, which is what lets a forked
+// simulation replay bit-for-bit.
+func (r *Stream) State() [4]uint64 { return r.s }
+
+// SetState restores a state previously captured with State.
+func (r *Stream) SetState(s [4]uint64) { r.s = s }
+
 // Uint64 returns the next 64 random bits (xoshiro256**).
 func (r *Stream) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

@@ -114,7 +114,17 @@ type Runner struct {
 	// counts alone cannot, because a full-machine 13-month result costs
 	// ~1000x a 1-day mini sweep. Zero means DefaultMemoBudgetBytes;
 	// negative disables the byte bound (entry-count bound only).
+	// Fork-point snapshots (see NoFork) are priced into the same budget at
+	// their core.Snapshot.MemoryFootprint.
 	MemoBudgetBytes int64
+
+	// NoFork disables checkpoint/fork execution of mid-sweep divergence
+	// families (specs sweeping Axes.MidFrequency): with NoFork set, every
+	// branch simulates cold from day zero instead of forking from the
+	// shared prefix snapshot. Results are byte-identical either way — the
+	// golden suite pins that — so the knob exists for A/B benchmarking and
+	// as an operational escape hatch, not for correctness.
+	NoFork bool
 
 	// runCfg executes one simulation; nil means core.RunConfigContext.
 	// Tests substitute it to exercise failure aggregation and
@@ -206,12 +216,20 @@ func (r *Runner) memoBudget() int64 {
 // moment a non-scalar field appears.
 func memoKey(spec Spec, sc Scenario, cfg core.Config) string {
 	c := spec.Carbon.withDefaults()
+	// The mid-sweep divergence axis changes the simulated timeline without
+	// changing the derived seed (common random numbers across branches), so
+	// the key carries the run key — simKey plus the active mid value — and
+	// the divergence day that anchors the branch's timeline change.
+	diverge := 0
+	if sc.midActive() {
+		diverge = spec.DivergeDay
+	}
 	h := fnv.New64a()
 	fmt.Fprintf(h,
-		"seed=%d|sim=%s|days=%d|warmup=%d|oversub=%g"+
+		"seed=%d|sim=%s|days=%d|warmup=%d|oversub=%g|diverge=%d"+
 			"|carbon.threshold=%g|carbon.maxdelay=%g|carbon.flexshare=%g"+
 			"|carbon.budgetfrac=%g|carbon.fsigma=%g|carbon.fgrowth=%g",
-		cfg.Seed, sc.simKey(), spec.Days, spec.warmupDays(), spec.OverSubscription,
+		cfg.Seed, sc.runKey(), spec.Days, spec.warmupDays(), spec.OverSubscription, diverge,
 		c.ThresholdGrams, c.MaxDelayHours, c.FlexibleShare,
 		c.BudgetFraction, c.ForecastSigma, c.ForecastGrowth)
 	return fmt.Sprintf("%d-%016x", cfg.Seed, h.Sum64())
@@ -241,7 +259,14 @@ func (e *ScenarioError) Unwrap() error { return e.Err }
 // memoized on the Runner (see memoKey) in an LRU store bounded at
 // MemoCap, so repeating or extending a sweep on the same Runner
 // re-simulates only what changed; CacheStats reports the hit/miss and
-// eviction counters. When scenarios fail, the errors
+// eviction counters.
+//
+// Sweeps over Axes.MidFrequency additionally share their pre-divergence
+// history: all branches of one divergence family replay identically up to
+// Spec.DivergeDay, so the runner simulates that prefix once, checkpoints
+// it (core.Snapshot), and forks each branch from the checkpoint
+// (core.Fork) — bit-identical to cold runs, and much cheaper when the
+// divergence is late. Set NoFork to force cold runs. When scenarios fail, the errors
 // of every failing scenario are joined in scenario-index order (each a
 // *ScenarioError), deterministically regardless of which worker hit one
 // first — no scenario is ever silently dropped.
@@ -270,11 +295,12 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 	}
 	spec = spec.withDefaults()
 
-	// Group scenarios by simulation key; build each scenario's grid model
-	// up front.
+	// Group scenarios by run key (simulation key plus any active mid-sweep
+	// divergence value); build each scenario's grid model up front.
 	type group struct {
 		cfg     core.Config
 		key     string
+		sc      Scenario
 		members []int
 	}
 	var groups []group
@@ -286,18 +312,75 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 			return nil, fmt.Errorf("scenario %d (%s): %w", i, sc.Name, err)
 		}
 		models[i] = gm
-		gi, ok := byKey[sc.simKey()]
+		gi, ok := byKey[sc.runKey()]
 		if !ok {
 			gi = len(groups)
-			byKey[sc.simKey()] = gi
-			groups = append(groups, group{cfg: cfg, key: memoKey(spec, sc, cfg)})
+			byKey[sc.runKey()] = gi
+			groups = append(groups, group{cfg: cfg, key: memoKey(spec, sc, cfg), sc: sc})
 		}
 		groups[gi].members = append(groups[gi].members, i)
 	}
 
+	// Collect mid-sweep divergence families: groups sharing a simulation
+	// key differ only in their mid value, so they replay the same timeline
+	// up to the divergence point. Each family's shared prefix is simulated
+	// once to that point, snapshotted (core.Snapshot), and every branch —
+	// including the unchanged "none" branch, so all branches go through the
+	// same machinery — forks from the snapshot (core.Fork) and runs only
+	// the remainder. Bit-identity of forked and cold branches is proven by
+	// the core fork suite and pinned end-to-end by the golden fork test.
+	// Forking is skipped when NoFork is set or a test has substituted
+	// runCfg (the substitute only knows how to run whole configs cold).
+	type family struct {
+		prefixCfg core.Config
+		snapKey   string
+		branches  []int
+		snap      *core.Snapshot
+		fromMemo  bool
+		err       error
+	}
+	famOf := make([]int, len(groups))
+	for g := range famOf {
+		famOf[g] = -1
+	}
+	var families []*family
+	if !r.NoFork && r.runCfg == nil && len(spec.Axes.MidFrequency) > 0 {
+		bySim := map[string]int{}
+		for g, grp := range groups {
+			fi, ok := bySim[grp.sc.simKey()]
+			if !ok {
+				prefixSc := grp.sc
+				prefixSc.MidFrequency = MidNone
+				prefixCfg, _, err := prefixSc.BuildConfig(spec)
+				if err != nil {
+					return nil, fmt.Errorf("scenario %d (%s): fork prefix: %w", grp.members[0], grp.sc.Name, err)
+				}
+				fi = len(families)
+				bySim[grp.sc.simKey()] = fi
+				families = append(families, &family{
+					prefixCfg: prefixCfg,
+					snapKey:   fmt.Sprintf("snap|%s|d%d", memoKey(spec, prefixSc, prefixCfg), spec.DivergeDay),
+				})
+			}
+			famOf[g] = fi
+			families[fi].branches = append(families[fi].branches, g)
+		}
+		// A single-branch family would pay the prefix run without sharing
+		// it; run that group cold instead.
+		for _, f := range families {
+			if len(f.branches) < 2 {
+				for _, g := range f.branches {
+					famOf[g] = -1
+				}
+			}
+		}
+	}
+
 	// Resolve memoized simulations; only the rest go to the pool. A memo
 	// hit refreshes the entry's recency, so a server's steadily re-run
-	// sweeps stay warm while one-off configs age out.
+	// sweeps stay warm while one-off configs age out. Fork-point snapshots
+	// resolve from the same store, so a repeated divergence study skips
+	// even the prefix replay.
 	sims := make([]*core.Results, len(groups))
 	digests := make([]string, len(groups))
 	errs := make([]error, len(groups))
@@ -313,6 +396,11 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 			continue
 		}
 		pending = append(pending, g)
+	}
+	for _, f := range families {
+		if e, ok := r.memo.get(f.snapKey); ok && e.snap != nil {
+			f.snap, f.fromMemo = e.snap, true
+		}
 	}
 	r.mu.Unlock()
 
@@ -333,41 +421,126 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 		workers = len(groups)
 	}
 
-	jobs := make(chan int)
 	runCfg := r.runCfg
 	if runCfg == nil {
 		runCfg = core.RunConfigContext
 	}
 	var executed atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for g := range jobs {
+
+	// runPhase drains one batch of tasks through a bounded worker pool.
+	// Cancellation abandons the unfed remainder (their error slots stay
+	// nil; the sweep-cancelled check below owns that case) and in-flight
+	// simulations cancel cooperatively.
+	runPhase := func(tasks []func()) {
+		if len(tasks) == 0 {
+			return
+		}
+		w := workers
+		if w > len(tasks) {
+			w = len(tasks)
+		}
+		ch := make(chan func())
+		var wg sync.WaitGroup
+		for i := 0; i < w; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					t()
+				}
+			}()
+		}
+	feed:
+		for _, t := range tasks {
+			select {
+			case ch <- t:
+			case <-ctx.Done():
+				break feed
+			}
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	// Phase one: cold simulations, plus one prefix run per fork family
+	// that has pending branches and no memoized snapshot. The prefix runs
+	// to the divergence point and checkpoints there; it counts as an
+	// executed simulation (a memo miss) like any other.
+	var coldTasks, forkTasks []func()
+	for _, g := range pending {
+		g := g
+		if fi := famOf[g]; fi >= 0 {
+			f := families[fi]
+			forkTasks = append(forkTasks, func() {
 				if err := ctx.Err(); err != nil {
 					errs[g] = err
-					continue
+					return
+				}
+				if f.err != nil {
+					errs[g] = fmt.Errorf("fork prefix: %w", f.err)
+					return
 				}
 				executed.Add(1)
-				sims[g], errs[g] = runCfg(ctx, groups[g].cfg)
+				sim, err := core.Fork(f.snap, groups[g].cfg)
+				if err == nil {
+					sims[g], errs[g] = sim.RunContext(ctx)
+				} else {
+					errs[g] = err
+				}
 				if errs[g] == nil {
 					resolved.Add(1)
 					report()
 				}
+			})
+			continue
+		}
+		coldTasks = append(coldTasks, func() {
+			if err := ctx.Err(); err != nil {
+				errs[g] = err
+				return
 			}
-		}()
+			executed.Add(1)
+			sims[g], errs[g] = runCfg(ctx, groups[g].cfg)
+			if errs[g] == nil {
+				resolved.Add(1)
+				report()
+			}
+		})
 	}
-feed:
+	needPrefix := make([]bool, len(families))
 	for _, g := range pending {
-		select {
-		case jobs <- g:
-		case <-ctx.Done():
-			break feed
+		if fi := famOf[g]; fi >= 0 {
+			needPrefix[fi] = true
 		}
 	}
-	close(jobs)
-	wg.Wait()
+	for fi, f := range families {
+		if !needPrefix[fi] || f.snap != nil {
+			continue
+		}
+		f := f
+		coldTasks = append(coldTasks, func() {
+			if err := ctx.Err(); err != nil {
+				f.err = err
+				return
+			}
+			executed.Add(1)
+			sim, err := core.NewSimulator(f.prefixCfg)
+			if err == nil {
+				err = sim.RunToContext(ctx, spec.divergeTime())
+			}
+			if err == nil {
+				f.snap, err = sim.Snapshot()
+			}
+			f.err = err
+		})
+	}
+	runPhase(coldTasks)
+
+	// Phase two: every pending branch of every family forks from its
+	// family's snapshot — one immutable snapshot seeds all branches
+	// concurrently (Fork deep-copies on restore) — and simulates only the
+	// divergence tail. A failed prefix fails each of its branches.
+	runPhase(forkTasks)
 
 	// Memoize fresh successes, evicting the least-recently-used entries
 	// beyond the entry-count and byte bounds — each entry pins a full
@@ -393,6 +566,14 @@ feed:
 			r.memo.put(&memoEntry{key: groups[g].key, res: sims[g], digest: digests[g], cost: costs[g]})
 		}
 	}
+	// Freshly captured fork-point snapshots are memoized alongside results,
+	// priced at their retained bytes, so the next divergence study over the
+	// same prefix forks straight from cache.
+	for _, f := range families {
+		if f.snap != nil && !f.fromMemo && f.err == nil {
+			r.memo.put(&memoEntry{key: f.snapKey, snap: f.snap, cost: f.snap.MemoryFootprint()})
+		}
+	}
 	r.misses += int(executed.Load())
 	// Hits count scenarios actually served; a cancelled sweep serves
 	// nothing, so its memo-resolved groups are not credited.
@@ -412,7 +593,7 @@ feed:
 	// half and why.
 	var failed []error
 	for _, sc := range scenarios {
-		g := byKey[sc.simKey()]
+		g := byKey[sc.runKey()]
 		if errs[g] != nil {
 			failed = append(failed, &ScenarioError{Index: sc.Index, Name: sc.Name, Err: errs[g]})
 		}

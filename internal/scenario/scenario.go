@@ -77,6 +77,14 @@ type Axes struct {
 	// low-carbon window) or "carbon-budget" (rolling carbon-burn
 	// admission throttle). Tunables live in Spec.Carbon.
 	CarbonPolicy []string `json:"carbon_policy,omitempty"`
+	// MidFrequency values change the default CPU frequency mid-sweep, at
+	// Spec.DivergeDay: "none" (no change, the conventional baseline) or
+	// any frequency value ("capped", "2.0GHz", ...). Scenarios differing
+	// only on this axis share their whole history up to the divergence
+	// point — the runner simulates that common prefix once, checkpoints
+	// it, and forks each branch from the checkpoint (see Runner), with
+	// results bit-identical to running every branch cold.
+	MidFrequency []string `json:"mid_frequency,omitempty"`
 }
 
 // Spec declaratively describes a scenario sweep.
@@ -101,6 +109,12 @@ type Spec struct {
 	// when the machine is not permanently full, so carbon sweeps
 	// typically set this below 1.
 	OverSubscription float64 `json:"oversubscription,omitempty"`
+	// DivergeDay is the day offset (from sweep start) at which the
+	// mid_frequency axis applies its change — the point where branch
+	// scenarios diverge from their shared prefix. Zero defaults to
+	// three-quarters of Days when the axis is swept (late divergence,
+	// where prefix sharing pays most); unused otherwise.
+	DivergeDay int `json:"diverge_day,omitempty"`
 	// Mode is ModeGrid (cartesian, default) or ModeList (zip).
 	Mode string `json:"mode,omitempty"`
 	// MaxScenarios caps the expansion size (default 256).
@@ -200,6 +214,12 @@ func (s Spec) withDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 42
 	}
+	if len(s.Axes.MidFrequency) > 0 && s.DivergeDay == 0 {
+		s.DivergeDay = s.Days * 3 / 4
+		if s.DivergeDay < 1 {
+			s.DivergeDay = 1
+		}
+	}
 	if s.Mode == "" {
 		s.Mode = ModeGrid
 	}
@@ -252,6 +272,10 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("scenario: nodes axis value %d below minimum 8", n)
 		}
 	}
+	if len(s.Axes.MidFrequency) > 0 && (s.DivergeDay < 1 || s.DivergeDay >= s.Days) {
+		return fmt.Errorf("scenario: diverge day %d not strictly inside the %d-day sweep",
+			s.DivergeDay, s.Days)
+	}
 	c := s.Carbon
 	if c.ThresholdGrams < 0 || c.MaxDelayHours < 0 || c.BudgetFraction < 0 ||
 		c.FlexibleShare < 0 || c.FlexibleShare > 1 ||
@@ -276,6 +300,7 @@ type Scenario struct {
 	Workload     string
 	Nodes        int
 	CarbonPolicy string
+	MidFrequency string
 }
 
 // axis is one generic sweep dimension after defaulting.
@@ -319,6 +344,7 @@ func (s Spec) axes() []axis {
 		str("wl", s.Axes.Workload, "base"),
 		nodes,
 		str("carbon", s.Axes.CarbonPolicy, CarbonFCFS),
+		str("mid", s.Axes.MidFrequency, MidNone),
 	}
 }
 
@@ -411,6 +437,7 @@ func (s Spec) Expand() ([]Scenario, error) {
 		}
 		sc.Nodes = nodes
 		sc.CarbonPolicy = row[5]
+		sc.MidFrequency = row[6]
 
 		// Validate every axis value now, before any simulation runs.
 		spec := cpu.EPYC7742()
@@ -426,10 +453,19 @@ func (s Spec) Expand() ([]Scenario, error) {
 		if err := validateCarbonPolicy(sc.CarbonPolicy); err != nil {
 			return nil, err
 		}
+		if sc.MidFrequency != MidNone && sc.MidFrequency != "" {
+			if _, err := parseFrequency(spec, sc.MidFrequency); err != nil {
+				return nil, err
+			}
+		}
 		out[i] = sc
 	}
 	return out, nil
 }
+
+// MidNone is the mid_frequency axis value meaning "no mid-sweep change"
+// — the branch that simply continues the shared prefix.
+const MidNone = "none"
 
 // Carbon-policy axis values.
 const (
@@ -519,6 +555,12 @@ func parseWorkload(v string) (*apps.Variant, error) {
 // operational year); scenarios differ by axes, never by date.
 var sweepStart = time.Date(2022, 1, 1, 0, 0, 0, 0, time.UTC)
 
+// divergeTime is the absolute virtual time of the mid-sweep divergence
+// point (meaningful only when the mid_frequency axis is swept).
+func (s Spec) divergeTime() time.Time {
+	return sweepStart.AddDate(0, 0, s.withDefaults().DivergeDay)
+}
+
 // carbonAware reports whether the scenario's temporal policy actually
 // reads the grid (fcfs is grid-blind).
 func (sc Scenario) carbonAware() bool {
@@ -536,6 +578,12 @@ func (sc Scenario) carbonAware() bool {
 // also carries the policy and the grid mean: such scenarios are distinct
 // simulations, while every fcfs scenario keeps the exact seeds (and
 // therefore results) it had before the carbon axis existed.
+// The mid_frequency axis is deliberately excluded: branch scenarios keep
+// their family's seed, so every branch shares the exact common-prefix
+// history (and random-number streams) up to the divergence point —
+// that is what lets the runner simulate the prefix once and fork it, and
+// what makes branch deltas pure divergence effects. Use runKey where
+// distinct results (not distinct seeds) must be told apart.
 func (sc Scenario) simKey() string {
 	key := fmt.Sprintf("freq=%s sched=%s wl=%s nodes=%d",
 		sc.Frequency, sc.Scheduler, sc.Workload, sc.Nodes)
@@ -544,6 +592,22 @@ func (sc Scenario) simKey() string {
 			strconv.FormatFloat(sc.GridMean, 'g', -1, 64))
 	}
 	return key
+}
+
+// midActive reports whether the scenario actually diverges mid-sweep.
+func (sc Scenario) midActive() bool {
+	return sc.MidFrequency != "" && sc.MidFrequency != MidNone
+}
+
+// runKey identifies the scenario's simulation *results*: simKey plus the
+// mid-sweep divergence. Scenarios sharing a runKey produce byte-identical
+// simulations; scenarios sharing only a simKey share their seed and
+// prefix but diverge at DivergeDay.
+func (sc Scenario) runKey() string {
+	if !sc.midActive() {
+		return sc.simKey()
+	}
+	return sc.simKey() + " mid=" + sc.MidFrequency
 }
 
 // BuildConfig materialises the scenario into a runnable core.Config plus
@@ -576,6 +640,17 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 	cfg.Timeline = policy.Timeline{Changes: []policy.Change{
 		{At: sweepStart, Mode: &perfDet, Setting: &fs, Note: "scenario operating point"},
 	}}
+	if sc.midActive() {
+		mfs, err := parseFrequency(cfg.Facility.CPU, sc.MidFrequency)
+		if err != nil {
+			return core.Config{}, grid.IntensityModel{}, err
+		}
+		cfg.Timeline.Changes = append(cfg.Timeline.Changes, policy.Change{
+			At:      s.divergeTime(),
+			Setting: &mfs,
+			Note:    "mid-sweep frequency divergence",
+		})
+	}
 	cfg.Sched.BackfillDepth = depth
 	cfg.FleetVariant = variant
 	if s.OverSubscription > 0 {

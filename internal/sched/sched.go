@@ -117,6 +117,12 @@ type Job struct {
 	reclockedAt time.Time
 
 	endEvent des.Handle
+
+	// releaseAt / releaseEvent track a held (temporal-policy parked)
+	// job's pending release, so a checkpoint can capture exactly when —
+	// and in which event order — the job re-enters the queue.
+	releaseAt    time.Time
+	releaseEvent des.Handle
 }
 
 // WaitTime returns how long the job queued before starting (0 if it never
@@ -225,11 +231,17 @@ type Scheduler struct {
 	powerCap units.Power
 	estBusyW float64
 
-	// held counts jobs currently parked by the temporal policy (they are
-	// out of the queue and return via engine release events); recheckAt
-	// is the pending blocking-policy re-evaluation, if any.
-	held      int
-	recheckAt time.Time
+	// heldJobs are the jobs currently parked by the temporal policy (out
+	// of the queue, returning via engine release events); recheckAt is
+	// the latest pending blocking-policy re-evaluation, if any, and
+	// recheckEvents tracks every still-pending recheck event (stale ones
+	// included — they fire a scheduling pass too, so a checkpoint must
+	// reproduce them). recheckArgFn is the long-lived callback those
+	// events share.
+	heldJobs      []*Job
+	recheckAt     time.Time
+	recheckEvents []recheckEvent
+	recheckArgFn  des.ArgEvent
 
 	// freeJobs is the terminal-job free list used when cfg.ReuseJobs is
 	// set: finish and drop push, Submit pops. Recycled jobs keep their
@@ -253,7 +265,14 @@ func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg
 	s.free = newNodeSet(fac.NodeCount())
 	s.completeFn = func(now time.Time, arg any) { s.finish(arg.(*Job), now, Completed) }
 	s.releaseFn = func(now time.Time, arg any) { s.release(arg.(*Job), now) }
+	s.recheckArgFn = func(now time.Time, arg any) { s.onRecheck(arg.(time.Time), now) }
 	return s
+}
+
+// recheckEvent is one pending blocking-policy recheck.
+type recheckEvent struct {
+	at     time.Time
+	handle des.Handle
 }
 
 // Stats returns a copy of the aggregate statistics.
@@ -264,7 +283,7 @@ func (s *Scheduler) QueueDepth() int { return s.queue.Len() }
 
 // HeldJobs returns the number of jobs currently parked by the temporal
 // policy.
-func (s *Scheduler) HeldJobs() int { return s.held }
+func (s *Scheduler) HeldJobs() int { return len(s.heldJobs) }
 
 // RunningJobs returns the number of running jobs.
 func (s *Scheduler) RunningJobs() int { return len(s.running) }
@@ -421,15 +440,22 @@ func (s *Scheduler) hold(j *Job, recheck, now time.Time) {
 		// spin; park for one minute as a safety margin.
 		recheck = now.Add(time.Minute)
 	}
-	s.held++
+	s.heldJobs = append(s.heldJobs, j)
 	s.stats.Holds++
 	s.stats.HoldDelay += recheck.Sub(now)
-	s.eng.AtArg(recheck, s.releaseFn, j)
+	j.releaseAt = recheck
+	j.releaseEvent = s.eng.AtArg(recheck, s.releaseFn, j)
 }
 
 // release returns a held job to the queue, keeping submission order.
 func (s *Scheduler) release(j *Job, now time.Time) {
-	s.held--
+	for i, hj := range s.heldJobs {
+		if hj == j {
+			s.heldJobs = append(s.heldJobs[:i], s.heldJobs[i+1:]...)
+			break
+		}
+	}
+	j.releaseAt = time.Time{}
 	i := sort.Search(s.queue.Len(), func(k int) bool {
 		return s.queue.At(k).Submit.After(j.Submit)
 	})
@@ -449,12 +475,25 @@ func (s *Scheduler) scheduleRecheck(at, now time.Time) {
 		return
 	}
 	s.recheckAt = at
-	s.eng.At(at, func(t time.Time) {
-		if s.recheckAt.Equal(at) {
-			s.recheckAt = time.Time{}
+	h := s.eng.AtArg(at, s.recheckArgFn, at)
+	s.recheckEvents = append(s.recheckEvents, recheckEvent{at: at, handle: h})
+}
+
+// onRecheck is the recheck event body: clear the pending marker if this
+// is the latest recheck, drop the event from the pending list, and run a
+// scheduling pass. Stale rechecks (superseded by a later one) still run
+// the pass, exactly as they always have.
+func (s *Scheduler) onRecheck(at, now time.Time) {
+	for i, ev := range s.recheckEvents {
+		if ev.at.Equal(at) {
+			s.recheckEvents = append(s.recheckEvents[:i], s.recheckEvents[i+1:]...)
+			break
 		}
-		s.trySchedule(t)
-	})
+	}
+	if s.recheckAt.Equal(at) {
+		s.recheckAt = time.Time{}
+	}
+	s.trySchedule(now)
 }
 
 // backfill implements EASY: compute the head job's shadow start time from

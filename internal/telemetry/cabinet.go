@@ -26,6 +26,13 @@ type CabinetMeters struct {
 	series   []*timeseries.RegularSeries
 	nodesOf  [][]int
 	interval time.Duration
+
+	// eng/until and the live ticker are retained so a checkpoint can
+	// capture the pending sample tick and a fork can resume mid-cadence
+	// (see snapshot.go).
+	eng    *des.Engine
+	until  time.Time
+	ticker *des.Ticker
 }
 
 // NewCabinetMeters attaches per-cabinet meters sampling every interval
@@ -52,7 +59,8 @@ func NewCabinetMeters(eng *des.Engine, fac *facility.Facility, interval time.Dur
 		c := fac.CabinetOfNode(i)
 		cm.nodesOf[c] = append(cm.nodesOf[c], i)
 	}
-	eng.Every(interval, until, func(now time.Time) { cm.sample(now) })
+	cm.eng, cm.until = eng, until
+	cm.ticker = eng.Every(interval, until, cm.sample)
 	return cm, nil
 }
 

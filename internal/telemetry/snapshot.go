@@ -1,0 +1,162 @@
+package telemetry
+
+import (
+	"time"
+	"unsafe"
+
+	"github.com/greenhpc/archertwin/internal/timeseries"
+)
+
+// Checkpoint support: each telemetry component can capture its mutable
+// state into an immutable snapshot and restore a freshly constructed
+// component from one. Series are deep-copied both ways, so one snapshot
+// can seed any number of concurrent forks, and pending sample ticks carry
+// the parent engine's event sequence number so the fork fires them in the
+// parent's exact order.
+
+// MeterSnapshot is a Meter's state at a checkpoint.
+type MeterSnapshot struct {
+	power   timeseries.Appender
+	util    timeseries.Appender
+	dropped int
+	hasRng  bool
+	rng     [4]uint64
+
+	tickAt      time.Time
+	tickSeq     uint64
+	tickPending bool
+}
+
+// Snapshot captures the meter's series tails, noise/dropout RNG position
+// and pending sample tick.
+func (m *Meter) Snapshot() *MeterSnapshot {
+	s := &MeterSnapshot{
+		power:   timeseries.CloneAppender(m.power),
+		util:    timeseries.CloneAppender(m.util),
+		dropped: m.dropped,
+	}
+	if m.r != nil {
+		s.hasRng, s.rng = true, m.r.State()
+	}
+	if next, seq, ok := m.ticker.Pending(); ok {
+		s.tickAt, s.tickSeq, s.tickPending = next, seq, true
+	}
+	return s
+}
+
+// Restore overwrites a freshly constructed meter's state from a snapshot.
+// The construction-time ticker must already have been discarded with the
+// engine reset; the pending tick is handed to add for globally ordered
+// re-scheduling.
+func (m *Meter) Restore(s *MeterSnapshot, add func(seq uint64, schedule func())) {
+	m.power = timeseries.CloneAppender(s.power)
+	m.util = timeseries.CloneAppender(s.util)
+	m.dropped = s.dropped
+	if s.hasRng && m.r != nil {
+		m.r.SetState(s.rng)
+	}
+	m.ticker.Stop()
+	if s.tickPending {
+		add(s.tickSeq, func() {
+			m.ticker = m.eng.ResumeEvery(s.tickAt, m.cfg.Interval, m.until, m.tick)
+		})
+	}
+}
+
+// MemoryFootprint returns the snapshot's retained series bytes.
+func (s *MeterSnapshot) MemoryFootprint() int64 {
+	return s.power.MemoryFootprint() + s.util.MemoryFootprint()
+}
+
+// CabinetSnapshot is a CabinetMeters' state at a checkpoint.
+type CabinetSnapshot struct {
+	series []*timeseries.RegularSeries
+
+	tickAt      time.Time
+	tickSeq     uint64
+	tickPending bool
+}
+
+// Snapshot captures every cabinet series tail and the pending sample
+// tick.
+func (cm *CabinetMeters) Snapshot() *CabinetSnapshot {
+	s := &CabinetSnapshot{series: make([]*timeseries.RegularSeries, len(cm.series))}
+	for i, cs := range cm.series {
+		s.series[i] = cs.Clone()
+	}
+	if next, seq, ok := cm.ticker.Pending(); ok {
+		s.tickAt, s.tickSeq, s.tickPending = next, seq, true
+	}
+	return s
+}
+
+// Restore overwrites freshly constructed cabinet meters from a snapshot.
+// The node fan-out is not restored: it is a pure function of the facility
+// shape and was rebuilt identically at construction.
+func (cm *CabinetMeters) Restore(s *CabinetSnapshot, add func(seq uint64, schedule func())) {
+	for i := range cm.series {
+		cm.series[i] = s.series[i].Clone()
+	}
+	cm.ticker.Stop()
+	if s.tickPending {
+		add(s.tickSeq, func() {
+			cm.ticker = cm.eng.ResumeEvery(s.tickAt, cm.interval, cm.until, cm.sample)
+		})
+	}
+}
+
+// MemoryFootprint returns the snapshot's retained series bytes.
+func (s *CabinetSnapshot) MemoryFootprint() int64 {
+	var total int64
+	for _, cs := range s.series {
+		total += cs.MemoryFootprint()
+	}
+	return total
+}
+
+// AccountantSnapshot is an Accountant's state at a checkpoint.
+type AccountantSnapshot struct {
+	byClass map[string]ClassUsage
+	total   ClassUsage
+}
+
+// Snapshot captures the per-class usage aggregates by value.
+func (a *Accountant) Snapshot() *AccountantSnapshot {
+	s := &AccountantSnapshot{byClass: make(map[string]ClassUsage, len(a.byClass)), total: a.total}
+	for name, cu := range a.byClass {
+		s.byClass[name] = *cu
+	}
+	return s
+}
+
+// Restore overwrites the accountant's aggregates from a snapshot.
+func (a *Accountant) Restore(s *AccountantSnapshot) {
+	a.byClass = make(map[string]*ClassUsage, len(s.byClass))
+	for name, cu := range s.byClass {
+		cu := cu
+		a.byClass[name] = &cu
+	}
+	a.total = s.total
+}
+
+// MemoryFootprint returns the snapshot's retained bytes (map entries plus
+// class-name strings), matching the core.Results accounting convention.
+func (s *AccountantSnapshot) MemoryFootprint() int64 {
+	const mapEntryOverhead = 48
+	total := int64(unsafe.Sizeof(*s))
+	for name := range s.byClass {
+		total += int64(len(name)) + int64(unsafe.Sizeof(ClassUsage{})) + mapEntryOverhead
+	}
+	return total
+}
+
+// Snapshot returns a copy of the retained job records.
+func (l *JobLog) Snapshot() []JobRecord {
+	return append([]JobRecord(nil), l.records...)
+}
+
+// Restore replaces the log's contents with its own copy of records; the
+// capacity bound keeps its constructed value.
+func (l *JobLog) Restore(records []JobRecord) {
+	l.records = append([]JobRecord(nil), records...)
+}

@@ -39,6 +39,14 @@ type Meter struct {
 	util    timeseries.Appender
 	dropped int
 	r       *rng.Stream
+
+	// eng/until/tick and the live ticker are retained so a checkpoint can
+	// capture the pending sample tick and a fork can resume the tick
+	// train mid-cadence (see snapshot.go).
+	eng    *des.Engine
+	until  time.Time
+	tick   des.Event
+	ticker *des.Ticker
 }
 
 // NewMeter attaches a meter to the facility on engine eng, sampling from
@@ -67,7 +75,8 @@ func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until ti
 		m.power = timeseries.NewRegular("cabinet_power", "kW", cfg.Interval, capacity)
 		m.util = timeseries.NewRegular("utilisation", "fraction", cfg.Interval, capacity)
 	}
-	eng.Every(cfg.Interval, until, func(now time.Time) {
+	m.eng, m.until = eng, until
+	m.tick = func(now time.Time) {
 		if m.cfg.DropoutProb > 0 && m.r != nil && m.r.Float64() < m.cfg.DropoutProb {
 			m.dropped++
 			return
@@ -78,7 +87,8 @@ func NewMeter(eng *des.Engine, fac *facility.Facility, cfg MeterConfig, until ti
 		}
 		m.power.MustAppend(now, p)
 		m.util.MustAppend(now, fac.Utilisation())
-	})
+	}
+	m.ticker = eng.Every(cfg.Interval, until, m.tick)
 	return m
 }
 

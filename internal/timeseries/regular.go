@@ -60,6 +60,19 @@ func (r *RegularSeries) Step() time.Duration { return r.step }
 // Len returns the number of samples.
 func (r *RegularSeries) Len() int { return len(r.values) }
 
+// Clone returns a deep copy of the series: its own value backing array
+// and moment accumulator, sharing no mutable state with the original.
+// Checkpoints clone telemetry tails so a forked simulation can keep
+// appending without disturbing the parent.
+func (r *RegularSeries) Clone() *RegularSeries {
+	c := &RegularSeries{Name: r.Name, Unit: r.Unit, step: r.step, epoch: r.epoch, mom: r.mom}
+	if len(r.values) > 0 {
+		c.values = make([]float64, len(r.values))
+		copy(c.values, r.values)
+	}
+	return c
+}
+
 // timeAt returns the implicit timestamp of sample i.
 func (r *RegularSeries) timeAt(i int) time.Time {
 	return r.epoch.Add(time.Duration(i) * r.step)

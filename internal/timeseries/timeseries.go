@@ -99,6 +99,19 @@ type Appender interface {
 	MustAppend(t time.Time, v float64)
 }
 
+// CloneAppender deep-copies an appender of either storage layout,
+// preserving its concrete type. It is the checkpoint path's way to copy a
+// meter's series without knowing which layout the meter chose.
+func CloneAppender(a Appender) Appender {
+	switch s := a.(type) {
+	case *Series:
+		return s.Clone()
+	case *RegularSeries:
+		return s.Clone()
+	}
+	panic(fmt.Sprintf("timeseries: CloneAppender: unsupported appender %T", a))
+}
+
 // Series is an ordered collection of explicit samples with a name and a
 // unit label — the irregular-spacing storage layout.
 type Series struct {
@@ -193,6 +206,19 @@ func (s *Series) AppendN(batch []Sample) error {
 		s.mom.Add(smp.V)
 	}
 	return nil
+}
+
+// Clone returns a deep copy of the series: its own sample backing array
+// and moment accumulator, sharing no mutable state with the original.
+// Checkpoints clone telemetry tails so a forked simulation can keep
+// appending without disturbing the parent.
+func (s *Series) Clone() *Series {
+	c := &Series{Name: s.Name, Unit: s.Unit, mom: s.mom}
+	if len(s.samples) > 0 {
+		c.samples = make([]Sample, len(s.samples))
+		copy(c.samples, s.samples)
+	}
+	return c
 }
 
 // Len returns the number of samples.

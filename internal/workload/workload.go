@@ -165,3 +165,15 @@ func (g *Generator) CalibrateArrivalRate(nodes int, overSubscription float64) er
 	g.cfg.ArrivalRatePerHour = float64(nodes) * overSubscription / mean
 	return nil
 }
+
+// SetArrivalRate installs an already calibrated arrival rate, skipping
+// the Monte-Carlo estimate. The rate is a pure function of the workload
+// configuration and derived seed, so a checkpoint fork reuses the
+// parent's value instead of re-estimating it on every branch.
+func (g *Generator) SetArrivalRate(ratePerHour float64) error {
+	if ratePerHour <= 0 {
+		return fmt.Errorf("workload: invalid arrival rate %v", ratePerHour)
+	}
+	g.cfg.ArrivalRatePerHour = ratePerHour
+	return nil
+}
