@@ -443,6 +443,55 @@ func BenchmarkSchedulerChurn(b *testing.B) {
 	eng.Run()
 }
 
+// BenchmarkBackfillSaturated measures one steady-state scheduling pass
+// over a saturated 256-node cluster with a deep queue nothing in which
+// fits: the admission loop bails at the head, and the EASY backfill scan
+// walks BackfillDepth candidates against the shadow window every pass.
+// This is the scheduler's hot loop under the exact load (full machine,
+// long queue) where a regression hurts most; the gate also pins
+// allocs/op at zero — the per-app prediction cache and retained scratch
+// buffers are what keep it there.
+func BenchmarkBackfillSaturated(b *testing.B) {
+	fcfg := facility.ARCHER2()
+	fcfg.Nodes = 256
+	fac, err := facility.New(fcfg, rng.New(1), epoch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := des.NewEngine(epoch)
+	prov, err := policy.NewProvider(fcfg.CPU, policy.DefaultConfig(), rng.New(2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sched.DefaultConfig()
+	cfg.BackfillDepth = 32
+	cfg.MaxQueue = 512
+	s := sched.New(eng, fac, prov, cfg)
+	app := &apps.App{Name: "bench", ActCore: 0.6, ActUncore: 0.6}
+	// 250 single-node blockers (6 nodes stay free), then a 32-node head
+	// that must wait for ~26 releases, then candidates that fit the free
+	// nodes but run far past the head's shadow time with no spare width —
+	// so every pass walks the full depth doing real prediction work and
+	// starts nothing.
+	for i := 0; i < 250; i++ {
+		s.Submit(workload.JobSpec{ID: i, Class: "bench", App: app,
+			Nodes: 1, RefRuntime: 2 * time.Hour})
+	}
+	s.Submit(workload.JobSpec{ID: 250, Class: "bench", App: app,
+		Nodes: 32, RefRuntime: 2 * time.Hour})
+	for i := 251; i < 314; i++ {
+		s.Submit(workload.JobSpec{ID: i, Class: "bench", App: app,
+			Nodes: 3 + i%4, RefRuntime: 100 * time.Hour})
+	}
+	if s.BusyNodes() != 250 || s.QueueDepth() != 64 {
+		b.Fatalf("rig not saturated: %d busy, %d queued", s.BusyNodes(), s.QueueDepth())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Kick()
+	}
+}
+
 // --- checkpoint/fork sweep benchmarks ---
 
 // benchForkSpec is a late-divergence sweep: four frequency branches that

@@ -8,6 +8,7 @@
 // Usage:
 //
 //	sweep [-spec spec.json] [-workers N] [-seed N] [-carbon policies]
+//	      [-priority mixes] [-backfill policies] [-preempt modes]
 //	      [-list] [-quiet]
 //
 // Without -spec it runs the flagship 8-scenario frequency x grid-mix
@@ -58,6 +59,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	seed := flag.Uint64("seed", 0, "override the spec's base seed")
 	carbon := flag.String("carbon", "", "comma-separated carbon_policy axis values (e.g. fcfs,delay-flexible,carbon-budget); overrides the spec's axis")
+	priority := flag.String("priority", "", "comma-separated priority_mix axis values (e.g. none,dual,tiered); overrides the spec's axis")
+	backfill := flag.String("backfill", "", "comma-separated backfill_policy axis values (e.g. easy,conservative); overrides the spec's axis")
+	preempt := flag.String("preempt", "", "comma-separated preemption axis values (e.g. off,requeue,cancel); overrides the spec's axis")
 	list := flag.Bool("list", false, "print the expanded scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the regime/carbon tables and timing note")
 	noFork := flag.Bool("no-fork", false, "run mid-sweep divergence branches cold instead of forking them from the shared prefix checkpoint")
@@ -79,6 +83,15 @@ func main() {
 	}
 	if *carbon != "" {
 		spec.Axes.CarbonPolicy = strings.Split(*carbon, ",")
+	}
+	if *priority != "" {
+		spec.Axes.PriorityMix = strings.Split(*priority, ",")
+	}
+	if *backfill != "" {
+		spec.Axes.BackfillPolicy = strings.Split(*backfill, ",")
+	}
+	if *preempt != "" {
+		spec.Axes.Preemption = strings.Split(*preempt, ",")
 	}
 
 	if *list {

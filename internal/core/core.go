@@ -73,6 +73,15 @@ type Config struct {
 	// the node pool and depress utilisation.
 	MaxJobNodes int
 
+	// Priorities, when non-empty, assigns each generated job a
+	// scheduling priority from these classes, by a pure hash of the job
+	// ID under a seed derived from Seed (the workload stream is
+	// untouched, so the job shapes and arrival times stay bit-identical
+	// to a run without priorities). Empty leaves every job at priority
+	// zero. See sched.Config for the queue ordering, aging and
+	// preemption knobs the priorities feed.
+	Priorities []workload.PriorityClass
+
 	Start time.Time
 	End   time.Time
 
@@ -190,6 +199,14 @@ func (c Config) Clone() Config {
 		cc := *c.Carbon
 		out.Carbon = &cc
 	}
+	out.Priorities = append([]workload.PriorityClass(nil), c.Priorities...)
+	if c.Sched.Reservations != nil {
+		out.Sched.Reservations = make([]sched.Reservation, len(c.Sched.Reservations))
+		for i, r := range c.Sched.Reservations {
+			r.Nodes = append([]int(nil), r.Nodes...)
+			out.Sched.Reservations[i] = r
+		}
+	}
 	return out
 }
 
@@ -265,6 +282,35 @@ func (c Config) Validate() error {
 	}
 	if c.Failures.MTBFPerNode > 0 && c.Failures.RepairTime <= 0 {
 		return fmt.Errorf("core: failure injection needs a positive repair time")
+	}
+	if c.Sched.AgingHours < 0 {
+		return fmt.Errorf("core: negative scheduler aging %v", c.Sched.AgingHours)
+	}
+	if len(c.Priorities) > 0 {
+		total := 0.0
+		for _, pc := range c.Priorities {
+			if pc.Share < 0 {
+				return fmt.Errorf("core: negative priority share %v", pc.Share)
+			}
+			total += pc.Share
+		}
+		if total <= 0 {
+			return fmt.Errorf("core: priority shares sum to zero")
+		}
+	}
+	for _, r := range c.Sched.Reservations {
+		if len(r.Nodes) == 0 {
+			return fmt.Errorf("core: reservation %q has no nodes", r.Name)
+		}
+		if !r.To.After(r.From) || !r.To.After(c.Start) {
+			return fmt.Errorf("core: reservation %q window [%v, %v) invalid for a run starting %v",
+				r.Name, r.From, r.To, c.Start)
+		}
+		for _, id := range r.Nodes {
+			if id < 0 || id >= c.Facility.Nodes {
+				return fmt.Errorf("core: reservation %q: no node %d", r.Name, id)
+			}
+		}
 	}
 	if c.Carbon != nil {
 		if err := c.Carbon.Model.Validate(); err != nil {
@@ -431,6 +477,10 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	}
 	if cfg.MaxJobNodes > 0 {
 		wcfg.MaxJobNodes = cfg.MaxJobNodes
+	}
+	if len(cfg.Priorities) > 0 {
+		wcfg.Priorities = append([]workload.PriorityClass(nil), cfg.Priorities...)
+		wcfg.PrioritySeed = rng.DeriveSeed(cfg.Seed, "workload-priority")
 	}
 	gen, err := workload.NewGenerator(wcfg, root.Split("workload"))
 	if err != nil {

@@ -13,6 +13,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/rng"
 	"github.com/greenhpc/archertwin/internal/sched"
 	"github.com/greenhpc/archertwin/internal/units"
+	"github.com/greenhpc/archertwin/internal/workload"
 )
 
 // forkTestConfig builds a small simulation exercising the given feature
@@ -174,6 +175,45 @@ func TestForkDivergedTimelineMatchesColdBranch(t *testing.T) {
 	forked, _ := forkDigest(t, cfg, branch, at)
 	if forked != coldBranch {
 		t.Errorf("forked branch digest %s != cold branch digest %s", forked, coldBranch)
+	}
+}
+
+// TestForkSlurmFeaturesBitIdentical pins the fork identity with every
+// Slurm-realism scheduler feature live in the snapshot: priority classes
+// with aging, requeue preemption, conservative backfill and a
+// maintenance reservation. The two fork points bracket the reservation
+// window, so one snapshot carries a pending (unstarted) reservation and
+// the other a started one with captured and draining node ledgers.
+func TestForkSlurmFeaturesBitIdentical(t *testing.T) {
+	cfg := forkTestConfig(13, 24, 3, true, false, false, false, false, "")
+	cfg.Priorities = []workload.PriorityClass{
+		{Level: 0, Share: 0.6}, {Level: 2, Share: 0.3}, {Level: 5, Share: 0.1},
+	}
+	cfg.Sched.Backfill = sched.BackfillConservative
+	cfg.Sched.Preemption = sched.PreemptRequeue
+	cfg.Sched.AgingHours = 12
+	cfg.Sched.Reservations = []sched.Reservation{
+		{Name: "maint", Nodes: []int{0, 1, 2, 3, 4, 5}, From: t0.Add(30 * time.Hour), To: t0.Add(40 * time.Hour)},
+	}
+
+	plain := forkTestConfig(13, 24, 3, true, false, false, false, false, "")
+	cold := digestOf(t, cfg)
+	if cold == digestOf(t, plain) {
+		t.Fatal("Slurm features changed nothing; the fork test is vacuous")
+	}
+	for name, at := range map[string]time.Time{
+		"reservation-pending": t0.Add(12 * time.Hour),
+		"reservation-started": t0.Add(36 * time.Hour),
+	} {
+		t.Run(name, func(t *testing.T) {
+			forked, continued := forkDigest(t, cfg, cfg, at)
+			if forked != cold {
+				t.Errorf("fork digest %s != cold digest %s", forked, cold)
+			}
+			if continued != cold {
+				t.Errorf("parent continuation digest %s != cold digest %s", continued, cold)
+			}
+		})
 	}
 }
 

@@ -227,9 +227,11 @@ func memoKey(spec Spec, sc Scenario, cfg core.Config) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h,
 		"seed=%d|sim=%s|days=%d|warmup=%d|oversub=%g|diverge=%d"+
+			"|prio.aging=%g"+
 			"|carbon.threshold=%g|carbon.maxdelay=%g|carbon.flexshare=%g"+
 			"|carbon.budgetfrac=%g|carbon.fsigma=%g|carbon.fgrowth=%g",
 		cfg.Seed, sc.runKey(), spec.Days, spec.warmupDays(), spec.OverSubscription, diverge,
+		spec.PriorityAgingHours,
 		c.ThresholdGrams, c.MaxDelayHours, c.FlexibleShare,
 		c.BudgetFraction, c.ForecastSigma, c.ForecastGrowth)
 	return fmt.Sprintf("%d-%016x", cfg.Seed, h.Sum64())

@@ -516,6 +516,10 @@ func TestMemoKeyDistinguishesEveryConfigField(t *testing.T) {
 		{"Carbon.BudgetFraction", func(s *Spec) { s.Carbon.BudgetFraction = 0.9 }},
 		{"Carbon.ForecastSigma", func(s *Spec) { s.Carbon.ForecastSigma = 6 }},
 		{"Carbon.ForecastGrowth", func(s *Spec) { s.Carbon.ForecastGrowth = 0.6 }},
+		{"PriorityAgingHours", func(s *Spec) { s.PriorityAgingHours = 24 }},
+		{"Axes.PriorityMix", func(s *Spec) { s.Axes.PriorityMix = []string{PriorityDual} }},
+		{"Axes.BackfillPolicy", func(s *Spec) { s.Axes.BackfillPolicy = []string{BackfillConservative} }},
+		{"Axes.Preemption", func(s *Spec) { s.Axes.Preemption = []string{PreemptRequeue} }},
 	}
 	keys := map[string]string{"base": memoKeyOf(t, base())}
 	for _, p := range perturbations {

@@ -39,6 +39,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/rng"
 	"github.com/greenhpc/archertwin/internal/sched"
 	"github.com/greenhpc/archertwin/internal/units"
+	"github.com/greenhpc/archertwin/internal/workload"
 )
 
 // Expansion modes.
@@ -85,6 +86,22 @@ type Axes struct {
 	// it, and forks each branch from the checkpoint (see Runner), with
 	// results bit-identical to running every branch cold.
 	MidFrequency []string `json:"mid_frequency,omitempty"`
+	// PriorityMix values name job-priority distributions: "none" (all
+	// jobs priority 0, the historical single-class behaviour), "dual"
+	// (80% bulk at level 0, 20% urgent at level 5) or "tiered" (60/30/10
+	// at levels 0/2/5). Per-job levels are drawn by a pure hash of the
+	// job ID, so the arrival stream itself is unchanged.
+	PriorityMix []string `json:"priority_mix,omitempty"`
+	// BackfillPolicy values select the backfill algorithm: "easy"
+	// (aggressive, head-protecting — the production default) or
+	// "conservative" (every scanned queue job gets a protected planned
+	// start).
+	BackfillPolicy []string `json:"backfill_policy,omitempty"`
+	// Preemption values: "off" (default), "requeue" (evicted jobs
+	// restart from scratch at their original queue rank) or "cancel"
+	// (evicted jobs terminate). Only meaningful with a priority mix —
+	// victims must be strictly lower-priority than the starved head.
+	Preemption []string `json:"preemption,omitempty"`
 }
 
 // Spec declaratively describes a scenario sweep.
@@ -119,6 +136,10 @@ type Spec struct {
 	Mode string `json:"mode,omitempty"`
 	// MaxScenarios caps the expansion size (default 256).
 	MaxScenarios int `json:"max_scenarios,omitempty"`
+	// PriorityAgingHours is the scheduler's aging knob when a priority
+	// mix is swept: one priority level is worth this many hours of queue
+	// wait (0, the default, disables aging — strict priority order).
+	PriorityAgingHours float64 `json:"priority_aging_hours,omitempty"`
 
 	// Carbon tunes the carbon-aware temporal policies; zero fields take
 	// scenario-derived defaults (see CarbonSpec).
@@ -276,6 +297,9 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("scenario: diverge day %d not strictly inside the %d-day sweep",
 			s.DivergeDay, s.Days)
 	}
+	if s.PriorityAgingHours < 0 {
+		return fmt.Errorf("scenario: priority aging hours %v must not be negative", s.PriorityAgingHours)
+	}
 	c := s.Carbon
 	if c.ThresholdGrams < 0 || c.MaxDelayHours < 0 || c.BudgetFraction < 0 ||
 		c.FlexibleShare < 0 || c.FlexibleShare > 1 ||
@@ -294,13 +318,16 @@ type Scenario struct {
 	// "freq=capped grid=65". Only explicitly-swept axes appear.
 	Name string
 
-	Frequency    string
-	GridMean     float64
-	Scheduler    string
-	Workload     string
-	Nodes        int
-	CarbonPolicy string
-	MidFrequency string
+	Frequency      string
+	GridMean       float64
+	Scheduler      string
+	Workload       string
+	Nodes          int
+	CarbonPolicy   string
+	MidFrequency   string
+	PriorityMix    string
+	BackfillPolicy string
+	Preemption     string
 }
 
 // axis is one generic sweep dimension after defaulting.
@@ -345,6 +372,9 @@ func (s Spec) axes() []axis {
 		nodes,
 		str("carbon", s.Axes.CarbonPolicy, CarbonFCFS),
 		str("mid", s.Axes.MidFrequency, MidNone),
+		str("prio", s.Axes.PriorityMix, PriorityNone),
+		str("bf", s.Axes.BackfillPolicy, BackfillEASY),
+		str("preempt", s.Axes.Preemption, PreemptOff),
 	}
 }
 
@@ -438,6 +468,9 @@ func (s Spec) Expand() ([]Scenario, error) {
 		sc.Nodes = nodes
 		sc.CarbonPolicy = row[5]
 		sc.MidFrequency = row[6]
+		sc.PriorityMix = row[7]
+		sc.BackfillPolicy = row[8]
+		sc.Preemption = row[9]
 
 		// Validate every axis value now, before any simulation runs.
 		spec := cpu.EPYC7742()
@@ -457,6 +490,15 @@ func (s Spec) Expand() ([]Scenario, error) {
 			if _, err := parseFrequency(spec, sc.MidFrequency); err != nil {
 				return nil, err
 			}
+		}
+		if _, err := parsePriorityMix(sc.PriorityMix); err != nil {
+			return nil, err
+		}
+		if _, err := parseBackfillPolicy(sc.BackfillPolicy); err != nil {
+			return nil, err
+		}
+		if _, err := parsePreemption(sc.Preemption); err != nil {
+			return nil, err
 		}
 		out[i] = sc
 	}
@@ -486,6 +528,79 @@ func validateCarbonPolicy(v string) error {
 	}
 	return fmt.Errorf("scenario: invalid carbon policy %q (want %q, %q or %q)",
 		v, CarbonFCFS, CarbonDelayFlexible, CarbonBudget)
+}
+
+// Priority-mix axis values.
+const (
+	// PriorityNone runs every job at priority 0 — the single-class
+	// historical behaviour (and the only mix whose scenarios keep their
+	// pre-axis seeds).
+	PriorityNone = "none"
+	// PriorityDual is 80% bulk work at level 0, 20% urgent at level 5.
+	PriorityDual = "dual"
+	// PriorityTiered is 60/30/10 at levels 0/2/5.
+	PriorityTiered = "tiered"
+)
+
+// Backfill-policy axis values (sched.BackfillPolicy names).
+const (
+	BackfillEASY         = "easy"
+	BackfillConservative = "conservative"
+)
+
+// Preemption axis values (sched.PreemptionMode names).
+const (
+	PreemptOff     = "off"
+	PreemptRequeue = "requeue"
+	PreemptCancel  = "cancel"
+)
+
+// parsePriorityMix resolves a priority_mix axis value into workload
+// priority classes (nil = single-class).
+func parsePriorityMix(v string) ([]workload.PriorityClass, error) {
+	switch v {
+	case PriorityNone, "":
+		return nil, nil
+	case PriorityDual:
+		return []workload.PriorityClass{
+			{Level: 0, Share: 0.8},
+			{Level: 5, Share: 0.2},
+		}, nil
+	case PriorityTiered:
+		return []workload.PriorityClass{
+			{Level: 0, Share: 0.6},
+			{Level: 2, Share: 0.3},
+			{Level: 5, Share: 0.1},
+		}, nil
+	}
+	return nil, fmt.Errorf("scenario: invalid priority mix %q (want %q, %q or %q)",
+		v, PriorityNone, PriorityDual, PriorityTiered)
+}
+
+// parseBackfillPolicy resolves a backfill_policy axis value.
+func parseBackfillPolicy(v string) (sched.BackfillPolicy, error) {
+	switch v {
+	case BackfillEASY, "":
+		return sched.BackfillEASY, nil
+	case BackfillConservative:
+		return sched.BackfillConservative, nil
+	}
+	return 0, fmt.Errorf("scenario: invalid backfill policy %q (want %q or %q)",
+		v, BackfillEASY, BackfillConservative)
+}
+
+// parsePreemption resolves a preemption axis value.
+func parsePreemption(v string) (sched.PreemptionMode, error) {
+	switch v {
+	case PreemptOff, "":
+		return sched.PreemptOff, nil
+	case PreemptRequeue:
+		return sched.PreemptRequeue, nil
+	case PreemptCancel:
+		return sched.PreemptCancel, nil
+	}
+	return 0, fmt.Errorf("scenario: invalid preemption mode %q (want %q, %q or %q)",
+		v, PreemptOff, PreemptRequeue, PreemptCancel)
 }
 
 // parseFrequency resolves a frequency axis value against spec.
@@ -584,12 +699,26 @@ func (sc Scenario) carbonAware() bool {
 // that is what lets the runner simulate the prefix once and fork it, and
 // what makes branch deltas pure divergence effects. Use runKey where
 // distinct results (not distinct seeds) must be told apart.
+// Like the carbon terms, the Slurm-realism axes (priority mix, backfill
+// policy, preemption) append key terms only at non-default values:
+// scenarios that do not sweep them keep the exact seeds they had before
+// the axes existed, and scenarios that differ on them are distinct
+// simulations (the runner memoizes by runKey, so they must not collide).
 func (sc Scenario) simKey() string {
 	key := fmt.Sprintf("freq=%s sched=%s wl=%s nodes=%d",
 		sc.Frequency, sc.Scheduler, sc.Workload, sc.Nodes)
 	if sc.carbonAware() {
 		key += fmt.Sprintf(" carbon=%s grid=%s", sc.CarbonPolicy,
 			strconv.FormatFloat(sc.GridMean, 'g', -1, 64))
+	}
+	if sc.PriorityMix != "" && sc.PriorityMix != PriorityNone {
+		key += " prio=" + sc.PriorityMix
+	}
+	if sc.BackfillPolicy != "" && sc.BackfillPolicy != BackfillEASY {
+		key += " bf=" + sc.BackfillPolicy
+	}
+	if sc.Preemption != "" && sc.Preemption != PreemptOff {
+		key += " preempt=" + sc.Preemption
 	}
 	return key
 }
@@ -632,6 +761,18 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 	if err != nil {
 		return core.Config{}, grid.IntensityModel{}, err
 	}
+	mix, err := parsePriorityMix(sc.PriorityMix)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+	bf, err := parseBackfillPolicy(sc.BackfillPolicy)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+	pre, err := parsePreemption(sc.Preemption)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
 
 	// All scenarios run in the modern operating mode (Performance
 	// Determinism, the paper's post-May-2022 state) with the scenario
@@ -652,6 +793,10 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 		})
 	}
 	cfg.Sched.BackfillDepth = depth
+	cfg.Sched.Backfill = bf
+	cfg.Sched.Preemption = pre
+	cfg.Sched.AgingHours = s.PriorityAgingHours
+	cfg.Priorities = mix
 	cfg.FleetVariant = variant
 	if s.OverSubscription > 0 {
 		cfg.OverSubscription = s.OverSubscription

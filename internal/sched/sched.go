@@ -64,6 +64,10 @@ const (
 	Failed
 	// Dropped: rejected at submission (queue full or impossible size).
 	Dropped
+	// Preempted: evicted by a higher-priority job under
+	// Config.Preemption == PreemptCancel (a terminal state; requeue-mode
+	// victims return to Queued instead).
+	Preempted
 )
 
 // String implements fmt.Stringer.
@@ -79,6 +83,8 @@ func (s JobState) String() string {
 		return "failed"
 	case Dropped:
 		return "dropped"
+	case Preempted:
+		return "preempted"
 	default:
 		return fmt.Sprintf("JobState(%d)", int(s))
 	}
@@ -142,6 +148,61 @@ type SettingsProvider interface {
 	JobSettings(app *apps.App) (cpu.FreqSetting, cpu.Mode, bool)
 }
 
+// BackfillPolicy selects how the scheduler fills holes behind a blocked
+// queue head.
+type BackfillPolicy int
+
+const (
+	// BackfillEASY (the default) protects only the head job: a later job
+	// may jump the queue if it finishes before the head's shadow start
+	// time or uses only nodes the head will not need.
+	BackfillEASY BackfillPolicy = iota
+	// BackfillConservative protects every queued job it scans: each gets
+	// a capacity-profile reservation in queue order, and a candidate may
+	// start now only if doing so delays none of those planned starts.
+	BackfillConservative
+)
+
+// String implements fmt.Stringer.
+func (p BackfillPolicy) String() string {
+	switch p {
+	case BackfillEASY:
+		return "easy"
+	case BackfillConservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("BackfillPolicy(%d)", int(p))
+	}
+}
+
+// PreemptionMode selects what happens to lower-priority running work
+// when a higher-priority job cannot start.
+type PreemptionMode int
+
+const (
+	// PreemptOff (the default) never evicts running work.
+	PreemptOff PreemptionMode = iota
+	// PreemptRequeue evicts victims back into the pending queue with
+	// their original submit time (their partial work is discarded).
+	PreemptRequeue
+	// PreemptCancel evicts victims into the terminal Preempted state.
+	PreemptCancel
+)
+
+// String implements fmt.Stringer.
+func (m PreemptionMode) String() string {
+	switch m {
+	case PreemptOff:
+		return "off"
+	case PreemptRequeue:
+		return "requeue"
+	case PreemptCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("PreemptionMode(%d)", int(m))
+	}
+}
+
 // Config holds scheduler tunables.
 type Config struct {
 	// BackfillDepth is the number of queued jobs scanned for EASY
@@ -170,6 +231,28 @@ type Config struct {
 	// retains job handles. Recycling only ever reuses memory — placement,
 	// event order and statistics are bit-identical either way.
 	ReuseJobs bool
+
+	// Backfill selects the backfill algorithm behind a blocked head. The
+	// zero value is EASY, the behaviour this scheduler always had.
+	Backfill BackfillPolicy
+	// AgingHours ages queued-job priorities Slurm-style: one level of
+	// priority is worth AgingHours hours of queue wait, so a long-waiting
+	// low-priority job eventually overtakes fresher high-priority work.
+	// Because the aging is linear, the relative order of any two jobs
+	// never changes while they wait, and the queue stays statically
+	// sorted. Zero (the default) disables aging: strict priority classes
+	// with FIFO inside each class.
+	AgingHours float64
+	// Preemption lets a high-priority head that cannot start evict the
+	// cheapest sufficient set of strictly lower-priority running jobs
+	// (see PreemptionMode). Off by default.
+	Preemption PreemptionMode
+	// PreemptMinGap is the minimum priority advantage (head minus victim)
+	// required to preempt; values below 1 behave as 1.
+	PreemptMinGap int
+	// Reservations are drain/maintenance node holds installed at
+	// construction; more can be added at runtime via AddReservation.
+	Reservations []Reservation
 }
 
 // DefaultConfig returns production-like scheduler settings.
@@ -193,6 +276,13 @@ type Stats struct {
 	// parked. Both are zero without a temporal policy.
 	Holds     int
 	HoldDelay time.Duration
+
+	// Preemptions counts running jobs evicted for higher-priority work;
+	// PreemptedNodeHours is the wall-clock node-hours those evictions
+	// discarded (victims restart from scratch). Both are zero unless
+	// Config.Preemption is enabled.
+	Preemptions        int
+	PreemptedNodeHours float64
 }
 
 // MeanWait returns the average queue wait of started jobs.
@@ -247,6 +337,26 @@ type Scheduler struct {
 	// set: finish and drop push, Submit pops. Recycled jobs keep their
 	// node-ID backing array so a steady-state run stops allocating both.
 	freeJobs []*Job
+
+	// Reservation machinery (reservation.go). resvs holds the active and
+	// pending reservations; captured maps a held node to its reservation;
+	// draining marks busy nodes a started reservation is waiting to
+	// capture at job end. The maps are nil until the first reservation,
+	// so the default path never touches them.
+	resvs       []*resvState
+	captured    map[int]*resvState
+	draining    map[int]*resvState
+	resvStartFn des.ArgEvent
+	resvEndFn   des.ArgEvent
+
+	// bfCache memoizes per-application operating-point predictions for
+	// the duration of one backfill pass (backfill scans are the hot loop;
+	// the settings lookup is loop-invariant per app). prof is the reused
+	// capacity-profile scratch for conservative backfill; victims is the
+	// preemption candidate scratch.
+	bfCache []bfEntry
+	prof    capProfile
+	victims []*Job
 }
 
 // New creates a scheduler over the facility's nodes.
@@ -266,6 +376,13 @@ func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg
 	s.completeFn = func(now time.Time, arg any) { s.finish(arg.(*Job), now, Completed) }
 	s.releaseFn = func(now time.Time, arg any) { s.release(arg.(*Job), now) }
 	s.recheckArgFn = func(now time.Time, arg any) { s.onRecheck(arg.(time.Time), now) }
+	s.resvStartFn = func(now time.Time, arg any) { s.resvStart(arg.(*resvState), now) }
+	s.resvEndFn = func(now time.Time, arg any) { s.resvEnd(arg.(*resvState), now) }
+	for _, r := range cfg.Reservations {
+		if err := s.AddReservation(r); err != nil {
+			panic(fmt.Sprintf("sched: invalid configured reservation %q: %v", r.Name, err))
+		}
+	}
 	return s
 }
 
@@ -305,6 +422,12 @@ func (s *Scheduler) Utilisation() float64 {
 // OnJobEnd registers a callback invoked when a job completes or fails.
 func (s *Scheduler) OnJobEnd(fn func(*Job)) { s.onEnd = append(s.onEnd, fn) }
 
+// Kick runs one full scheduling pass (admission, preemption, backfill)
+// at the current simulation time without a triggering event — for
+// callers that mutate scheduler-relevant state out of band, and for
+// benchmarking the pass itself.
+func (s *Scheduler) Kick() { s.trySchedule(s.eng.Now()) }
+
 // Submit enqueues a job at the current simulation time and attempts to
 // schedule. It returns the job (possibly already Running, or Dropped).
 // With Config.ReuseJobs the returned pointer is only valid until the
@@ -321,9 +444,47 @@ func (s *Scheduler) Submit(spec workload.JobSpec) *Job {
 	}
 	j := s.newJob()
 	j.Spec, j.State, j.Submit = spec, Queued, now
-	s.queue.PushBack(j)
+	s.enqueue(j)
 	s.trySchedule(now)
 	return j
+}
+
+// enqueue inserts j at its priority-ordered queue position. Ties (equal
+// rank) insert after existing entries, so with all-zero priorities the
+// queue degenerates to exactly the submission-order FIFO it always was:
+// a fresh submission lands at the back, a released hold lands after
+// every job with an earlier-or-equal submit time.
+func (s *Scheduler) enqueue(j *Job) {
+	i := sort.Search(s.queue.Len(), func(k int) bool {
+		return s.queueBefore(j, s.queue.At(k))
+	})
+	s.queue.InsertAt(i, j)
+}
+
+// queueBefore reports whether a outranks b in the pending queue. With
+// aging, rank is priority plus wait-time credit at one level per
+// AgingHours; because the credit is linear in time, the comparison is
+// time-invariant (a's rank overtakes b's never or always), which is what
+// lets the queue stay statically sorted instead of being re-ranked every
+// pass. Without aging, rank is strict priority. Equal ranks fall back to
+// submission order.
+func (s *Scheduler) queueBefore(a, b *Job) bool {
+	if s.cfg.AgingHours > 0 {
+		as, bs := s.agedSubmit(a), s.agedSubmit(b)
+		if !as.Equal(bs) {
+			return as.Before(bs)
+		}
+	} else if a.Spec.Priority != b.Spec.Priority {
+		return a.Spec.Priority > b.Spec.Priority
+	}
+	return a.Submit.Before(b.Submit)
+}
+
+// agedSubmit is a job's submit time minus its priority's worth of aging
+// credit; ordering by it is ordering by aged rank.
+func (s *Scheduler) agedSubmit(j *Job) time.Time {
+	credit := time.Duration(float64(j.Spec.Priority) * s.cfg.AgingHours * float64(time.Hour))
+	return j.Submit.Add(-credit)
 }
 
 // newJob returns a zeroed Job, from the free list when recycling is on.
@@ -413,22 +574,33 @@ func (s *Scheduler) temporalDecision(j *Job, now time.Time) TemporalDecision {
 // blocking deferral throttles admission as a whole until the policy's
 // recheck time.
 func (s *Scheduler) trySchedule(now time.Time) {
-	for s.queue.Len() > 0 && s.queue.Head().Spec.Nodes <= s.free.Count() && s.withinPowerCap(s.queue.Head()) {
-		j := s.queue.Head()
-		d := s.temporalDecision(j, now)
-		if !d.Start && d.Block {
-			s.scheduleRecheck(d.Recheck, now)
-			return
+	for {
+		for s.queue.Len() > 0 && s.queue.Head().Spec.Nodes <= s.free.Count() && s.withinPowerCap(s.queue.Head()) {
+			j := s.queue.Head()
+			d := s.temporalDecision(j, now)
+			if !d.Start && d.Block {
+				s.scheduleRecheck(d.Recheck, now)
+				return
+			}
+			s.queue.PopFront()
+			if !d.Start {
+				s.hold(j, d.Recheck, now)
+				continue
+			}
+			s.start(j, now)
 		}
-		s.queue.PopFront()
-		if !d.Start {
-			s.hold(j, d.Recheck, now)
-			continue
+		if s.cfg.Preemption == PreemptOff || s.queue.Len() == 0 || !s.preemptForHead(now) {
+			break
 		}
-		s.start(j, now)
+		// Preemption freed enough nodes for the head: run the admission
+		// loop again (the head may drag further queue jobs in behind it).
 	}
 	if s.queue.Len() > 1 && s.cfg.BackfillDepth > 0 {
-		s.backfill(now)
+		if s.cfg.Backfill == BackfillConservative {
+			s.backfillConservative(now)
+		} else {
+			s.backfill(now)
+		}
 	}
 }
 
@@ -447,7 +619,8 @@ func (s *Scheduler) hold(j *Job, recheck, now time.Time) {
 	j.releaseEvent = s.eng.AtArg(recheck, s.releaseFn, j)
 }
 
-// release returns a held job to the queue, keeping submission order.
+// release returns a held job to the queue, keeping its original rank
+// (the insert position is the one its submit time and priority earn).
 func (s *Scheduler) release(j *Job, now time.Time) {
 	for i, hj := range s.heldJobs {
 		if hj == j {
@@ -456,10 +629,7 @@ func (s *Scheduler) release(j *Job, now time.Time) {
 		}
 	}
 	j.releaseAt = time.Time{}
-	i := sort.Search(s.queue.Len(), func(k int) bool {
-		return s.queue.At(k).Submit.After(j.Submit)
-	})
-	s.queue.InsertAt(i, j)
+	s.enqueue(j)
 	s.trySchedule(now)
 }
 
@@ -506,19 +676,27 @@ func (s *Scheduler) backfill(now time.Time) {
 	shadow := time.Time{}
 	extra := 0
 	// running is sorted by End; accumulate releases until the head fits.
-	cum := avail
-	for _, rj := range s.running {
-		cum += len(rj.Nodes)
-		if cum >= head.Spec.Nodes {
-			shadow = rj.End
-			extra = cum - head.Spec.Nodes
-			break
+	if len(s.resvs) == 0 {
+		cum := avail
+		for _, rj := range s.running {
+			cum += len(rj.Nodes)
+			if cum >= head.Spec.Nodes {
+				shadow = rj.End
+				extra = cum - head.Spec.Nodes
+				break
+			}
 		}
+	} else {
+		// With reservations the release order must merge two sources:
+		// running jobs return only their non-draining nodes at End, and
+		// each started reservation returns its captured nodes at To.
+		shadow, extra = s.mergedShadow(avail, head.Spec.Nodes)
 	}
 	if shadow.IsZero() {
 		// Head can never fit (should have been dropped at submit).
 		return
 	}
+	s.bfCache = s.bfCache[:0]
 	depth := s.cfg.BackfillDepth
 	for i := 1; i < s.queue.Len() && depth > 0; depth-- {
 		j := s.queue.At(i)
@@ -526,9 +704,9 @@ func (s *Scheduler) backfill(now time.Time) {
 			i++
 			continue
 		}
-		// Predict runtime at the current operating point.
-		fs, m, _ := s.provider.JobSettings(j.Spec.App)
-		rt := j.Spec.App.Runtime(s.fac.Config().CPU, j.Spec.RefRuntime, fs, m)
+		// Predict runtime at the current operating point (per-app lookup
+		// memoized across the scan — it is loop-invariant within a pass).
+		rt := s.predictRuntime(j)
 		endsBeforeShadow := !now.Add(rt).After(shadow)
 		if endsBeforeShadow || j.Spec.Nodes <= extra {
 			d := s.temporalDecision(j, now)
@@ -551,6 +729,38 @@ func (s *Scheduler) backfill(now time.Time) {
 		}
 		i++
 	}
+}
+
+// bfEntry caches one application's predicted runtime multiplier for the
+// duration of one backfill pass.
+type bfEntry struct {
+	app  *apps.App
+	mult float64
+}
+
+// predictRuntime estimates j's wall-clock runtime at the operating point
+// currently in force, memoizing the per-application settings lookup in
+// bfCache (reset at the top of each backfill pass — a pass sees one
+// consistent policy state, so the lookup is loop-invariant per app). The
+// side-effect-free PeekSettings is preferred when the provider offers
+// it; the prediction must not consume override/revert randomness.
+func (s *Scheduler) predictRuntime(j *Job) time.Duration {
+	app := j.Spec.App
+	for _, e := range s.bfCache {
+		if e.app == app {
+			return time.Duration(float64(j.Spec.RefRuntime) * e.mult)
+		}
+	}
+	var fs cpu.FreqSetting
+	var m cpu.Mode
+	if pe, ok := s.provider.(PowerEstimator); ok {
+		fs, m = pe.PeekSettings(app)
+	} else {
+		fs, m, _ = s.provider.JobSettings(app)
+	}
+	mult := app.TimeMultiplier(s.fac.Config().CPU, fs, m)
+	s.bfCache = append(s.bfCache, bfEntry{app: app, mult: mult})
+	return time.Duration(float64(j.Spec.RefRuntime) * mult)
 }
 
 // start allocates nodes and begins execution.
@@ -663,7 +873,7 @@ func (s *Scheduler) finish(j *Job, now time.Time, final JobState) {
 		nd.StopWork(now)
 		delete(s.byNode, id)
 		if nd.State() == node.Up {
-			s.returnNode(id)
+			s.releaseNode(id)
 		}
 	}
 	s.busy -= len(j.Nodes)
@@ -692,6 +902,19 @@ func (s *Scheduler) returnNode(id int) {
 	s.free.Add(id)
 }
 
+// releaseNode returns an Up node that just stopped working: to the
+// reservation draining it, if any (the node leaves the schedulable pool
+// until the reservation ends), otherwise to the free set.
+func (s *Scheduler) releaseNode(id int) {
+	if rs, ok := s.draining[id]; ok {
+		delete(s.draining, id)
+		s.capture(rs, id)
+		s.upNodes--
+		return
+	}
+	s.returnNode(id)
+}
+
 // FailNode marks a node Down at the current time. If a job is running on
 // it, that job fails immediately (its other nodes are released).
 func (s *Scheduler) FailNode(id int) error {
@@ -706,11 +929,19 @@ func (s *Scheduler) FailNode(id int) error {
 	// Mark Down first so finish() does not return the node to the free
 	// list, then terminate any job running on it.
 	nd.SetState(node.Down, now)
-	s.upNodes--
 	if j, ok := s.byNode[id]; ok {
+		s.upNodes--
+		// A reservation draining this node loses it to the failure (it
+		// re-captures on repair if its window is still open).
+		delete(s.draining, id)
 		s.eng.Cancel(j.endEvent)
 		s.finish(j, now, Failed)
+	} else if rs, ok := s.captured[id]; ok {
+		// Reservation-held nodes are already outside upNodes and the
+		// free set; only the reservation's ledger changes.
+		s.uncapture(rs, id)
 	} else {
+		s.upNodes--
 		// Remove from the free set.
 		s.free.Remove(id)
 	}
@@ -728,6 +959,12 @@ func (s *Scheduler) RepairNode(id int) error {
 	}
 	now := s.eng.Now()
 	nd.SetState(node.Up, now)
+	if rs := s.activeReservationFor(id); rs != nil {
+		// The repaired node re-enters service directly into the hold: it
+		// joins neither upNodes nor the free set until the window ends.
+		s.capture(rs, id)
+		return nil
+	}
 	s.upNodes++
 	s.returnNode(id)
 	s.trySchedule(now)

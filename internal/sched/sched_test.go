@@ -557,3 +557,33 @@ func TestReuseJobsBitIdentical(t *testing.T) {
 		t.Fatalf("pattern did not exercise completions and drops: %+v", plainStats)
 	}
 }
+
+// TestBackfillScanAllocFree pins the backfill hot loop's allocation
+// behaviour: per-app runtime predictions are cached once per pass (the
+// bfCache hoist) and every scratch structure — victim list, capacity
+// profile, shadow merge — is retained across passes, so a steady-state
+// scheduling attempt over a saturated cluster with a deep non-fitting
+// queue must not allocate at all.
+func TestBackfillScanAllocFree(t *testing.T) {
+	for _, policy := range []BackfillPolicy{BackfillEASY, BackfillConservative} {
+		t.Run(policy.String(), func(t *testing.T) {
+			r := newRig(t, 32, Config{BackfillDepth: 16, MaxQueue: 256, Backfill: policy})
+			// Saturate every node with long runners, then queue jobs that
+			// can neither start nor backfill (no free nodes at all).
+			for i := 0; i < 32; i++ {
+				r.s.Submit(r.spec(i, 1, 200*time.Hour))
+			}
+			for i := 32; i < 64; i++ {
+				r.s.Submit(r.spec(i, 2, time.Hour))
+			}
+			if r.s.BusyNodes() != 32 || r.s.QueueDepth() != 32 {
+				t.Fatalf("rig not saturated: %d busy, %d queued", r.s.BusyNodes(), r.s.QueueDepth())
+			}
+			now := r.eng.Now()
+			r.s.trySchedule(now) // warm the per-pass caches
+			if allocs := testing.AllocsPerRun(200, func() { r.s.trySchedule(now) }); allocs > 0 {
+				t.Errorf("steady-state trySchedule allocates %.1f times per pass, want 0", allocs)
+			}
+		})
+	}
+}

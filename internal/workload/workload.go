@@ -27,11 +27,23 @@ type JobSpec struct {
 	RefRuntime time.Duration
 	// Submit is the submission time.
 	Submit time.Time
+	// Priority is the job's scheduling priority class (higher runs
+	// first); zero is the default class. The scheduler orders its pending
+	// queue by priority (optionally aged — see sched.Config.AgingHours)
+	// and may preempt lower-priority running work for it.
+	Priority int
 }
 
 // NodeHours returns the job's reference node-hour cost.
 func (j JobSpec) NodeHours() float64 {
 	return float64(j.Nodes) * j.RefRuntime.Hours()
+}
+
+// PriorityClass is one level of a priority mix: jobs are assigned Level
+// with probability Share (shares are normalised over the mix).
+type PriorityClass struct {
+	Level int
+	Share float64
 }
 
 // Config parameterises a generator.
@@ -47,6 +59,14 @@ type Config struct {
 	MinRuntime, MaxRuntime time.Duration
 	// ArrivalRatePerHour is the Poisson job arrival rate.
 	ArrivalRatePerHour float64
+	// Priorities, when non-empty, assigns each job a scheduling priority
+	// drawn from these classes. The draw is a pure hash of the job ID
+	// under PrioritySeed — it consumes nothing from the generator's
+	// arrival stream, so enabling priorities leaves every job's shape,
+	// class and submit time bit-identical to a run without them.
+	Priorities []PriorityClass
+	// PrioritySeed seeds the per-job priority hash.
+	PrioritySeed uint64
 }
 
 // DefaultConfig returns the ARCHER2-like configuration over the given
@@ -83,6 +103,18 @@ func NewGenerator(cfg Config, r *rng.Stream) (*Generator, error) {
 	}
 	if cfg.MinRuntime <= 0 || cfg.MaxRuntime < cfg.MinRuntime {
 		return nil, fmt.Errorf("workload: invalid runtime clamps [%v, %v]", cfg.MinRuntime, cfg.MaxRuntime)
+	}
+	if len(cfg.Priorities) > 0 {
+		total := 0.0
+		for _, pc := range cfg.Priorities {
+			if pc.Share < 0 {
+				return nil, fmt.Errorf("workload: negative priority share %v", pc.Share)
+			}
+			total += pc.Share
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("workload: priority shares sum to zero")
+		}
 	}
 	weights := make([]float64, len(cfg.Classes))
 	for i, c := range cfg.Classes {
@@ -131,9 +163,34 @@ func (g *Generator) Next() (JobSpec, time.Duration) {
 		App:        g.cfg.Mix[i].App,
 		Nodes:      nodes,
 		RefRuntime: rt,
+		Priority:   g.priorityFor(g.nextID),
 	}
 	gapHours := g.stream.Exp(g.cfg.ArrivalRatePerHour)
 	return spec, time.Duration(gapHours * float64(time.Hour))
+}
+
+// priorityFor assigns a job's priority level by hashing its ID against
+// the priority mix. The hash never touches the generator's arrival
+// stream, so the assignment is a pure function of (seed, id) and two
+// runs differing only in Priorities produce identical job streams.
+func (g *Generator) priorityFor(id int) int {
+	if len(g.cfg.Priorities) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, pc := range g.cfg.Priorities {
+		total += pc.Share
+	}
+	h := rng.DeriveSeed(g.cfg.PrioritySeed, fmt.Sprintf("priority/%d", id))
+	u := float64(h>>11) / (1 << 53) * total
+	cum := 0.0
+	for _, pc := range g.cfg.Priorities {
+		cum += pc.Share
+		if u < cum {
+			return pc.Level
+		}
+	}
+	return g.cfg.Priorities[len(g.cfg.Priorities)-1].Level
 }
 
 // MeanJobNodeHours estimates the expected node-hours per job by drawing n

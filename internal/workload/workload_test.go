@@ -182,3 +182,102 @@ func TestCalibrateArrivalRateErrors(t *testing.T) {
 		t.Error("zero oversubscription accepted")
 	}
 }
+
+// genWithPriorities builds a calibrated generator with the given priority
+// mix and hash seed on top of the default config.
+func genWithPriorities(t *testing.T, seed uint64, pcs []PriorityClass, prioSeed uint64) *Generator {
+	t.Helper()
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Priorities = pcs
+	cfg.PrioritySeed = prioSeed
+	g, err := NewGenerator(cfg, rng.New(seed).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CalibrateArrivalRate(5860, 1.1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var testPriorityMix = []PriorityClass{{Level: 0, Share: 0.6}, {Level: 2, Share: 0.3}, {Level: 5, Share: 0.1}}
+
+// Adding priority classes must not perturb the arrival stream: the hash
+// assignment is a pure function of (PrioritySeed, job ID), so a run with
+// priorities produces the exact job sequence of a run without — same
+// IDs, shapes, classes and interarrival gaps, only Priority differs.
+func TestPriorityAssignmentStreamIndependent(t *testing.T) {
+	plain := genWithPriorities(t, 31, nil, 77)
+	prio := genWithPriorities(t, 31, testPriorityMix, 77)
+	for i := 0; i < 5000; i++ {
+		sa, ga := plain.Next()
+		sb, gb := prio.Next()
+		if sa.ID != sb.ID || sa.Class != sb.Class || sa.Nodes != sb.Nodes ||
+			sa.RefRuntime != sb.RefRuntime || ga != gb {
+			t.Fatalf("priority mix perturbed the job stream at job %d", i)
+		}
+		if sa.Priority != 0 {
+			t.Fatalf("job %d: generator without priorities assigned level %d", sa.ID, sa.Priority)
+		}
+	}
+}
+
+// Priority levels are drawn from the declared classes with the declared
+// shares, the assignment depends only on (PrioritySeed, ID) — not on the
+// generator's arrival seed — and changing PrioritySeed reshuffles it.
+func TestPriorityLevelSharesAndSeed(t *testing.T) {
+	g := genWithPriorities(t, 31, testPriorityMix, 77)
+	sameHash := genWithPriorities(t, 99, testPriorityMix, 77)  // different arrival seed
+	otherHash := genWithPriorities(t, 31, testPriorityMix, 78) // different hash seed
+	levels := map[int]bool{}
+	for _, pc := range testPriorityMix {
+		levels[pc.Level] = true
+	}
+	counts := map[int]int{}
+	n, moved := 30000, 0
+	for i := 0; i < n; i++ {
+		sa, _ := g.Next()
+		sb, _ := sameHash.Next()
+		sc, _ := otherHash.Next()
+		if !levels[sa.Priority] {
+			t.Fatalf("job %d: priority %d not in the declared mix", sa.ID, sa.Priority)
+		}
+		if sa.Priority != sb.Priority {
+			t.Fatalf("job %d: priority depends on the arrival seed (%d vs %d)", sa.ID, sa.Priority, sb.Priority)
+		}
+		if sa.Priority != sc.Priority {
+			moved++
+		}
+		counts[sa.Priority]++
+	}
+	for _, pc := range testPriorityMix {
+		frac := float64(counts[pc.Level]) / float64(n)
+		if math.Abs(frac-pc.Share) > 0.02 {
+			t.Errorf("level %d: drawn %.3f, share %.3f", pc.Level, frac, pc.Share)
+		}
+	}
+	if moved == 0 {
+		t.Error("changing PrioritySeed left every assignment unchanged")
+	}
+}
+
+// Invalid priority mixes are rejected at construction.
+func TestPriorityValidation(t *testing.T) {
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Priorities = []PriorityClass{{Level: 0, Share: -0.5}}
+	if _, err := NewGenerator(bad, rng.New(1)); err == nil {
+		t.Error("negative priority share accepted")
+	}
+	bad = cfg
+	bad.Priorities = []PriorityClass{{Level: 0, Share: 0}, {Level: 2, Share: 0}}
+	if _, err := NewGenerator(bad, rng.New(1)); err == nil {
+		t.Error("zero-sum priority shares accepted")
+	}
+}
