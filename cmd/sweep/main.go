@@ -9,11 +9,17 @@
 //
 //	sweep [-spec spec.json] [-workers N] [-seed N] [-carbon policies]
 //	      [-priority mixes] [-backfill policies] [-preempt modes]
-//	      [-list] [-quiet]
+//	      [-list] [-quiet] [-server URL]
 //
 // Without -spec it runs the flagship 8-scenario frequency x grid-mix
 // sweep. Results are byte-identical for every -workers value; the worker
 // count only changes wall-clock time.
+//
+// With -server the sweep executes on a running twinserver (or fabric
+// coordinator) through the v1 API (see docs/api.md) instead of in
+// process: the spec is submitted with ?wait=1 and the returned results
+// render through the same local table code, so output is identical to an
+// in-process run of the same spec.
 //
 // -carbon adds (or replaces) a carbon_policy axis as a comma-separated
 // list, e.g. -carbon fcfs,delay-flexible,carbon-budget; when the axis is
@@ -49,6 +55,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/greenhpc/archertwin/internal/api"
 	"github.com/greenhpc/archertwin/internal/scenario"
 )
 
@@ -65,6 +72,7 @@ func main() {
 	list := flag.Bool("list", false, "print the expanded scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the regime/carbon tables and timing note")
 	noFork := flag.Bool("no-fork", false, "run mid-sweep divergence branches cold instead of forking them from the shared prefix checkpoint")
+	server := flag.String("server", "", "run the sweep on this twinserver base URL (e.g. http://127.0.0.1:8990) instead of in process")
 	flag.Parse()
 
 	spec := scenario.DefaultSpec()
@@ -111,10 +119,24 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	runner := &scenario.Runner{Workers: *workers, NoFork: *noFork}
-	res, err := runner.Run(ctx, spec)
-	if err != nil {
-		fail(err)
+	var (
+		res *scenario.SweepResults
+		cs  scenario.CacheStats
+	)
+	if *server != "" {
+		var err error
+		res, cs, err = runRemote(ctx, *server, spec)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		runner := &scenario.Runner{Workers: *workers, NoFork: *noFork}
+		var err error
+		res, err = runner.Run(ctx, spec)
+		if err != nil {
+			fail(err)
+		}
+		cs = runner.CacheStats()
 	}
 	fmt.Println(res.Table().String())
 	if !*quiet {
@@ -122,11 +144,36 @@ func main() {
 		if res.CarbonSwept() {
 			fmt.Println(res.CarbonTable().String())
 		}
-		cs := runner.CacheStats()
 		fmt.Printf("%d scenarios (%d simulations) in %.1fs (workers=%d, memo cache: %d hits, %d misses, %.1f MiB of %s)\n",
 			len(res.Results), res.Simulations, time.Since(start).Seconds(), res.Workers,
 			cs.Hits, cs.Misses, float64(cs.Bytes)/(1<<20), budgetLabel(cs.BudgetBytes))
 	}
+}
+
+// runRemote executes the sweep on a twinserver through the v1 API and
+// rebuilds a SweepResults from the returned payload — tables then render
+// locally through the exact code an in-process run uses. The second
+// return is the server's memo-cache snapshot, standing in for the local
+// runner's in the timing note.
+func runRemote(ctx context.Context, server string, spec scenario.Spec) (*scenario.SweepResults, scenario.CacheStats, error) {
+	client := api.NewClient(server)
+	p, err := client.SubmitSweepWait(ctx, spec)
+	if err != nil {
+		return nil, scenario.CacheStats{}, err
+	}
+	res := &scenario.SweepResults{
+		Spec:        p.Spec,
+		Results:     p.Results,
+		Simulations: p.Simulations,
+		Workers:     p.Workers,
+	}
+	st, err := client.Stats(ctx)
+	if err != nil {
+		// The sweep itself succeeded; a stats hiccup only costs the
+		// footer detail.
+		return res, scenario.CacheStats{}, nil
+	}
+	return res, st.Cache, nil
 }
 
 // fail prints every per-scenario error on its own line and exits

@@ -9,24 +9,22 @@
 //
 //	twinserver [-addr :8990] [-workers N] [-memo-cap N]
 //	           [-memo-budget-bytes N] [-max-concurrent N] [-max-finished N]
+//	           [-coordinator] [-join URL] [-advertise URL]
+//	           [-heartbeat D] [-shard-timeout D] [-worker-ttl D]
 //
-// Endpoints (see docs/sweeps.md for a walkthrough):
+// The wire contract (endpoints, envelopes, error codes) is documented in
+// docs/api.md; docs/sweeps.md has a usage walkthrough.
 //
-//	POST   /v1/sweeps             submit a JSON scenario.Spec (the same
-//	                              schema cmd/sweep -spec accepts); 202
-//	                              with the sweep's status, or 200 when the
-//	                              submission coalesced onto an existing
-//	                              identical sweep. Add ?wait=1 to block
-//	                              until completion and receive results.
-//	GET    /v1/sweeps             list sweeps, newest first
-//	GET    /v1/sweeps/{id}        status and progress
-//	GET    /v1/sweeps/{id}/results  results payload (409 until done)
-//	DELETE /v1/sweeps/{id}        cancel
-//	GET    /healthz               liveness
-//	GET    /statz                 memo-cache and registry statistics,
-//	                              including the cache's live bytes and
-//	                              byte budget (cache.bytes,
-//	                              cache.budget_bytes)
+// Fabric modes. A plain twinserver is a self-contained single-process
+// service. Two flags turn a set of them into a distributed sweep fabric:
+//
+//   - twinserver -coordinator runs no simulations itself: submitted
+//     sweeps are partitioned by consistent hashing and dispatched as
+//     shards to the worker replicas registered with it, and the merged
+//     results are byte-identical to a single-process run;
+//   - twinserver -join http://coordinator:8990 runs as a worker: it
+//     serves shards (POST /v1/shards) like any twinserver and announces
+//     itself to the coordinator on start and every -heartbeat.
 //
 // Concurrent identical submissions (same canonical spec) execute once;
 // repeated distinct sweeps stay fast through the Runner's memo, bounded
@@ -47,9 +45,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/greenhpc/archertwin/internal/api"
+	"github.com/greenhpc/archertwin/internal/fabric"
 	"github.com/greenhpc/archertwin/internal/scenario"
 	"github.com/greenhpc/archertwin/internal/service"
 )
@@ -62,22 +63,47 @@ func main() {
 	memoCap := flag.Int("memo-cap", 0, "max memoized simulations, LRU-evicted beyond (0 = default 256, negative disables)")
 	memoBudget := flag.Int64("memo-budget-bytes", 0, "memo cache byte budget, coldest entries evicted beyond (0 = default 1 GiB, negative disables the byte bound)")
 	noFork := flag.Bool("no-fork", false, "run mid-sweep divergence branches cold instead of forking them from the shared prefix checkpoint")
-	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing sweeps")
+	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing sweeps (or shards, on a worker)")
 	maxFinished := flag.Int("max-finished", 64, "finished sweeps retained for status/result queries")
+	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: dispatch sweeps as shards to joined workers instead of simulating locally")
+	join := flag.String("join", "", "coordinator base URL to join as a worker (e.g. http://host:8990)")
+	advertise := flag.String("advertise", "", "base URL this worker advertises when joining (default derived from -addr)")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "worker re-join (heartbeat) interval when -join is set")
+	shardTimeout := flag.Duration("shard-timeout", 15*time.Minute, "coordinator: per-shard dispatch timeout before re-sharding")
+	workerTTL := flag.Duration("worker-ttl", 0, "coordinator: drop workers not heard from within this window (0 = never expire)")
 	flag.Parse()
 
-	svc, err := service.New(service.Config{
-		Runner:        &scenario.Runner{Workers: *workers, MemoCap: *memoCap, MemoBudgetBytes: *memoBudget, NoFork: *noFork},
-		MaxConcurrent: *maxConcurrent,
-		MaxFinished:   *maxFinished,
-	})
+	if *coordinator && *join != "" {
+		log.Fatal("-coordinator and -join are mutually exclusive")
+	}
+
+	var (
+		coord   *fabric.Coordinator
+		handler http.Handler
+	)
+	cfg := service.Config{MaxConcurrent: *maxConcurrent, MaxFinished: *maxFinished}
+	if *coordinator {
+		// A coordinator owns no runner: its "execution" is sharding the
+		// sweep across the joined workers. Everything else — the
+		// registry, singleflight dedup, lifecycle, cancellation — is the
+		// same service.
+		coord = fabric.New(fabric.Config{ShardTimeout: *shardTimeout, WorkerTTL: *workerTTL})
+		cfg.Run = coord.Run
+	} else {
+		cfg.Runner = &scenario.Runner{Workers: *workers, MemoCap: *memoCap, MemoBudgetBytes: *memoBudget, NoFork: *noFork}
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	handler = service.NewHandler(svc)
+	if coord != nil {
+		handler = fabric.Handler(coord, handler)
 	}
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           service.NewHandler(svc),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -86,7 +112,15 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	switch {
+	case *coordinator:
+		log.Printf("coordinating on %s", *addr)
+	case *join != "":
+		log.Printf("listening on %s, joining %s", *addr, *join)
+		go heartbeatLoop(ctx, *join, advertiseURL(*advertise, *addr), *heartbeat)
+	default:
+		log.Printf("listening on %s", *addr)
+	}
 
 	select {
 	case err := <-errc:
@@ -102,5 +136,45 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+}
+
+// advertiseURL resolves the base URL a worker announces: the explicit
+// -advertise value, or one derived from the listen address (a bare
+// ":8990" becomes loopback — fine for single-host clusters, tests and
+// CI; multi-host deployments set -advertise).
+func advertiseURL(advertise, addr string) string {
+	if advertise != "" {
+		return strings.TrimRight(advertise, "/")
+	}
+	if strings.HasPrefix(addr, ":") {
+		return "http://127.0.0.1" + addr
+	}
+	return "http://" + addr
+}
+
+// heartbeatLoop announces this worker to the coordinator immediately and
+// then every interval, so a coordinator restart (or a TTL expiry after a
+// stall) heals without operator action.
+func heartbeatLoop(ctx context.Context, coordURL, selfURL string, interval time.Duration) {
+	client := api.NewClient(coordURL)
+	joined := false
+	for {
+		callCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		_, err := client.Join(callCtx, api.JoinRequest{URL: selfURL})
+		cancel()
+		switch {
+		case err != nil:
+			log.Printf("join %s: %v", coordURL, err)
+			joined = false
+		case !joined:
+			log.Printf("joined %s as %s", coordURL, selfURL)
+			joined = true
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(interval):
+		}
 	}
 }

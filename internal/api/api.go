@@ -1,0 +1,295 @@
+// Package api is the versioned wire contract of the twinserver HTTP
+// service — the single place the v1 request, response and error shapes
+// are defined. The server (internal/service, internal/fabric) marshals
+// these types; the typed Client in this package consumes them; the
+// golden wire test pins every JSON field name so the contract cannot
+// drift silently. docs/api.md is the prose reference for the same
+// contract.
+//
+// Layering: api depends only on the domain packages whose values travel
+// on the wire (scenario, report). It must never import service or
+// fabric — those implement the endpoints this package describes.
+package api
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// Version is the wire-contract version; every versioned endpoint lives
+// under PathPrefix. Breaking changes to any type in this package require
+// a new version prefix, not an edit to the v1 shapes.
+const (
+	Version    = "v1"
+	PathPrefix = "/" + Version
+)
+
+// DefaultListLimit is the page size GET /v1/sweeps serves when no
+// ?limit= parameter is given. The list endpoint is never unbounded.
+const DefaultListLimit = 100
+
+// ErrorCode machine-readably classifies an API error; codes are stable
+// wire values, documented in docs/api.md.
+type ErrorCode string
+
+// The v1 error codes.
+const (
+	// ErrBadRequest: the request body or parameters failed validation.
+	ErrBadRequest ErrorCode = "bad_request"
+	// ErrNotFound: no such sweep (or other resource).
+	ErrNotFound ErrorCode = "not_found"
+	// ErrMethodNotAllowed: wrong HTTP method; the response carries an
+	// Allow header listing the permitted ones.
+	ErrMethodNotAllowed ErrorCode = "method_not_allowed"
+	// ErrSweepNotDone: results were requested for a sweep that has not
+	// reached a terminal state; the envelope embeds the live status.
+	ErrSweepNotDone ErrorCode = "sweep_not_done"
+	// ErrSweepFailed: the sweep ended in failure; the envelope embeds
+	// the terminal status (whose error field has the cause).
+	ErrSweepFailed ErrorCode = "sweep_failed"
+	// ErrSweepCanceled: the sweep was cancelled before completing.
+	ErrSweepCanceled ErrorCode = "sweep_canceled"
+	// ErrShardFailed: a shard execution failed deterministically (a
+	// scenario error, not a transport fault) — re-dispatching the same
+	// shard elsewhere will fail identically.
+	ErrShardFailed ErrorCode = "shard_failed"
+	// ErrUnavailable: the server is shutting down or cannot serve this
+	// request right now; retrying elsewhere (or later) may succeed.
+	ErrUnavailable ErrorCode = "unavailable"
+	// ErrInternal: unclassified server-side failure.
+	ErrInternal ErrorCode = "internal"
+)
+
+// Error is the machine-readable API error. Servers embed it in an
+// ErrorEnvelope; Client returns it (as a Go error) whenever a response
+// carries one, so callers can switch on Code.
+type Error struct {
+	Code    ErrorCode `json:"code"`
+	Message string    `json:"message"`
+
+	// HTTPStatus is the HTTP status the error travelled with. It is
+	// client-side bookkeeping, not part of the wire envelope.
+	HTTPStatus int `json:"-"`
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("api: %s: %s", e.Code, e.Message)
+}
+
+// ErrorEnvelope is the uniform non-2xx response body:
+//
+//	{"error":{"code":"...","message":"..."},"status":{...}}
+//
+// Status is present only for sweep-state errors (sweep_not_done,
+// sweep_failed, sweep_canceled), where the sweep's live status is the
+// useful half of the answer.
+type ErrorEnvelope struct {
+	Error  *Error       `json:"error"`
+	Status *SweepStatus `json:"status,omitempty"`
+}
+
+// Health is the GET /healthz liveness body.
+type Health struct {
+	OK bool `json:"ok"`
+}
+
+// SweepState is a sweep's position in its lifecycle.
+type SweepState string
+
+// Sweep lifecycle states.
+const (
+	StatePending  SweepState = "pending"
+	StateRunning  SweepState = "running"
+	StateDone     SweepState = "done"
+	StateFailed   SweepState = "failed"
+	StateCanceled SweepState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s SweepState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// ValidState reports whether s names a known lifecycle state (used to
+// validate ?state= filters).
+func ValidState(s SweepState) bool {
+	switch s {
+	case StatePending, StateRunning, StateDone, StateFailed, StateCanceled:
+		return true
+	}
+	return false
+}
+
+// SweepProgress is a sweep's execution progress in unique simulations
+// (the unit of actual work; scenarios sharing a simulation resolve
+// together).
+type SweepProgress struct {
+	// Scenarios is the sweep's expanded scenario count.
+	Scenarios int `json:"scenarios"`
+	// Simulations is the number of unique simulations the sweep needs;
+	// zero until the sweep starts resolving.
+	Simulations int `json:"simulations"`
+	// Done is how many of those have resolved (memo hits included).
+	Done int `json:"done"`
+}
+
+// SweepStatus is a point-in-time snapshot of a registered sweep.
+type SweepStatus struct {
+	ID        string        `json:"id"`
+	Name      string        `json:"name"`
+	SpecKey   string        `json:"spec_key"`
+	State     SweepState    `json:"state"`
+	Submitted time.Time     `json:"submitted"`
+	Started   *time.Time    `json:"started,omitempty"`
+	Finished  *time.Time    `json:"finished,omitempty"`
+	Progress  SweepProgress `json:"progress"`
+	Error     string        `json:"error,omitempty"`
+}
+
+// SweepList is the GET /v1/sweeps body: a bounded page of statuses,
+// newest submission first, plus the total match count before the limit
+// was applied.
+type SweepList struct {
+	Sweeps []SweepStatus `json:"sweeps"`
+	Total  int           `json:"total"`
+}
+
+// ResultsPayload is the body served for a completed sweep: the raw
+// per-scenario results (each carrying its simulation's core.Results
+// digest) plus the rendered comparison tables in structured form.
+type ResultsPayload struct {
+	ID          string             `json:"id"`
+	Spec        scenario.Spec      `json:"spec"`
+	Workers     int                `json:"workers"`
+	Simulations int                `json:"simulations"`
+	Results     []scenario.Result  `json:"results"`
+	DeltaTable  *report.DeltaTable `json:"delta_table"`
+	RegimeTable *report.Table      `json:"regime_table"`
+	CarbonTable *report.Table      `json:"carbon_table,omitempty"`
+}
+
+// ServiceStats is the GET /statz operational snapshot.
+type ServiceStats struct {
+	// Cache is the shared Runner's memoization counters — the LRU the
+	// whole service economises through (zero on a coordinator, which
+	// runs no simulations of its own).
+	Cache scenario.CacheStats `json:"cache"`
+	// Sweeps counts registered sweeps by state.
+	Sweeps map[SweepState]int `json:"sweeps"`
+	// Executing is how many sweeps hold an executor slot right now,
+	// against the MaxConcurrent bound.
+	Executing     int `json:"executing"`
+	MaxConcurrent int `json:"max_concurrent"`
+	// ShardsServed counts shard executions this server has completed
+	// for a coordinator (POST /v1/shards).
+	ShardsServed int `json:"shards_served"`
+}
+
+// ShardRequest is the POST /v1/shards body: one worker's slice of an
+// expanded sweep. Scenario indices refer to the spec's canonical
+// expansion order (scenario.Spec.Expand), so worker and coordinator
+// agree on identity without shipping expanded scenarios.
+type ShardRequest struct {
+	// SweepKey is the canonical spec key of the parent sweep
+	// (SpecKey(Spec)) — logging/affinity metadata, not an input to the
+	// execution.
+	SweepKey string `json:"sweep_key"`
+	// Shard / Of place this shard within the dispatch round.
+	Shard int `json:"shard"`
+	Of    int `json:"of"`
+	// Spec is the full canonical sweep spec.
+	Spec scenario.Spec `json:"spec"`
+	// Scenarios lists the expanded-scenario indices this worker runs,
+	// ascending, deduplicated.
+	Scenarios []int `json:"scenarios"`
+}
+
+// ShardResponse is the successful shard body: one Result per requested
+// index, in the same ascending order, each carrying its simulation
+// digest. Cross-scenario aggregation (avoided carbon, tables) is the
+// coordinator's job at merge time — a shard sees only its slice.
+type ShardResponse struct {
+	Shard int `json:"shard"`
+	// Results has exactly one entry per requested scenario index, in
+	// request order; Result.Scenario.Index is the global expansion index.
+	Results []scenario.Result `json:"results"`
+	// Simulations is how many distinct simulations this shard resolved
+	// (memo hits included).
+	Simulations int `json:"simulations"`
+}
+
+// JoinRequest is the POST /v1/workers body: a worker replica announcing
+// (or re-announcing — joins double as heartbeats) itself to a
+// coordinator.
+type JoinRequest struct {
+	// URL is the worker's advertised base URL, reachable from the
+	// coordinator, e.g. "http://10.0.0.7:8990".
+	URL string `json:"url"`
+}
+
+// WorkerInfo describes one registered worker replica.
+type WorkerInfo struct {
+	URL      string    `json:"url"`
+	LastSeen time.Time `json:"last_seen"`
+	// Shards counts shard dispatches this worker has completed for the
+	// coordinator.
+	Shards int `json:"shards"`
+}
+
+// WorkerList is the GET /v1/workers body (and the POST /v1/workers
+// acknowledgement): the coordinator's live membership.
+type WorkerList struct {
+	Workers []WorkerInfo `json:"workers"`
+}
+
+// SpecKey is the canonical identity of a sweep spec: a digest of the
+// spec's canonical (fully defaulted) form, so specs that mean the same
+// sweep — whether defaults are spelled out or omitted — coalesce onto
+// one key. The service uses it as the singleflight/dedup key; the
+// fabric uses it as shard-affinity metadata. Deliberately coarser than
+// the Runner's per-simulation memo keys.
+func SpecKey(spec scenario.Spec) string {
+	data, err := json.Marshal(spec.Canonical())
+	if err != nil {
+		// Spec is a plain data struct; Marshal cannot fail on it.
+		panic(fmt.Sprintf("api: marshalling spec: %v", err))
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data))[:16]
+}
+
+// WriteJSON writes v as indented JSON with the given HTTP status — the
+// one encoder every v1 endpoint shares.
+func WriteJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// The status line is already on the wire; an encode failure here has
+	// no better channel than the aborted body itself.
+	_ = enc.Encode(v)
+}
+
+// WriteError writes the uniform error envelope.
+func WriteError(w http.ResponseWriter, httpStatus int, code ErrorCode, msg string) {
+	WriteJSON(w, httpStatus, ErrorEnvelope{Error: &Error{Code: code, Message: msg}})
+}
+
+// WriteErrorStatus writes the error envelope with a sweep status
+// embedded (the sweep-state error shape).
+func WriteErrorStatus(w http.ResponseWriter, httpStatus int, code ErrorCode, msg string, st SweepStatus) {
+	WriteJSON(w, httpStatus, ErrorEnvelope{Error: &Error{Code: code, Message: msg}, Status: &st})
+}
+
+// WriteMethodNotAllowed writes the 405 envelope with the mandatory
+// Allow header.
+func WriteMethodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	WriteError(w, http.StatusMethodNotAllowed, ErrMethodNotAllowed, "method not allowed; use "+allow)
+}

@@ -1,0 +1,121 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestClientDecodesErrorEnvelope: a non-2xx envelope comes back as a
+// typed *Error carrying the wire code and the HTTP status.
+func TestClientDecodesErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, ErrNotFound, "no such sweep sweep-9")
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).Sweep(context.Background(), "sweep-9")
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T), want *api.Error", err, err)
+	}
+	if apiErr.Code != ErrNotFound || apiErr.HTTPStatus != http.StatusNotFound {
+		t.Errorf("decoded error = %+v, want code=not_found status=404", apiErr)
+	}
+	if IsTransient(apiErr) {
+		t.Error("a deliberate 404 must not classify as transient")
+	}
+}
+
+// TestClientRetriesTransient: an idempotent GET retries through a 503
+// and a connection-level failure to the eventual answer.
+func TestClientRetriesTransient(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			WriteError(w, http.StatusServiceUnavailable, ErrUnavailable, "warming up")
+			return
+		}
+		WriteJSON(w, http.StatusOK, Health{OK: true})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Backoff = time.Millisecond
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health after transient 503s: %v", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two retries)", got)
+	}
+}
+
+// TestClientNeverRetriesShards: shard dispatch must fail fast so the
+// coordinator — not the transport layer — decides about re-sharding.
+func TestClientNeverRetriesShards(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteError(w, http.StatusServiceUnavailable, ErrUnavailable, "draining")
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Backoff = time.Millisecond
+	_, err := c.RunShard(context.Background(), ShardRequest{})
+	if err == nil {
+		t.Fatal("RunShard against a draining server must error")
+	}
+	if !IsTransient(err) {
+		t.Errorf("a 503 shard answer must classify transient, got %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("server saw %d shard calls, want exactly 1 (no client retry)", got)
+	}
+}
+
+// TestClientSynthesizesNonEnvelopeError: a body that is not the v1
+// envelope (a proxy error page) still comes back as a typed *Error.
+func TestClientSynthesizesNonEnvelopeError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "bad gateway", http.StatusBadGateway)
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retries = -1 // negative disables retries; 0 would mean the default
+	c.Backoff = time.Millisecond
+	_, err := c.Workers(context.Background())
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T), want *api.Error", err, err)
+	}
+	if apiErr.HTTPStatus != http.StatusBadGateway {
+		t.Errorf("HTTPStatus = %d, want 502", apiErr.HTTPStatus)
+	}
+	if !IsTransient(apiErr) {
+		t.Error("a 502 must classify as transient")
+	}
+}
+
+// TestClientTransportErrorsAreTransient: an unreachable server is a
+// transient failure (worker loss), not a deliberate rejection.
+func TestClientTransportErrorsAreTransient(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	srv.Close() // immediately: connections now refuse
+
+	c := NewClient(srv.URL)
+	c.Retries = 1
+	c.Backoff = time.Millisecond
+	_, err := c.RunShard(context.Background(), ShardRequest{})
+	if err == nil {
+		t.Fatal("RunShard against a closed server must error")
+	}
+	if !IsTransient(err) {
+		t.Errorf("connection-refused must classify transient, got %v", err)
+	}
+}

@@ -1,0 +1,45 @@
+package fabric
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+
+	"github.com/greenhpc/archertwin/internal/api"
+)
+
+// Handler wraps next (normally the service handler) with the
+// coordinator's membership endpoints:
+//
+//	POST /v1/workers   worker join / heartbeat
+//	GET  /v1/workers   live membership
+//
+// Everything else falls through to next. See docs/api.md for the wire
+// reference.
+func Handler(c *Coordinator, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != api.PathPrefix+"/workers" {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			api.WriteJSON(w, http.StatusOK, c.Workers())
+		case http.MethodPost:
+			var req api.JoinRequest
+			if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+				api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest, "invalid join request: "+err.Error())
+				return
+			}
+			u, err := url.Parse(req.URL)
+			if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+				api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest, "join url must be absolute http(s)")
+				return
+			}
+			c.Join(req.URL)
+			api.WriteJSON(w, http.StatusOK, c.Workers())
+		default:
+			api.WriteMethodNotAllowed(w, "GET, POST")
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package fabric
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringVnodes is how many virtual points each member contributes to the
+// hash ring. More vnodes smooth the per-member load at the cost of a
+// larger (still tiny) sorted array; 64 keeps the worst member within a
+// few tens of percent of the mean for small clusters.
+const ringVnodes = 64
+
+// ring is a consistent-hash ring over member identifiers. Lookup maps a
+// key to a member such that (a) the mapping is a pure function of the
+// membership set and the key — coordinator restarts and repeat sweeps
+// land the same scenario groups on the same replicas, keeping their memo
+// caches warm — and (b) removing a member only remaps the keys that
+// member owned, so one worker loss re-shards one worker's slice, not the
+// whole grid.
+type ring struct {
+	points []ringPoint
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// newRing builds a ring over the given members (order-insensitive;
+// duplicates collapse).
+func newRing(members []string) *ring {
+	seen := map[string]bool{}
+	r := &ring{}
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", m, v)), member: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A 64-bit collision between distinct members is astronomically
+		// unlikely but must still order deterministically.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// lookup returns the member owning key: the first ring point at or
+// after the key's hash, wrapping around. The ring must be non-empty.
+func (r *ring) lookup(key string) string {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}

@@ -1,0 +1,85 @@
+package fabric
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringMembers(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://10.0.0.%d:8990", i+1)
+	}
+	return out
+}
+
+// TestRingDeterministic: lookup is a pure function of the membership set
+// and the key — construction order and repetition must not matter.
+func TestRingDeterministic(t *testing.T) {
+	members := ringMembers(5)
+	reversed := make([]string, len(members))
+	for i, m := range members {
+		reversed[len(members)-1-i] = m
+	}
+	a, b := newRing(members), newRing(reversed)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("scenario-key-%d", i)
+		if got, want := b.lookup(key), a.lookup(key); got != want {
+			t.Fatalf("lookup(%q) depends on construction order: %q vs %q", key, got, want)
+		}
+		if again := a.lookup(key); again != a.lookup(key) {
+			t.Fatalf("lookup(%q) not stable", key)
+		}
+	}
+}
+
+// TestRingDistribution: with vnodes, every member of a small cluster
+// owns a non-trivial share of keys.
+func TestRingDistribution(t *testing.T) {
+	members := ringMembers(4)
+	r := newRing(members)
+	counts := map[string]int{}
+	const keys = 4000
+	for i := 0; i < keys; i++ {
+		counts[r.lookup(fmt.Sprintf("scenario-key-%d", i))]++
+	}
+	for _, m := range members {
+		if counts[m] < keys/len(members)/4 {
+			t.Errorf("member %s owns only %d/%d keys — distribution collapsed", m, counts[m], keys)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one member only remaps the keys it
+// owned; every other key keeps its owner. This is what makes one worker
+// loss re-shard one worker's slice instead of reshuffling the sweep.
+func TestRingMinimalDisruption(t *testing.T) {
+	members := ringMembers(5)
+	full := newRing(members)
+	without := newRing(members[1:]) // drop members[0]
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := fmt.Sprintf("scenario-key-%d", i)
+		before, after := full.lookup(key), without.lookup(key)
+		switch {
+		case before == members[0]:
+			moved++
+			if after == members[0] {
+				t.Fatalf("key %q still maps to the removed member", key)
+			}
+		case before != after:
+			t.Fatalf("key %q moved %q -> %q though its owner survived", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed member owned no keys; distribution test should have caught this")
+	}
+}
+
+// TestRingDedupAndEmpty: duplicate and empty member entries collapse.
+func TestRingDedupAndEmpty(t *testing.T) {
+	r := newRing([]string{"http://a", "", "http://a", "http://b"})
+	if got := len(r.points); got != 2*ringVnodes {
+		t.Errorf("ring has %d points, want %d (two distinct members)", got, 2*ringVnodes)
+	}
+}

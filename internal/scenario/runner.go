@@ -288,12 +288,64 @@ func (r *Runner) Run(ctx context.Context, spec Spec) (*SweepResults, error) {
 // must be safe for that; the twinserver uses it to serve live sweep
 // status.
 func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done, total int)) (*SweepResults, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
 	scenarios, err := spec.Expand()
 	if err != nil {
 		return nil, err
+	}
+	results, simulations, workers, err := r.runSelected(ctx, spec, scenarios, progress)
+	if err != nil {
+		return nil, err
+	}
+	spec = spec.withDefaults()
+	fillAvoidedCarbon(spec, scenarios, results)
+	return &SweepResults{Spec: spec, Results: results, Simulations: simulations, Workers: workers}, nil
+}
+
+// RunScenarios executes only the scenarios at the given expanded-grid
+// indices (ascending, unique, per Spec.Expand order) — the worker half
+// of the distributed sweep fabric: a coordinator partitions the grid
+// and each replica runs its slice through this entry point. It returns
+// one Result per index, in index order, plus the number of distinct
+// simulations the slice resolved.
+//
+// Each Result is byte-identical to the corresponding entry of a full
+// Run: per-scenario seeds derive from the scenario's own axes
+// (Scenario.simKey), never from which subset it runs in. The only
+// difference is that cross-scenario aggregation (AvoidedCarbon,
+// HasBaseline) is left unfilled — a slice cannot see its counterparts;
+// Assemble owns that at merge time.
+func (r *Runner) RunScenarios(ctx context.Context, spec Spec, indices []int, progress func(done, total int)) ([]Result, int, error) {
+	all, err := spec.Expand()
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(indices) == 0 {
+		return nil, 0, fmt.Errorf("scenario: empty scenario selection")
+	}
+	selected := make([]Scenario, 0, len(indices))
+	last := -1
+	for _, idx := range indices {
+		if idx <= last {
+			return nil, 0, fmt.Errorf("scenario: selection indices must be ascending and unique (%d after %d)", idx, last)
+		}
+		if idx < 0 || idx >= len(all) {
+			return nil, 0, fmt.Errorf("scenario: selection index %d outside expansion of %d scenarios", idx, len(all))
+		}
+		selected = append(selected, all[idx])
+		last = idx
+	}
+	results, sims, _, err := r.runSelected(ctx, spec, selected, progress)
+	return results, sims, err
+}
+
+// runSelected is the execution core shared by full sweeps and shard
+// slices: it simulates the given (already expanded) scenarios and
+// returns their Results aligned with the input slice, the distinct
+// simulation count, and the effective worker-pool size. Cross-scenario
+// aggregation is the caller's job.
+func (r *Runner) runSelected(ctx context.Context, spec Spec, scenarios []Scenario, progress func(done, total int)) ([]Result, int, int, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	spec = spec.withDefaults()
 
@@ -311,7 +363,7 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 	for i, sc := range scenarios {
 		cfg, gm, err := sc.BuildConfig(spec)
 		if err != nil {
-			return nil, fmt.Errorf("scenario %d (%s): %w", i, sc.Name, err)
+			return nil, 0, 0, fmt.Errorf("scenario %d (%s): %w", sc.Index, sc.Name, err)
 		}
 		models[i] = gm
 		gi, ok := byKey[sc.runKey()]
@@ -355,7 +407,8 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 				prefixSc.MidFrequency = MidNone
 				prefixCfg, _, err := prefixSc.BuildConfig(spec)
 				if err != nil {
-					return nil, fmt.Errorf("scenario %d (%s): fork prefix: %w", grp.members[0], grp.sc.Name, err)
+					return nil, 0, 0, fmt.Errorf("scenario %d (%s): fork prefix: %w",
+						scenarios[grp.members[0]].Index, grp.sc.Name, err)
 				}
 				fi = len(families)
 				bySim[grp.sc.simKey()] = fi
@@ -587,7 +640,7 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 	// A cancelled sweep reports the cancellation, not the per-scenario
 	// fallout of abandoning the queue.
 	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("scenario: sweep cancelled: %w", err)
+		return nil, 0, 0, fmt.Errorf("scenario: sweep cancelled: %w", err)
 	}
 
 	// Report every failing scenario, in scenario-index order, rather than
@@ -601,7 +654,7 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 		}
 	}
 	if len(failed) > 0 {
-		return nil, errors.Join(failed...)
+		return nil, 0, 0, errors.Join(failed...)
 	}
 
 	// One trace seed for the whole sweep: the grid's underlying weather is
@@ -621,21 +674,22 @@ func (r *Runner) RunProgress(ctx context.Context, spec Spec, progress func(done,
 			tr, ok := traces[scenarios[i].GridMean]
 			if !ok {
 				cc := core.CarbonConfig{Model: models[i], TraceSeed: traceSeed}
+				var err error
 				tr, err = cc.Trace(start, end)
 				if err != nil {
-					return nil, &ScenarioError{Index: i, Name: scenarios[i].Name, Err: err}
+					return nil, 0, 0, &ScenarioError{Index: scenarios[i].Index, Name: scenarios[i].Name, Err: err}
 				}
 				traces[scenarios[i].GridMean] = tr
 			}
+			var err error
 			results[i], err = account(scenarios[i], tr, sims[g])
 			if err != nil {
-				return nil, &ScenarioError{Index: i, Name: scenarios[i].Name, Err: err}
+				return nil, 0, 0, &ScenarioError{Index: scenarios[i].Index, Name: scenarios[i].Name, Err: err}
 			}
 			results[i].SimDigest = digests[g]
 		}
 	}
-	fillAvoidedCarbon(spec, scenarios, results)
-	return &SweepResults{Spec: spec, Results: results, Simulations: len(groups), Workers: workers}, nil
+	return results, len(groups), workers, nil
 }
 
 // account derives one scenario's Result from its (possibly shared)

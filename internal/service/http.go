@@ -1,66 +1,64 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
-	"github.com/greenhpc/archertwin/internal/report"
+	"github.com/greenhpc/archertwin/internal/api"
 	"github.com/greenhpc/archertwin/internal/scenario"
 )
 
 // maxSpecBytes bounds a submitted spec body; real specs are a few
-// hundred bytes.
+// hundred bytes. Shard requests add an index slice, still far below
+// this.
 const maxSpecBytes = 1 << 20
 
-// ResultsPayload is the JSON body served for a completed sweep: the raw
-// per-scenario results (each carrying its simulation's core.Results
-// digest) plus the rendered comparison tables in structured form.
-type ResultsPayload struct {
-	ID          string             `json:"id"`
-	Spec        scenario.Spec      `json:"spec"`
-	Workers     int                `json:"workers"`
-	Simulations int                `json:"simulations"`
-	Results     []scenario.Result  `json:"results"`
-	DeltaTable  *report.DeltaTable `json:"delta_table"`
-	RegimeTable *report.Table      `json:"regime_table"`
-	CarbonTable *report.Table      `json:"carbon_table,omitempty"`
-}
+// ResultsPayload is an alias of the canonical wire type in internal/api.
+type ResultsPayload = api.ResultsPayload
 
-// NewHandler serves the twinserver HTTP API for svc:
-//
-//	POST   /v1/sweeps            submit a JSON scenario.Spec; 202 + status
-//	                             (200 if coalesced onto an existing sweep).
-//	                             ?wait=1 blocks and answers with the
-//	                             results payload when the sweep completes.
-//	GET    /v1/sweeps            list sweep statuses, newest first
-//	GET    /v1/sweeps/{id}       one sweep's status and progress
-//	GET    /v1/sweeps/{id}/results  completed results (409 until done)
-//	DELETE /v1/sweeps/{id}       cancel the sweep
-//	GET    /healthz              liveness
-//	GET    /statz                cache + registry statistics
+// NewHandler serves the twinserver v1 HTTP API for svc. The wire
+// contract — endpoints, envelopes, error codes — is specified in
+// docs/api.md; the shapes live in internal/api.
 func NewHandler(svc *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		if r.Method != http.MethodGet {
+			api.WriteMethodNotAllowed(w, "GET")
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, api.Health{OK: true})
 	})
 	mux.HandleFunc("/statz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+		if r.Method != http.MethodGet {
+			api.WriteMethodNotAllowed(w, "GET")
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, svc.Stats())
 	})
-	mux.HandleFunc("/v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(api.PathPrefix+"/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		switch r.Method {
 		case http.MethodPost:
 			handleSubmit(svc, w, r)
 		case http.MethodGet:
-			writeJSON(w, http.StatusOK, svc.List())
+			handleList(svc, w, r)
 		default:
-			httpError(w, http.StatusMethodNotAllowed, "use POST or GET")
+			api.WriteMethodNotAllowed(w, "GET, POST")
 		}
 	})
-	mux.HandleFunc("/v1/sweeps/", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc(api.PathPrefix+"/sweeps/", func(w http.ResponseWriter, r *http.Request) {
 		handleSweep(svc, w, r)
+	})
+	mux.HandleFunc(api.PathPrefix+"/shards", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			api.WriteMethodNotAllowed(w, "POST")
+			return
+		}
+		handleShard(svc, w, r)
 	})
 	return mux
 }
@@ -68,12 +66,12 @@ func NewHandler(svc *Service) http.Handler {
 func handleSubmit(svc *Service, w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	if err != nil {
-		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest, "reading body: "+err.Error())
 		return
 	}
 	spec, err := scenario.ParseSpec(body)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest, err.Error())
 		return
 	}
 	wait := isTrue(r.URL.Query().Get("wait"))
@@ -83,7 +81,11 @@ func handleSubmit(svc *Service, w http.ResponseWriter, r *http.Request) {
 	// so it survives the immediate end of this request.
 	sw, joined, err := svc.Submit(r.Context(), spec, wait)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		code, ec := http.StatusBadRequest, api.ErrBadRequest
+		if errors.Is(err, ErrShutdown) {
+			code, ec = http.StatusServiceUnavailable, api.ErrUnavailable
+		}
+		api.WriteError(w, code, ec, err.Error())
 		return
 	}
 	if !wait {
@@ -91,7 +93,7 @@ func handleSubmit(svc *Service, w http.ResponseWriter, r *http.Request) {
 		if joined {
 			code = http.StatusOK
 		}
-		writeJSON(w, code, sw.Status())
+		api.WriteJSON(w, code, sw.Status())
 		return
 	}
 	select {
@@ -102,44 +104,134 @@ func handleSubmit(svc *Service, w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+func handleList(svc *Service, w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	limit := api.DefaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest,
+				"limit must be a positive integer, got "+strconv.Quote(v))
+			return
+		}
+		limit = n
+	}
+	var states map[State]bool
+	if v := q.Get("state"); v != "" {
+		states = make(map[State]bool)
+		for _, part := range strings.Split(v, ",") {
+			st := State(strings.TrimSpace(part))
+			if !api.ValidState(st) {
+				api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest,
+					"unknown state "+strconv.Quote(string(st))+
+						"; valid states: pending, running, done, failed, canceled")
+				return
+			}
+			states[st] = true
+		}
+	}
+	all := svc.List()
+	page := api.SweepList{Sweeps: []api.SweepStatus{}}
+	for _, st := range all {
+		if states != nil && !states[st.State] {
+			continue
+		}
+		page.Total++
+		if len(page.Sweeps) < limit {
+			page.Sweeps = append(page.Sweeps, st)
+		}
+	}
+	api.WriteJSON(w, http.StatusOK, page)
+}
+
 func handleSweep(svc *Service, w http.ResponseWriter, r *http.Request) {
-	rest := strings.TrimPrefix(r.URL.Path, "/v1/sweeps/")
+	rest := strings.TrimPrefix(r.URL.Path, api.PathPrefix+"/sweeps/")
 	id, sub, _ := strings.Cut(rest, "/")
+	if sub != "" && sub != "results" {
+		api.WriteError(w, http.StatusNotFound, api.ErrNotFound, "no such resource "+r.URL.Path)
+		return
+	}
 	sw, ok := svc.Get(id)
 	if !ok {
-		httpError(w, http.StatusNotFound, "no such sweep "+id)
+		api.WriteError(w, http.StatusNotFound, api.ErrNotFound, "no such sweep "+id)
 		return
 	}
 	switch {
 	case r.Method == http.MethodDelete && sub == "":
 		svc.Cancel(id)
-		writeJSON(w, http.StatusOK, sw.Status())
+		api.WriteJSON(w, http.StatusOK, sw.Status())
 	case r.Method == http.MethodGet && sub == "":
-		writeJSON(w, http.StatusOK, sw.Status())
+		api.WriteJSON(w, http.StatusOK, sw.Status())
 	case r.Method == http.MethodGet && sub == "results":
 		st := sw.Status()
-		if st.State == StatePending || st.State == StateRunning {
-			writeJSON(w, http.StatusConflict, st)
+		if !st.State.Terminal() {
+			api.WriteErrorStatus(w, http.StatusConflict, api.ErrSweepNotDone,
+				"sweep "+id+" is "+string(st.State), st)
 			return
 		}
 		writeTerminal(w, sw)
+	case sub == "results":
+		api.WriteMethodNotAllowed(w, "GET")
 	default:
-		httpError(w, http.StatusMethodNotAllowed, "unsupported method or path")
+		api.WriteMethodNotAllowed(w, "GET, DELETE")
+	}
+}
+
+func handleShard(svc *Service, w http.ResponseWriter, r *http.Request) {
+	var req api.ShardRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes)).Decode(&req); err != nil {
+		api.WriteError(w, http.StatusBadRequest, api.ErrBadRequest, "decoding shard request: "+err.Error())
+		return
+	}
+	resp, err := svc.RunShard(r.Context(), req)
+	if err != nil {
+		writeShardError(w, err)
+		return
+	}
+	api.WriteJSON(w, http.StatusOK, resp)
+}
+
+// writeShardError maps a shard failure onto the envelope the
+// coordinator's retry policy keys on: unavailable (503) means "try
+// another replica", shard_failed (500) means "this sweep is broken —
+// re-dispatching cannot help", bad_request (400) means the request
+// itself was malformed.
+func writeShardError(w http.ResponseWriter, err error) {
+	var apiErr *api.Error
+	switch {
+	case errors.Is(err, ErrShutdown):
+		api.WriteError(w, http.StatusServiceUnavailable, api.ErrUnavailable, err.Error())
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		// The coordinator hung up or its shard deadline passed mid-run;
+		// answer 503 for any proxy still listening.
+		api.WriteError(w, http.StatusServiceUnavailable, api.ErrUnavailable, "shard cancelled: "+err.Error())
+	case errors.As(err, &apiErr):
+		code := http.StatusInternalServerError
+		if apiErr.Code == api.ErrUnavailable {
+			code = http.StatusServiceUnavailable
+		} else if apiErr.Code == api.ErrBadRequest {
+			code = http.StatusBadRequest
+		}
+		api.WriteJSON(w, code, api.ErrorEnvelope{Error: apiErr})
+	default:
+		api.WriteError(w, http.StatusInternalServerError, api.ErrShardFailed, err.Error())
 	}
 }
 
 // writeTerminal renders a finished sweep: the results payload when it
-// completed, its status otherwise (500 for a failure, 409 for a
-// cancellation).
+// completed, an error envelope embedding the terminal status otherwise.
 func writeTerminal(w http.ResponseWriter, sw *Sweep) {
 	res, err := sw.Results()
+	st := sw.Status()
 	switch {
 	case err != nil:
-		code := http.StatusInternalServerError
-		if sw.Status().State == StateCanceled {
-			code = http.StatusConflict
+		if st.State == StateCanceled {
+			api.WriteErrorStatus(w, http.StatusConflict, api.ErrSweepCanceled,
+				"sweep "+sw.ID+" was cancelled", st)
+			return
 		}
-		writeJSON(w, code, sw.Status())
+		api.WriteErrorStatus(w, http.StatusInternalServerError, api.ErrSweepFailed,
+			"sweep "+sw.ID+" failed: "+st.Error, st)
 	case res != nil:
 		payload := ResultsPayload{
 			ID:          sw.ID,
@@ -153,11 +245,11 @@ func writeTerminal(w http.ResponseWriter, sw *Sweep) {
 		if res.CarbonSwept() {
 			payload.CarbonTable = res.CarbonTable()
 		}
-		writeJSON(w, http.StatusOK, payload)
+		api.WriteJSON(w, http.StatusOK, payload)
 	default:
 		// Terminal without results or error cannot happen; be explicit
 		// rather than serving an empty 200.
-		httpError(w, http.StatusInternalServerError, "sweep finished without results")
+		api.WriteError(w, http.StatusInternalServerError, api.ErrInternal, "sweep finished without results")
 	}
 }
 
@@ -167,19 +259,4 @@ func isTrue(v string) bool {
 		return true
 	}
 	return false
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil && !errors.Is(err, http.ErrHandlerTimeout) {
-		// The body is already streaming; nothing useful left to do.
-		_ = err
-	}
-}
-
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
 }

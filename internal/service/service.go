@@ -29,34 +29,42 @@ package service
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
+	"github.com/greenhpc/archertwin/internal/api"
 	"github.com/greenhpc/archertwin/internal/scenario"
 )
 
-// State is a sweep's position in its lifecycle.
-type State string
-
-// Sweep lifecycle states.
-const (
-	// StatePending: registered, waiting for an executor slot.
-	StatePending State = "pending"
-	// StateRunning: simulations are executing.
-	StateRunning State = "running"
-	// StateDone: completed successfully; results are available.
-	StateDone State = "done"
-	// StateFailed: the run returned an error other than cancellation.
-	StateFailed State = "failed"
-	// StateCanceled: cancelled by clients disconnecting, an explicit
-	// Cancel, or service shutdown.
-	StateCanceled State = "canceled"
+// The wire shapes the service serves are defined once, in internal/api;
+// these aliases keep the service's own vocabulary (and its existing
+// callers) pointing at the canonical definitions.
+type (
+	// State is a sweep's position in its lifecycle.
+	State = api.SweepState
+	// Progress is a sweep's execution progress in unique simulations.
+	Progress = api.SweepProgress
+	// Status is a point-in-time snapshot of a sweep.
+	Status = api.SweepStatus
+	// Stats is the service-level operational snapshot served by /statz.
+	Stats = api.ServiceStats
 )
+
+// Sweep lifecycle states (aliased from api).
+const (
+	StatePending  = api.StatePending
+	StateRunning  = api.StateRunning
+	StateDone     = api.StateDone
+	StateFailed   = api.StateFailed
+	StateCanceled = api.StateCanceled
+)
+
+// ErrShutdown is returned by Submit and RunShard once Shutdown has been
+// called.
+var ErrShutdown = errors.New("service: shut down")
 
 // RunFunc executes one sweep. The default is the configured Runner's
 // RunProgress; tests substitute it to control timing and failure modes.
@@ -88,11 +96,12 @@ type Service struct {
 	base context.Context
 	stop context.CancelFunc
 
-	mu       sync.Mutex
-	sweeps   map[string]*Sweep // by ID
-	byKey    map[string]*Sweep // latest sweep per canonical spec key
-	finished []string          // retirement order (IDs, oldest first)
-	nextID   int
+	mu           sync.Mutex
+	sweeps       map[string]*Sweep // by ID
+	byKey        map[string]*Sweep // latest sweep per canonical spec key
+	finished     []string          // retirement order (IDs, oldest first)
+	nextID       int
+	shardsServed int // completed POST /v1/shards executions
 }
 
 // New creates a Service around cfg.
@@ -127,19 +136,10 @@ func New(cfg Config) (*Service, error) {
 // need to can poll sweep states.
 func (s *Service) Shutdown() { s.stop() }
 
-// SpecKey is the canonical identity of a sweep spec: a digest of the
-// spec's canonical (fully defaulted) form, so specs that mean the same
-// sweep — whether defaults are spelled out or omitted — coalesce onto
-// one key. This is the singleflight/dedup key, deliberately coarser than
-// the Runner's per-simulation memo keys.
-func SpecKey(spec scenario.Spec) string {
-	data, err := json.Marshal(spec.Canonical())
-	if err != nil {
-		// Spec is a plain data struct; Marshal cannot fail on it.
-		panic(fmt.Sprintf("service: marshalling spec: %v", err))
-	}
-	return fmt.Sprintf("%x", sha256.Sum256(data))[:16]
-}
+// SpecKey is the canonical identity of a sweep spec — the
+// singleflight/dedup key. It delegates to api.SpecKey so client and
+// server derive identical keys.
+func SpecKey(spec scenario.Spec) string { return api.SpecKey(spec) }
 
 // Submit registers a sweep for spec, or joins the caller onto an
 // existing sweep with the same canonical spec that is pending, running
@@ -153,7 +153,7 @@ func SpecKey(spec scenario.Spec) string {
 // explicitly cancelled or the service shuts down.
 func (s *Service) Submit(ctx context.Context, spec scenario.Spec, attach bool) (*Sweep, bool, error) {
 	if err := s.base.Err(); err != nil {
-		return nil, false, errors.New("service: shut down")
+		return nil, false, ErrShutdown
 	}
 	// Validate (and count) up front so a bad spec fails the submission,
 	// not the executor.
@@ -235,19 +235,6 @@ func (s *Service) Cancel(id string) bool {
 	return true
 }
 
-// Stats is the service-level operational snapshot served by /statz.
-type Stats struct {
-	// Cache is the shared Runner's memoization counters — the LRU the
-	// whole service economises through.
-	Cache scenario.CacheStats `json:"cache"`
-	// Sweeps counts registered sweeps by state.
-	Sweeps map[State]int `json:"sweeps"`
-	// Executing is how many sweeps hold an executor slot right now,
-	// against the MaxConcurrent bound.
-	Executing     int `json:"executing"`
-	MaxConcurrent int `json:"max_concurrent"`
-}
-
 // Stats returns the operational snapshot.
 func (s *Service) Stats() Stats {
 	st := Stats{Sweeps: make(map[State]int), MaxConcurrent: cap(s.sem), Executing: len(s.sem)}
@@ -258,8 +245,58 @@ func (s *Service) Stats() Stats {
 	for _, sw := range s.sweeps {
 		st.Sweeps[sw.state()]++
 	}
+	st.ShardsServed = s.shardsServed
 	s.mu.Unlock()
 	return st
+}
+
+// RunShard executes one shard of a sweep on behalf of a fabric
+// coordinator: the spec's expanded scenarios at the requested indices,
+// under the same executor semaphore that bounds whole sweeps. Results
+// come back in request order, each carrying its global expansion index
+// and simulation digest; repeated shards are cheap because the Runner's
+// memo already holds their simulations.
+func (s *Service) RunShard(ctx context.Context, req api.ShardRequest) (*api.ShardResponse, error) {
+	if err := s.base.Err(); err != nil {
+		return nil, ErrShutdown
+	}
+	if s.cfg.Runner == nil {
+		return nil, &api.Error{Code: api.ErrUnavailable, Message: "server has no runner (coordinator mode?)"}
+	}
+	// Validate the request up front so malformed shards answer
+	// bad_request (the coordinator's fault) rather than shard_failed
+	// (the sweep's fault).
+	scenarios, err := req.Spec.Expand()
+	if err != nil {
+		return nil, &api.Error{Code: api.ErrBadRequest, Message: err.Error()}
+	}
+	if len(req.Scenarios) == 0 {
+		return nil, &api.Error{Code: api.ErrBadRequest, Message: "shard request lists no scenarios"}
+	}
+	last := -1
+	for _, idx := range req.Scenarios {
+		if idx <= last || idx >= len(scenarios) {
+			return nil, &api.Error{Code: api.ErrBadRequest,
+				Message: fmt.Sprintf("scenario indices must be ascending, unique and below %d", len(scenarios))}
+		}
+		last = idx
+	}
+	// Shards queue behind the same slot bound as whole sweeps so a
+	// coordinator burst cannot oversubscribe a worker.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	results, sims, err := s.cfg.Runner.RunScenarios(ctx, req.Spec, req.Scenarios, nil)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.shardsServed++
+	s.mu.Unlock()
+	return &api.ShardResponse{Shard: req.Shard, Results: results, Simulations: sims}, nil
 }
 
 // execute runs one sweep under the concurrency bound.
@@ -302,31 +339,6 @@ func (s *Service) retire(sw *Sweep) {
 			delete(s.byKey, old.Key)
 		}
 	}
-}
-
-// Progress is a sweep's execution progress in unique simulations (the
-// unit of actual work; scenarios sharing a simulation resolve together).
-type Progress struct {
-	// Scenarios is the sweep's expanded scenario count.
-	Scenarios int `json:"scenarios"`
-	// Simulations is the number of unique simulations the sweep needs;
-	// zero until the sweep starts resolving.
-	Simulations int `json:"simulations"`
-	// Done is how many of those have resolved (memo hits included).
-	Done int `json:"done"`
-}
-
-// Status is a point-in-time snapshot of a sweep.
-type Status struct {
-	ID        string     `json:"id"`
-	Name      string     `json:"name"`
-	SpecKey   string     `json:"spec_key"`
-	State     State      `json:"state"`
-	Submitted time.Time  `json:"submitted"`
-	Started   *time.Time `json:"started,omitempty"`
-	Finished  *time.Time `json:"finished,omitempty"`
-	Progress  Progress   `json:"progress"`
-	Error     string     `json:"error,omitempty"`
 }
 
 // Sweep is one registered sweep. The exported fields are immutable after
