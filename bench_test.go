@@ -555,6 +555,63 @@ func TestForkSpeedupHeadroom(t *testing.T) {
 	}
 }
 
+// --- Roofline v2 benchmarks ---
+
+// BenchmarkTableLookup measures one measured-table multiplier lookup —
+// the operation on the scheduler's job-start and reclock paths when
+// perf_model=table, so it must stay allocation-free (the benchjson gate
+// pins allocs/op=0).
+func BenchmarkTableLookup(b *testing.B) {
+	tables, err := roofline.ARCHER2Tables()
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl := tables["climate-ocean"]
+	if tbl == nil {
+		b.Fatal("no climate-ocean table")
+	}
+	ref := units.Gigahertz(2.8)
+	freqs := []units.Frequency{
+		units.Gigahertz(1.5), units.Gigahertz(1.8), units.Gigahertz(2.0),
+		units.Gigahertz(2.25), units.Gigahertz(2.6),
+	}
+	var sum float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sum += tbl.Multiplier(freqs[i%len(freqs)], ref, roofline.PerformanceDeterminism)
+	}
+	if sum <= 0 {
+		b.Fatal("degenerate multiplier sum")
+	}
+}
+
+// BenchmarkHeterogeneousSweep measures a sweep over the Roofline-v2
+// axes: a hybrid CPU+AI fleet with table-based perf models against the
+// homogeneous kernel baseline. It gates the per-partition scheduler
+// paths (ranged free-node accounting, partition-pinned operating
+// points) that a homogeneous run never exercises.
+func BenchmarkHeterogeneousSweep(b *testing.B) {
+	spec := scenario.Spec{
+		Name:             "bench-hetero",
+		Nodes:            64,
+		Days:             6,
+		Seed:             7,
+		OverSubscription: 0.8,
+		Mode:             scenario.ModeList,
+		Axes: scenario.Axes{
+			Fleet:     []string{"cpu", "hybrid"},
+			PerfModel: []string{"kernel", "table"},
+		},
+	}
+	for i := 0; i < b.N; i++ {
+		r := scenario.Runner{Workers: 1}
+		if _, err := r.Run(context.Background(), spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- future-work feature benchmarks (paper SS5) ---
 
 // BenchmarkFutureWorkVariants regenerates the compiler/library-choice

@@ -9,6 +9,7 @@
 //
 //	sweep [-spec spec.json] [-workers N] [-seed N] [-carbon policies]
 //	      [-priority mixes] [-backfill policies] [-preempt modes]
+//	      [-perf-model models] [-fleet fleets] [-surrogate presets]
 //	      [-list] [-quiet] [-server URL]
 //
 // Without -spec it runs the flagship 8-scenario frequency x grid-mix
@@ -69,6 +70,9 @@ func main() {
 	priority := flag.String("priority", "", "comma-separated priority_mix axis values (e.g. none,dual,tiered); overrides the spec's axis")
 	backfill := flag.String("backfill", "", "comma-separated backfill_policy axis values (e.g. easy,conservative); overrides the spec's axis")
 	preempt := flag.String("preempt", "", "comma-separated preemption axis values (e.g. off,requeue,cancel); overrides the spec's axis")
+	perfModel := flag.String("perf-model", "", "comma-separated perf_model axis values (e.g. kernel,table); overrides the spec's axis")
+	fleet := flag.String("fleet", "", "comma-separated fleet axis values (e.g. cpu,hybrid); overrides the spec's axis")
+	surrogate := flag.String("surrogate", "", "comma-separated surrogate axis values (e.g. none,10x,50x); overrides the spec's axis")
 	list := flag.Bool("list", false, "print the expanded scenario list and exit without running")
 	quiet := flag.Bool("quiet", false, "suppress the regime/carbon tables and timing note")
 	noFork := flag.Bool("no-fork", false, "run mid-sweep divergence branches cold instead of forking them from the shared prefix checkpoint")
@@ -100,6 +104,15 @@ func main() {
 	}
 	if *preempt != "" {
 		spec.Axes.Preemption = strings.Split(*preempt, ",")
+	}
+	if *perfModel != "" {
+		spec.Axes.PerfModel = strings.Split(*perfModel, ",")
+	}
+	if *fleet != "" {
+		spec.Axes.Fleet = strings.Split(*fleet, ",")
+	}
+	if *surrogate != "" {
+		spec.Axes.Surrogate = strings.Split(*surrogate, ",")
 	}
 
 	if *list {

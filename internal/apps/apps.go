@@ -26,8 +26,16 @@ type App struct {
 	// Area is the research area, e.g. "biomolecular".
 	Area string
 
-	// Kernel is the frequency-sensitivity model.
+	// Kernel is the analytic frequency-sensitivity model (always
+	// populated — calibration produces it from the paper's tables).
 	Kernel roofline.Kernel
+	// Perf, when non-nil, overrides Kernel as the frequency-response
+	// model (a measured roofline.Table, typically). The uniform per-mode
+	// performance factor and the sampled per-die factors stay outside
+	// the frequency model either way, so swapping implementations never
+	// double-counts mode effects. Nil means the scalar kernel — the
+	// default path, byte-identical to the pre-PerfModel behaviour.
+	Perf roofline.PerfModel
 	// ActCore is the core-dynamic activity factor (may exceed 1: the
 	// Table 2 "loaded" figure is a typical value, not a cap, and codes
 	// like Nektar++ drive packages well above it under boost).
@@ -52,6 +60,11 @@ func (a *App) Validate() error {
 	if err := a.Kernel.Validate(); err != nil {
 		return fmt.Errorf("apps: %s: %w", a.Name, err)
 	}
+	if a.Perf != nil {
+		if err := a.Perf.Validate(); err != nil {
+			return fmt.Errorf("apps: %s: %w", a.Name, err)
+		}
+	}
 	if a.ActCore < 0 || a.ActUncore < 0 {
 		return fmt.Errorf("apps: %s: negative activity", a.Name)
 	}
@@ -73,8 +86,22 @@ func (a *App) Runtime(spec *cpu.Spec, base time.Duration, fs cpu.FreqSetting, m 
 // TimeMultiplier returns the runtime multiplier at (setting, mode) relative
 // to the reference point (boost, Power Determinism).
 func (a *App) TimeMultiplier(spec *cpu.Spec, fs cpu.FreqSetting, m cpu.Mode) float64 {
+	return a.FreqMultiplier(spec, fs, m) / spec.MeanPerfFactor(m)
+}
+
+// FreqMultiplier returns the frequency-response half of the runtime
+// multiplier at (setting, mode) — the active perf model's response,
+// without the per-mode performance factor (the scheduler divides by the
+// sampled per-die factor instead of the fleet mean). The nil-Perf branch
+// is the scalar kernel, dispatched without interface boxing so the
+// default path allocates nothing and computes exactly what it always
+// did.
+func (a *App) FreqMultiplier(spec *cpu.Spec, fs cpu.FreqSetting, m cpu.Mode) float64 {
 	f := spec.EffectiveFrequency(fs)
-	return a.Kernel.TimeMultiplier(f, spec.BoostFreq) / spec.MeanPerfFactor(m)
+	if a.Perf != nil {
+		return a.Perf.Multiplier(f, spec.BoostFreq, roofline.Mode(m))
+	}
+	return a.Kernel.TimeMultiplier(f, spec.BoostFreq)
 }
 
 // NodePower returns the fleet-expectation node power while running this app

@@ -27,6 +27,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/policy"
 	"github.com/greenhpc/archertwin/internal/rng"
+	"github.com/greenhpc/archertwin/internal/roofline"
 	"github.com/greenhpc/archertwin/internal/sched"
 	"github.com/greenhpc/archertwin/internal/telemetry"
 	"github.com/greenhpc/archertwin/internal/timeseries"
@@ -112,6 +113,24 @@ type Config struct {
 	// busy-power calibration.
 	FleetVariant *apps.Variant
 
+	// PerfModel selects the frequency-response implementation for the
+	// fleet mix: "" or "kernel" is the scalar roofline kernel (the
+	// default, byte-identical to the pre-PerfModel behaviour); "table"
+	// attaches the measured operating-point tables
+	// (roofline.ARCHER2Tables) to every mix application, interpolated at
+	// lookup time. Applied after calibration and any FleetVariant, so the
+	// table governs frequency response while power activity stays
+	// calibrated.
+	PerfModel string
+
+	// Surrogate, when non-nil, models an AI-surrogate deployment: the
+	// covered fleet class's runtime distribution shrinks by the covered
+	// share at the surrogate's speedup (the class still runs its
+	// uncovered fraction at full length). Training-energy amortisation is
+	// accounted out of band — see apps.Surrogate and the ai-surrogate
+	// example.
+	Surrogate *SurrogateConfig
+
 	// Carbon, when non-nil, makes the simulation carbon-aware: a grid
 	// carbon-intensity trace is generated over the run, a forecaster is
 	// built on it, and (if NewPolicy is set) a temporal scheduling policy
@@ -127,6 +146,41 @@ type Config struct {
 	// paying it once per branch would eat the fork path's advantage on
 	// small configs.
 	arrivalRate float64
+}
+
+// SurrogateConfig scales one fleet class's runtime distribution for an
+// AI-surrogate deployment: a CoveredFraction share of the class's work
+// completes Speedup times faster.
+type SurrogateConfig struct {
+	// Class names the fleet class the surrogate covers (e.g.
+	// "climate-ocean").
+	Class string
+	// Speedup is the surrogate inference speedup over the full solver
+	// (> 1).
+	Speedup float64
+	// CoveredFraction is the share of the class's runs the surrogate
+	// replaces, in (0, 1].
+	CoveredFraction float64
+}
+
+// Validate checks the surrogate parameters.
+func (sc *SurrogateConfig) Validate() error {
+	if sc.Class == "" {
+		return fmt.Errorf("core: surrogate has no class")
+	}
+	if sc.Speedup <= 1 {
+		return fmt.Errorf("core: surrogate speedup %v must exceed 1", sc.Speedup)
+	}
+	if sc.CoveredFraction <= 0 || sc.CoveredFraction > 1 {
+		return fmt.Errorf("core: surrogate covered fraction %v outside (0, 1]", sc.CoveredFraction)
+	}
+	return nil
+}
+
+// runtimeFactor is the mean runtime scaling the surrogate induces on its
+// class.
+func (sc *SurrogateConfig) runtimeFactor() float64 {
+	return 1 - sc.CoveredFraction + sc.CoveredFraction/sc.Speedup
 }
 
 // CarbonConfig connects the grid's carbon intensity to the scheduler.
@@ -174,6 +228,20 @@ func (c Config) Clone() Config {
 		spec := *c.Facility.CPU
 		spec.PStates = append([]cpu.PState(nil), c.Facility.CPU.PStates...)
 		out.Facility.CPU = &spec
+	}
+	if c.Facility.Partitions != nil {
+		out.Facility.Partitions = append([]facility.Partition(nil), c.Facility.Partitions...)
+		for i := range out.Facility.Partitions {
+			if p := out.Facility.Partitions[i].CPU; p != nil {
+				spec := *p
+				spec.PStates = append([]cpu.PState(nil), p.PStates...)
+				out.Facility.Partitions[i].CPU = &spec
+			}
+		}
+	}
+	if c.Surrogate != nil {
+		sc := *c.Surrogate
+		out.Surrogate = &sc
 	}
 	out.Windows = append([]Window(nil), c.Windows...)
 	if c.Timeline.Changes != nil {
@@ -317,6 +385,16 @@ func (c Config) Validate() error {
 			return err
 		}
 		if err := c.Carbon.Error.Validate(); err != nil {
+			return err
+		}
+	}
+	switch c.PerfModel {
+	case "", "kernel", "table":
+	default:
+		return fmt.Errorf("core: unknown perf model %q", c.PerfModel)
+	}
+	if c.Surrogate != nil {
+		if err := c.Surrogate.Validate(); err != nil {
 			return err
 		}
 	}
@@ -471,6 +549,25 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 			mix[i].App = va
 		}
 	}
+	if cfg.PerfModel == "table" {
+		// Attach the measured operating-point tables last, so they
+		// govern frequency response on top of whatever calibration and
+		// variant produced. Each app is copied: the calibrated mix may be
+		// shared with other configs.
+		tables, err := roofline.ARCHER2Tables()
+		if err != nil {
+			return nil, err
+		}
+		for i := range mix {
+			tbl, ok := tables[mix[i].App.Name]
+			if !ok {
+				return nil, fmt.Errorf("core: no measured table for application %q", mix[i].App.Name)
+			}
+			a := *mix[i].App
+			a.Perf = tbl
+			mix[i].App = &a
+		}
+	}
 	wcfg, err := workload.DefaultConfig(mix)
 	if err != nil {
 		return nil, err
@@ -478,9 +575,33 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 	if cfg.MaxJobNodes > 0 {
 		wcfg.MaxJobNodes = cfg.MaxJobNodes
 	}
+	if cfg.Surrogate != nil {
+		if err := applySurrogate(&wcfg, cfg.Surrogate); err != nil {
+			return nil, err
+		}
+	}
 	if len(cfg.Priorities) > 0 {
 		wcfg.Priorities = append([]workload.PriorityClass(nil), cfg.Priorities...)
 		wcfg.PrioritySeed = rng.DeriveSeed(cfg.Seed, "workload-priority")
+	}
+	if len(cfg.Facility.Partitions) > 0 {
+		// Route jobs to partitions proportionally to partition size, with
+		// each extra partition capping its jobs at its own node count.
+		// Like priorities, the routing hash is seeded separately from the
+		// arrival stream, so the generated job shapes stay bit-identical
+		// to a homogeneous run.
+		parts := fac.Partitions()
+		total := fac.NodeCount()
+		shares := make([]workload.PartitionShare, len(parts))
+		for i, p := range parts {
+			ps := workload.PartitionShare{Index: i, Share: float64(p.Nodes) / float64(total)}
+			if i > 0 {
+				ps.MaxJobNodes = p.Nodes
+			}
+			shares[i] = ps
+		}
+		wcfg.Partitions = shares
+		wcfg.PartitionSeed = rng.DeriveSeed(cfg.Seed, "workload-partition")
 	}
 	gen, err := workload.NewGenerator(wcfg, root.Split("workload"))
 	if err != nil {
@@ -570,6 +691,19 @@ func NewSimulator(cfg Config) (*Simulator, error) {
 		s.failStartPending = true
 	}
 	return s, nil
+}
+
+// applySurrogate shrinks the covered class's runtime median by the
+// surrogate's mean runtime factor.
+func applySurrogate(wcfg *workload.Config, sc *SurrogateConfig) error {
+	for i := range wcfg.Classes {
+		if wcfg.Classes[i].Name == sc.Class {
+			wcfg.Classes[i].RuntimeMedian = time.Duration(
+				float64(wcfg.Classes[i].RuntimeMedian) * sc.runtimeFactor())
+			return nil
+		}
+	}
+	return fmt.Errorf("core: surrogate class %q not in the fleet mix", sc.Class)
 }
 
 // schedulePump arms the arrival pump at t and records the pending event.

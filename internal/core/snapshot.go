@@ -36,6 +36,7 @@ type Snapshot struct {
 	seed          uint64
 	start, end    time.Time
 	nodes         int
+	partShape     string
 	oversub       float64
 	meterInterval time.Duration
 	meterDropout  bool
@@ -93,6 +94,7 @@ func (s *Simulator) Snapshot() (*Snapshot, error) {
 		start:         s.cfg.Start,
 		end:           s.cfg.End,
 		nodes:         s.cfg.Facility.Nodes,
+		partShape:     s.cfg.Facility.PartitionShape(),
 		oversub:       s.cfg.OverSubscription,
 		meterInterval: s.cfg.Meter.Interval,
 		meterDropout:  s.cfg.Meter.DropoutProb > 0,
@@ -185,6 +187,9 @@ func validateFork(snap *Snapshot, cfg Config) error {
 		return fmt.Errorf("core: fork end %v != snapshot end %v", cfg.End, snap.end)
 	case cfg.Facility.Nodes != snap.nodes:
 		return fmt.Errorf("core: fork has %d nodes, snapshot %d", cfg.Facility.Nodes, snap.nodes)
+	case cfg.Facility.PartitionShape() != snap.partShape:
+		return fmt.Errorf("core: fork partition layout %q != snapshot %q",
+			cfg.Facility.PartitionShape(), snap.partShape)
 	case cfg.OverSubscription != snap.oversub:
 		return fmt.Errorf("core: fork oversubscription %g != snapshot %g", cfg.OverSubscription, snap.oversub)
 	case cfg.Meter.Interval != snap.meterInterval:

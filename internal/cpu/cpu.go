@@ -148,6 +148,38 @@ func EPYC7742() *Spec {
 	}
 }
 
+// AcceleratorGPU returns the socket model for one GPU module of the
+// AI/accelerator partition (an MI250X-class OAM package, following the
+// LUMI-G / Frontier sibling deployments of the same HPE Cray EX line).
+// The Spec abstraction carries over directly: "cores" are compute units,
+// the p-state curve is the GPU clock ladder, and the idle/dynamic power
+// decomposition separates compute-die switching power from the
+// frequency-independent HBM stack draw — the GPU partition's own power
+// decomposition, distinct from the CPU cabinets'. Determinism-mode
+// spreads are tighter than the EPYC's (GPU boards bin narrowly).
+func AcceleratorGPU() *Spec {
+	return &Spec{
+		Name:  "AMD MI250X GPU module",
+		Cores: 110, // compute units per GCD pair
+		PStates: []PState{
+			{Freq: units.Gigahertz(0.9), Voltage: 0.80},
+			{Freq: units.Gigahertz(1.2), Voltage: 0.90},
+			{Freq: units.Gigahertz(1.5), Voltage: 1.00},
+		},
+		BoostFreq:    units.Gigahertz(1.7),
+		BoostVoltage: 1.10,
+
+		IdlePower:    units.Watts(90),  // per-module share of blade idle
+		CoreDynMax:   units.Watts(320), // compute-die dynamic headroom
+		UncoreDynMax: units.Watts(90),  // HBM + fabric, clock-independent
+
+		PerfDetDieFactorMean:  0.90,
+		PerfDetDieFactorSigma: 0.02,
+		PerfDetPerfFactor:     0.995,
+		PowerDetPerfSigma:     0.005,
+	}
+}
+
 // DefaultSetting returns the ARCHER2 pre-change default: 2.25 GHz with
 // turbo boost enabled.
 func (s *Spec) DefaultSetting() FreqSetting {

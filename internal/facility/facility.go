@@ -6,6 +6,7 @@ package facility
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/greenhpc/archertwin/internal/cooling"
@@ -29,8 +30,67 @@ type Config struct {
 	Cabinets int
 	CPU      *cpu.Spec
 
+	// Partitions are extra named node partitions appended after the
+	// implicit primary CPU partition (Nodes/Cabinets/CPU above). Empty
+	// for the homogeneous ARCHER2 configuration — the heterogeneous
+	// fleet adds e.g. a GPU/AI partition here.
+	Partitions []Partition
+
 	Interconnect interconnect.Config
 	Cooling      cooling.Config
+}
+
+// Partition describes one extra node partition: its own node type (CPU
+// spec, per-node socket/module count, board power) and cabinet block.
+// Zero values default to the primary partition's layout: nil CPU means
+// the facility CPU spec, zero SocketsPerNode means node.SocketsPerNode,
+// zero BoardPower means node.BoardPower, zero Cabinets means one.
+type Partition struct {
+	Name           string
+	Nodes          int
+	Cabinets       int
+	CPU            *cpu.Spec
+	SocketsPerNode int
+	BoardPower     units.Power
+}
+
+// AIPartition returns a GPU/AI partition of the given node count: four
+// MI250X-class accelerator modules per node with a 150 W host board
+// budget, packed 256 nodes per cabinet.
+func AIPartition(nodes int) Partition {
+	return Partition{
+		Name:           "ai",
+		Nodes:          nodes,
+		Cabinets:       (nodes + 255) / 256,
+		CPU:            cpu.AcceleratorGPU(),
+		SocketsPerNode: 4,
+		BoardPower:     units.Watts(150),
+	}
+}
+
+// TotalNodes returns the node count across the primary partition and all
+// extra partitions.
+func (cfg Config) TotalNodes() int {
+	t := cfg.Nodes
+	for _, p := range cfg.Partitions {
+		t += p.Nodes
+	}
+	return t
+}
+
+// PartitionShape returns a canonical string describing the extra
+// partition layout — empty for a homogeneous facility. Fork validation
+// uses it to reject partition-shape mismatches between a snapshot and
+// the config it is restored into.
+func (cfg Config) PartitionShape() string {
+	if len(cfg.Partitions) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, p := range cfg.Partitions {
+		fmt.Fprintf(&b, "%s:%d:%d:%d;", p.Name, p.Nodes, p.SocketsPerNode, p.Cabinets)
+	}
+	return b.String()
 }
 
 // ARCHER2 returns the paper's Table 1 configuration.
@@ -45,9 +105,27 @@ func ARCHER2() Config {
 	}
 }
 
+// PartitionInfo is one resolved partition of an instantiated facility:
+// the configured partition with defaults applied and its node/cabinet
+// index ranges fixed. Partition 0 is always the primary CPU partition.
+type PartitionInfo struct {
+	Name         string
+	Start        int // first node ID
+	Nodes        int
+	Cabinets     int
+	CabinetStart int // first cabinet index
+	CPU          *cpu.Spec
+	Sockets      int
+	Board        units.Power
+}
+
+// End returns one past the partition's last node ID.
+func (p PartitionInfo) End() int { return p.Start + p.Nodes }
+
 // Facility is an instantiated system.
 type Facility struct {
 	cfg    Config
+	parts  []PartitionInfo
 	nodes  []*node.Node
 	fabric *interconnect.Fabric
 	fs     *storage.Fleet
@@ -58,11 +136,72 @@ type Facility struct {
 	counters node.FleetCounters
 }
 
+// resolvePartitions turns the config into the resolved partition list:
+// the implicit primary partition followed by the extras with defaults
+// applied and ranges assigned.
+func resolvePartitions(cfg Config) ([]PartitionInfo, error) {
+	parts := make([]PartitionInfo, 0, 1+len(cfg.Partitions))
+	parts = append(parts, PartitionInfo{
+		Name:     "compute",
+		Nodes:    cfg.Nodes,
+		Cabinets: cfg.Cabinets,
+		CPU:      cfg.CPU,
+		Sockets:  node.SocketsPerNode,
+		Board:    node.BoardPower,
+	})
+	seen := map[string]bool{parts[0].Name: true}
+	for i, p := range cfg.Partitions {
+		if p.Name == "" {
+			return nil, fmt.Errorf("facility: partition %d: empty name", i)
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("facility: duplicate partition name %q", p.Name)
+		}
+		seen[p.Name] = true
+		if p.Nodes <= 0 {
+			return nil, fmt.Errorf("facility: partition %q: non-positive node count %d", p.Name, p.Nodes)
+		}
+		if p.SocketsPerNode < 0 || p.BoardPower.Watts() < 0 {
+			return nil, fmt.Errorf("facility: partition %q: negative layout", p.Name)
+		}
+		r := PartitionInfo{
+			Name:     p.Name,
+			Nodes:    p.Nodes,
+			Cabinets: p.Cabinets,
+			CPU:      p.CPU,
+			Sockets:  p.SocketsPerNode,
+			Board:    p.BoardPower,
+		}
+		if r.Cabinets <= 0 {
+			r.Cabinets = 1
+		}
+		if r.CPU == nil {
+			r.CPU = cfg.CPU
+		}
+		if r.Sockets == 0 {
+			r.Sockets = node.SocketsPerNode
+		}
+		if r.Board.Watts() == 0 {
+			r.Board = node.BoardPower
+		}
+		parts = append(parts, r)
+	}
+	for i := 1; i < len(parts); i++ {
+		parts[i].Start = parts[i-1].Start + parts[i-1].Nodes
+		parts[i].CabinetStart = parts[i-1].CabinetStart + parts[i-1].Cabinets
+	}
+	return parts, nil
+}
+
 // New builds a facility at virtual time `at`, with per-node die variation
 // seeded from r.
 func New(cfg Config, r *rng.Stream, at time.Time) (*Facility, error) {
 	if cfg.Nodes <= 0 || cfg.Cabinets <= 0 || cfg.CPU == nil {
 		return nil, fmt.Errorf("facility: invalid config (nodes=%d cabinets=%d)", cfg.Nodes, cfg.Cabinets)
+	}
+	parts, err := resolvePartitions(cfg)
+	if err != nil {
+		return nil, err
 	}
 	fabric, err := interconnect.New(cfg.Interconnect)
 	if err != nil {
@@ -70,15 +209,23 @@ func New(cfg Config, r *rng.Stream, at time.Time) (*Facility, error) {
 	}
 	f := &Facility{
 		cfg:    cfg,
-		nodes:  make([]*node.Node, cfg.Nodes),
+		parts:  parts,
+		nodes:  make([]*node.Node, cfg.TotalNodes()),
 		fabric: fabric,
 		fs:     storage.ARCHER2Fleet(),
 		plant:  cooling.New(cfg.Cooling),
 	}
+	// Node IDs run globally across partitions and each node's RNG stream
+	// is split by that global ID, so a homogeneous facility (one
+	// partition, default layout) constructs exactly the node sequence it
+	// always did — bit-identical die draws included.
 	nodeStream := r.Split("nodes")
-	for i := range f.nodes {
-		f.nodes[i] = node.New(i, cfg.CPU, nodeStream.SplitIndexed("node", i), at)
-		f.nodes[i].AttachCounters(&f.counters)
+	for pi := range f.parts {
+		p := &f.parts[pi]
+		for i := p.Start; i < p.End(); i++ {
+			f.nodes[i] = node.NewWithLayout(i, p.CPU, p.Sockets, p.Board, nodeStream.SplitIndexed("node", i), at)
+			f.nodes[i].AttachCounters(&f.counters)
+		}
 	}
 	return f, nil
 }
@@ -89,9 +236,39 @@ func (f *Facility) Config() Config { return f.cfg }
 // NodeCount returns the number of compute nodes.
 func (f *Facility) NodeCount() int { return len(f.nodes) }
 
-// CoreCount returns the total compute core count (Table 1: 750,080).
+// CoreCount returns the total compute core count (Table 1: 750,080 for
+// the homogeneous configuration), summed across partitions.
 func (f *Facility) CoreCount() int {
-	return len(f.nodes) * node.SocketsPerNode * f.cfg.CPU.Cores
+	total := 0
+	for _, p := range f.parts {
+		total += p.Nodes * p.Sockets * p.CPU.Cores
+	}
+	return total
+}
+
+// PartitionCount returns the number of partitions (1 for a homogeneous
+// facility).
+func (f *Facility) PartitionCount() int { return len(f.parts) }
+
+// Partitions returns the resolved partition list (partition 0 is the
+// primary CPU partition). The returned slice is a copy.
+func (f *Facility) Partitions() []PartitionInfo {
+	out := make([]PartitionInfo, len(f.parts))
+	copy(out, f.parts)
+	return out
+}
+
+// Partition returns resolved partition p.
+func (f *Facility) Partition(p int) PartitionInfo { return f.parts[p] }
+
+// PartitionOfNode returns the partition index housing node i.
+func (f *Facility) PartitionOfNode(i int) int {
+	for pi := len(f.parts) - 1; pi > 0; pi-- {
+		if i >= f.parts[pi].Start {
+			return pi
+		}
+	}
+	return 0
 }
 
 // Node returns node i.
@@ -109,14 +286,25 @@ func (f *Facility) Storage() *storage.Fleet { return f.fs }
 // Plant returns the cooling plant.
 func (f *Facility) Plant() *cooling.Plant { return f.plant }
 
-// CabinetOfNode returns the cabinet index housing node i (nodes are packed
-// in ID order).
-func (f *Facility) CabinetOfNode(i int) int {
-	c := i * f.cfg.Cabinets / len(f.nodes)
-	if c >= f.cfg.Cabinets {
-		c = f.cfg.Cabinets - 1
+// TotalCabinets returns the cabinet count across all partitions.
+func (f *Facility) TotalCabinets() int {
+	total := 0
+	for _, p := range f.parts {
+		total += p.Cabinets
 	}
-	return c
+	return total
+}
+
+// CabinetOfNode returns the cabinet index housing node i (nodes are packed
+// in ID order within their partition; partition cabinet blocks are
+// contiguous, primary first).
+func (f *Facility) CabinetOfNode(i int) int {
+	p := &f.parts[f.PartitionOfNode(i)]
+	c := (i - p.Start) * p.Cabinets / p.Nodes
+	if c >= p.Cabinets {
+		c = p.Cabinets - 1
+	}
+	return p.CabinetStart + c
 }
 
 // ComputeNodePower returns the instantaneous power of all compute nodes.
@@ -181,13 +369,15 @@ func (f *Facility) SetModeAll(m cpu.Mode, at time.Time) {
 	}
 }
 
-// SetDefaultFrequencyAll changes the frequency setting of every node. The
-// per-job override policy is layered on top by the policy package.
+// SetDefaultFrequencyAll changes the frequency setting of every primary-
+// partition node (the system frequency policy governs the CPU partition;
+// extra partitions keep their own spec's default setting). The per-job
+// override policy is layered on top by the policy package.
 func (f *Facility) SetDefaultFrequencyAll(fs cpu.FreqSetting, at time.Time) error {
 	if err := f.cfg.CPU.ValidateSetting(fs); err != nil {
 		return err
 	}
-	for _, n := range f.nodes {
+	for _, n := range f.nodes[:f.parts[0].Nodes] {
 		if err := n.SetFrequency(fs, at); err != nil {
 			return err
 		}
@@ -215,13 +405,27 @@ func (f *Facility) Breakdown() []ComponentRow {
 	loadedNode := node.ExpectedPower(spec, spec.DefaultSetting(),
 		TypicalLoadedActivity, cpu.PowerDeterminism).Watts()
 
+	primary := f.parts[0].Nodes
 	rows := []ComponentRow{
 		{
 			Component: "Compute nodes",
-			Count:     len(f.nodes),
-			Idle:      units.Watts(idleNode * float64(len(f.nodes))),
-			Loaded:    units.Watts(loadedNode * float64(len(f.nodes))),
+			Count:     primary,
+			Idle:      units.Watts(idleNode * float64(primary)),
+			Loaded:    units.Watts(loadedNode * float64(primary)),
 		},
+	}
+	for _, p := range f.parts[1:] {
+		pIdle := node.IdlePowerLayout(p.CPU, p.Sockets, p.Board).Watts()
+		pLoaded := node.ExpectedPowerLayout(p.CPU, p.Sockets, p.Board,
+			p.CPU.DefaultSetting(), TypicalLoadedActivity, cpu.PowerDeterminism).Watts()
+		rows = append(rows, ComponentRow{
+			Component: fmt.Sprintf("%s partition nodes", p.Name),
+			Count:     p.Nodes,
+			Idle:      units.Watts(pIdle * float64(p.Nodes)),
+			Loaded:    units.Watts(pLoaded * float64(p.Nodes)),
+		})
+	}
+	rows = append(rows, []ComponentRow{
 		{
 			Component: "Slingshot interconnect",
 			Count:     f.fabric.SwitchCount(),
@@ -246,7 +450,7 @@ func (f *Facility) Breakdown() []ComponentRow {
 			Idle:      f.fs.TotalPower(),
 			Loaded:    f.fs.TotalPower(),
 		},
-	}
+	}...)
 	var total float64
 	for _, r := range rows {
 		total += r.Loaded.Watts()

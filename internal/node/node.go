@@ -84,6 +84,14 @@ type Node struct {
 	// incrementally so Facility.Utilisation is O(1) instead of a fleet
 	// scan per telemetry sample.
 	counters *FleetCounters
+
+	// sockets / boardW are the node's physical layout: socket (or GPU
+	// module) count and frequency-independent board power in watts.
+	// New initialises them to the package defaults (SocketsPerNode,
+	// BoardPower); NewWithLayout lets a heterogeneous partition override
+	// them per node type.
+	sockets int
+	boardW  float64
 }
 
 // FleetCounters aggregates schedulable and busy node counts across a
@@ -101,6 +109,17 @@ type FleetCounters struct {
 // spec's default frequency setting in Power Determinism mode. The stream r
 // seeds the node's die-variation draws; it is retained.
 func New(id int, spec *cpu.Spec, r *rng.Stream, at time.Time) *Node {
+	return NewWithLayout(id, spec, SocketsPerNode, BoardPower, r, at)
+}
+
+// NewWithLayout creates a node with an explicit physical layout: sockets
+// (or GPU modules) per node and board power. Heterogeneous partitions
+// use it for node types that differ from the ARCHER2 CPU compute node;
+// New(...) is exactly NewWithLayout(..., SocketsPerNode, BoardPower, ...).
+func NewWithLayout(id int, spec *cpu.Spec, sockets int, board units.Power, r *rng.Stream, at time.Time) *Node {
+	if sockets <= 0 {
+		panic(fmt.Sprintf("node %d: non-positive socket count %d", id, sockets))
+	}
 	n := &Node{
 		ID:         id,
 		Spec:       spec,
@@ -108,6 +127,8 @@ func New(id int, spec *cpu.Spec, r *rng.Stream, at time.Time) *Node {
 		mode:       cpu.PowerDeterminism,
 		rng:        r,
 		lastUpdate: at,
+		sockets:    sockets,
+		boardW:     board.Watts(),
 	}
 	n.redraw()
 	n.refreshPower()
@@ -139,7 +160,7 @@ func (n *Node) refreshPower() {
 		return
 	}
 	socket := n.Spec.Power(n.setting, n.activity, n.dieFactor)
-	n.powerW = SocketsPerNode*socket.Watts() + BoardPower.Watts()
+	n.powerW = float64(n.sockets)*socket.Watts() + n.boardW
 }
 
 // updateCounters reconciles the fleet counters after a state or busy
@@ -237,6 +258,12 @@ func (n *Node) StopWork(at time.Time) {
 // PerfFactor returns the node's current per-die performance factor.
 func (n *Node) PerfFactor() float64 { return n.perfFactor }
 
+// Sockets returns the node's socket (or GPU module) count.
+func (n *Node) Sockets() int { return n.sockets }
+
+// Board returns the node's frequency-independent board power.
+func (n *Node) Board() units.Power { return units.Watts(n.boardW) }
+
 // Power returns the node's current power draw: both sockets plus board.
 // A Down node draws no power (powered off); Draining nodes draw normally.
 // The value is cached across reads and refreshed on state mutations, so
@@ -278,4 +305,17 @@ func IdlePower(spec *cpu.Spec) units.Power {
 func ExpectedPower(spec *cpu.Spec, fs cpu.FreqSetting, a cpu.Activity, m cpu.Mode) units.Power {
 	socket := spec.Power(fs, a, spec.MeanDieFactor(m))
 	return units.Watts(SocketsPerNode*socket.Watts() + BoardPower.Watts())
+}
+
+// ExpectedPowerLayout is ExpectedPower for an explicit node layout —
+// the heterogeneous-partition counterpart, used wherever a partition's
+// nodes differ from the default two-socket compute node.
+func ExpectedPowerLayout(spec *cpu.Spec, sockets int, board units.Power, fs cpu.FreqSetting, a cpu.Activity, m cpu.Mode) units.Power {
+	socket := spec.Power(fs, a, spec.MeanDieFactor(m))
+	return units.Watts(float64(sockets)*socket.Watts() + board.Watts())
+}
+
+// IdlePowerLayout is IdlePower for an explicit node layout.
+func IdlePowerLayout(spec *cpu.Spec, sockets int, board units.Power) units.Power {
+	return units.Watts(float64(sockets)*spec.IdlePower.Watts() + board.Watts())
 }

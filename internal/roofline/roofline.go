@@ -15,10 +15,70 @@
 package roofline
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/greenhpc/archertwin/internal/units"
 )
+
+// Mode mirrors the CPU determinism mode without importing internal/cpu
+// (cpu depends on nothing below it; roofline must stay leaf-level). The
+// ordinal values match cpu.Mode so call sites convert with a plain cast.
+type Mode int
+
+// The two BIOS determinism modes, ordinal-compatible with cpu.Mode.
+const (
+	PowerDeterminism Mode = iota
+	PerformanceDeterminism
+)
+
+// String returns the mode's canonical name (the cpu.Mode spelling, also
+// used in operating-point table CSVs).
+func (m Mode) String() string {
+	switch m {
+	case PowerDeterminism:
+		return "power-determinism"
+	case PerformanceDeterminism:
+		return "performance-determinism"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// ParseMode parses a mode name as spelled by String.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "power-determinism":
+		return PowerDeterminism, nil
+	case "performance-determinism":
+		return PerformanceDeterminism, nil
+	}
+	return 0, fmt.Errorf("roofline: unknown mode %q", s)
+}
+
+// PerfModel is the pluggable frequency-response model: given an
+// operating point (frequency f relative to reference fref, determinism
+// mode m) it returns the runtime multiplier relative to the reference
+// point. The scalar Kernel is the analytic first-order implementation;
+// Table interpolates measured operating-point grids. Implementations
+// must be pure (no internal state mutation on lookup) and the lookup
+// must not allocate — it sits on the scheduler's job-start hot path.
+type PerfModel interface {
+	// Multiplier returns T(f, m): runtime at (f, m) over runtime at
+	// (fref, reference mode). Must be >= some positive value; panics on
+	// non-positive frequencies like Kernel.TimeMultiplier.
+	Multiplier(f, fref units.Frequency, m Mode) float64
+	// Validate checks the model's parameters.
+	Validate() error
+}
+
+// ErrRatioOutOfRange is the sentinel wrapped by
+// ComputeFractionFromPerfRatio when the observed perf ratio is outside
+// the achievable (f/fref, 1] band — physically unreachable under the
+// first-order model, as opposed to malformed input (non-positive or
+// inverted frequencies), which reports a plain error. The table loader
+// uses errors.Is against this to separate "unachievable measurement"
+// from "bad data".
+var ErrRatioOutOfRange = errors.New("roofline: perf ratio outside achievable range")
 
 // Kernel characterises an application's frequency sensitivity.
 type Kernel struct {
@@ -45,6 +105,14 @@ func (k Kernel) TimeMultiplier(f, fref units.Frequency) float64 {
 	return k.ComputeFraction*fref.Ratio(f) + (1 - k.ComputeFraction)
 }
 
+// Multiplier implements PerfModel: the analytic kernel's response is
+// mode-independent (the uniform per-mode perf factor is applied outside
+// the frequency model, by apps.App.TimeMultiplier), so the mode argument
+// is ignored.
+func (k Kernel) Multiplier(f, fref units.Frequency, _ Mode) float64 {
+	return k.TimeMultiplier(f, fref)
+}
+
 // PerfRatio returns performance at f relative to fref (the paper's "perf
 // ratio" convention: < 1 means slower).
 func (k Kernel) PerfRatio(f, fref units.Frequency) float64 {
@@ -55,7 +123,10 @@ func (k Kernel) PerfRatio(f, fref units.Frequency) float64 {
 // ratio r at frequency f (relative to fref), it returns the compute
 // fraction c that reproduces it. This is how the paper's Table 4 perf
 // columns are turned into kernel parameters. An error is returned when the
-// ratio is outside the achievable range (r must be in (f/fref, 1]).
+// ratio is outside the achievable range (r must be in (f/fref, 1]); that
+// error wraps ErrRatioOutOfRange so callers can distinguish an
+// unachievable measurement from malformed input. See docs/model.md for
+// why (f/fref, 1] bounds the invertible band.
 func ComputeFractionFromPerfRatio(r float64, f, fref units.Frequency) (float64, error) {
 	if f.Hertz() <= 0 || fref.Hertz() <= 0 {
 		return 0, fmt.Errorf("roofline: non-positive frequency")
@@ -65,7 +136,7 @@ func ComputeFractionFromPerfRatio(r float64, f, fref units.Frequency) (float64, 
 	}
 	lo := f.Ratio(fref) // perf ratio of a fully compute-bound code
 	if r <= lo || r > 1 {
-		return 0, fmt.Errorf("roofline: perf ratio %v outside achievable (%v, 1]", r, lo)
+		return 0, fmt.Errorf("roofline: perf ratio %v outside achievable (%v, 1]: %w", r, lo, ErrRatioOutOfRange)
 	}
 	c := (1/r - 1) / (fref.Ratio(f) - 1)
 	return c, nil

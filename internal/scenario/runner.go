@@ -735,8 +735,9 @@ func fillAvoidedCarbon(spec Spec, scenarios []Scenario, results []Result) {
 	}
 	basePolicy := spec.Axes.CarbonPolicy[0]
 	otherKey := func(sc Scenario) string {
-		return fmt.Sprintf("%s|%g|%s|%s|%d",
-			sc.Frequency, sc.GridMean, sc.Scheduler, sc.Workload, sc.Nodes)
+		return fmt.Sprintf("%s|%g|%s|%s|%d|%s|%s|%s",
+			sc.Frequency, sc.GridMean, sc.Scheduler, sc.Workload, sc.Nodes,
+			sc.PerfModel, sc.Fleet, sc.Surrogate)
 	}
 	baseTotal := map[string]units.Mass{}
 	for i, sc := range scenarios {

@@ -520,6 +520,10 @@ func TestMemoKeyDistinguishesEveryConfigField(t *testing.T) {
 		{"Axes.PriorityMix", func(s *Spec) { s.Axes.PriorityMix = []string{PriorityDual} }},
 		{"Axes.BackfillPolicy", func(s *Spec) { s.Axes.BackfillPolicy = []string{BackfillConservative} }},
 		{"Axes.Preemption", func(s *Spec) { s.Axes.Preemption = []string{PreemptRequeue} }},
+		{"Axes.PerfModel", func(s *Spec) { s.Axes.PerfModel = []string{PerfTable} }},
+		{"Axes.Fleet", func(s *Spec) { s.Axes.Fleet = []string{FleetHybrid} }},
+		{"Axes.Surrogate", func(s *Spec) { s.Axes.Surrogate = []string{Surrogate10x} }},
+		{"Axes.Surrogate50x", func(s *Spec) { s.Axes.Surrogate = []string{Surrogate50x} }},
 	}
 	keys := map[string]string{"base": memoKeyOf(t, base())}
 	for _, p := range perturbations {

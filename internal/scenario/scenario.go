@@ -33,6 +33,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/apps"
 	"github.com/greenhpc/archertwin/internal/core"
 	"github.com/greenhpc/archertwin/internal/cpu"
+	"github.com/greenhpc/archertwin/internal/facility"
 	"github.com/greenhpc/archertwin/internal/forecast"
 	"github.com/greenhpc/archertwin/internal/grid"
 	"github.com/greenhpc/archertwin/internal/policy"
@@ -102,6 +103,21 @@ type Axes struct {
 	// (evicted jobs terminate). Only meaningful with a priority mix —
 	// victims must be strictly lower-priority than the starved head.
 	Preemption []string `json:"preemption,omitempty"`
+	// PerfModel values select the frequency-response model: "kernel"
+	// (the first-order analytic roofline, the default) or "table"
+	// (measured operating-point tables, interpolated per application —
+	// see docs/model.md, "Roofline v2").
+	PerfModel []string `json:"perf_model,omitempty"`
+	// Fleet values select the facility composition: "cpu" (the
+	// homogeneous production fleet, default) or "hybrid" (adds an AI
+	// accelerator partition of nodes/8 — at least 4 — GPU nodes with
+	// their own power decomposition and operating point).
+	Fleet []string `json:"fleet,omitempty"`
+	// Surrogate values model an ML surrogate replacing part of the
+	// climate class's numerical work: "none" (default), "10x" or "50x"
+	// (the covered half of each job's runtime accelerated by that
+	// factor).
+	Surrogate []string `json:"surrogate,omitempty"`
 }
 
 // Spec declaratively describes a scenario sweep.
@@ -328,6 +344,9 @@ type Scenario struct {
 	PriorityMix    string
 	BackfillPolicy string
 	Preemption     string
+	PerfModel      string
+	Fleet          string
+	Surrogate      string
 }
 
 // axis is one generic sweep dimension after defaulting.
@@ -375,6 +394,9 @@ func (s Spec) axes() []axis {
 		str("prio", s.Axes.PriorityMix, PriorityNone),
 		str("bf", s.Axes.BackfillPolicy, BackfillEASY),
 		str("preempt", s.Axes.Preemption, PreemptOff),
+		str("perf", s.Axes.PerfModel, PerfKernel),
+		str("fleet", s.Axes.Fleet, FleetCPU),
+		str("surrogate", s.Axes.Surrogate, SurrogateNone),
 	}
 }
 
@@ -471,6 +493,9 @@ func (s Spec) Expand() ([]Scenario, error) {
 		sc.PriorityMix = row[7]
 		sc.BackfillPolicy = row[8]
 		sc.Preemption = row[9]
+		sc.PerfModel = row[10]
+		sc.Fleet = row[11]
+		sc.Surrogate = row[12]
 
 		// Validate every axis value now, before any simulation runs.
 		spec := cpu.EPYC7742()
@@ -498,6 +523,15 @@ func (s Spec) Expand() ([]Scenario, error) {
 			return nil, err
 		}
 		if _, err := parsePreemption(sc.Preemption); err != nil {
+			return nil, err
+		}
+		if _, err := parsePerfModel(sc.PerfModel); err != nil {
+			return nil, err
+		}
+		if _, err := parseFleet(sc.Fleet); err != nil {
+			return nil, err
+		}
+		if _, err := parseSurrogate(sc.Surrogate); err != nil {
 			return nil, err
 		}
 		out[i] = sc
@@ -554,6 +588,73 @@ const (
 	PreemptRequeue = "requeue"
 	PreemptCancel  = "cancel"
 )
+
+// Perf-model axis values (core.Config.PerfModel names).
+const (
+	PerfKernel = "kernel"
+	PerfTable  = "table"
+)
+
+// Fleet axis values.
+const (
+	FleetCPU    = "cpu"
+	FleetHybrid = "hybrid"
+)
+
+// Surrogate axis values.
+const (
+	SurrogateNone = "none"
+	Surrogate10x  = "10x"
+	Surrogate50x  = "50x"
+)
+
+// surrogateClass is the fleet class the surrogate axis accelerates —
+// climate/ocean modelling, the domain with the most established ML
+// surrogates (and the paper's §5 candidate for demand response).
+const surrogateClass = "climate-ocean"
+
+// parsePerfModel resolves a perf_model axis value into the
+// core.Config.PerfModel string ("" = the kernel default).
+func parsePerfModel(v string) (string, error) {
+	switch v {
+	case PerfKernel, "":
+		return "", nil
+	case PerfTable:
+		return PerfTable, nil
+	}
+	return "", fmt.Errorf("scenario: invalid perf model %q (want %q or %q)",
+		v, PerfKernel, PerfTable)
+}
+
+// parseFleet resolves a fleet axis value; true means the hybrid
+// CPU+AI-partition fleet.
+func parseFleet(v string) (bool, error) {
+	switch v {
+	case FleetCPU, "":
+		return false, nil
+	case FleetHybrid:
+		return true, nil
+	}
+	return false, fmt.Errorf("scenario: invalid fleet %q (want %q or %q)",
+		v, FleetCPU, FleetHybrid)
+}
+
+// parseSurrogate resolves a surrogate axis value into a core surrogate
+// config (nil = purely numerical workload). Both presets cover half of
+// each covered job's runtime, per the Amdahl split typical of hybrid
+// surrogate/numerics pipelines.
+func parseSurrogate(v string) (*core.SurrogateConfig, error) {
+	switch v {
+	case SurrogateNone, "":
+		return nil, nil
+	case Surrogate10x:
+		return &core.SurrogateConfig{Class: surrogateClass, Speedup: 10, CoveredFraction: 0.5}, nil
+	case Surrogate50x:
+		return &core.SurrogateConfig{Class: surrogateClass, Speedup: 50, CoveredFraction: 0.5}, nil
+	}
+	return nil, fmt.Errorf("scenario: invalid surrogate %q (want %q, %q or %q)",
+		v, SurrogateNone, Surrogate10x, Surrogate50x)
+}
 
 // parsePriorityMix resolves a priority_mix axis value into workload
 // priority classes (nil = single-class).
@@ -720,6 +821,15 @@ func (sc Scenario) simKey() string {
 	if sc.Preemption != "" && sc.Preemption != PreemptOff {
 		key += " preempt=" + sc.Preemption
 	}
+	if sc.PerfModel != "" && sc.PerfModel != PerfKernel {
+		key += " perf=" + sc.PerfModel
+	}
+	if sc.Fleet != "" && sc.Fleet != FleetCPU {
+		key += " fleet=" + sc.Fleet
+	}
+	if sc.Surrogate != "" && sc.Surrogate != SurrogateNone {
+		key += " surrogate=" + sc.Surrogate
+	}
 	return key
 }
 
@@ -773,6 +883,18 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 	if err != nil {
 		return core.Config{}, grid.IntensityModel{}, err
 	}
+	pm, err := parsePerfModel(sc.PerfModel)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+	hybrid, err := parseFleet(sc.Fleet)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
+	sur, err := parseSurrogate(sc.Surrogate)
+	if err != nil {
+		return core.Config{}, grid.IntensityModel{}, err
+	}
 
 	// All scenarios run in the modern operating mode (Performance
 	// Determinism, the paper's post-May-2022 state) with the scenario
@@ -798,6 +920,15 @@ func (sc Scenario) BuildConfig(s Spec) (core.Config, grid.IntensityModel, error)
 	cfg.Sched.AgingHours = s.PriorityAgingHours
 	cfg.Priorities = mix
 	cfg.FleetVariant = variant
+	cfg.PerfModel = pm
+	cfg.Surrogate = sur
+	if hybrid {
+		ai := sc.Nodes / 8
+		if ai < 4 {
+			ai = 4
+		}
+		cfg.Facility.Partitions = []facility.Partition{facility.AIPartition(ai)}
+	}
 	if s.OverSubscription > 0 {
 		cfg.OverSubscription = s.OverSubscription
 	}

@@ -433,3 +433,104 @@ func TestWarmupSentinelMeasuresFromDayZero(t *testing.T) {
 		t.Errorf("measurement window starts %v, want sweep start %v", cfg.Windows[0].From, sweepStart)
 	}
 }
+
+// The Roofline-v2 axes must not perturb the seeds of scenarios holding
+// them at their defaults: a scenario's simKey is identical with and
+// without the axes present, so every pre-v2 sweep result is unchanged.
+func TestRooflineV2AxesPreserveDefaultSeeds(t *testing.T) {
+	plain := Scenario{Frequency: "stock", GridMean: 200, Scheduler: "backfill", Workload: "base", Nodes: 64}
+	def := plain
+	def.PerfModel, def.Fleet, def.Surrogate = PerfKernel, FleetCPU, SurrogateNone
+	if plain.simKey() != def.simKey() {
+		t.Errorf("default perf/fleet/surrogate changed the sim key: %q vs %q",
+			plain.simKey(), def.simKey())
+	}
+	seen := map[string]string{"default": plain.simKey()}
+	for name, mutate := range map[string]func(*Scenario){
+		"perf=table":    func(sc *Scenario) { sc.PerfModel = PerfTable },
+		"fleet=hybrid":  func(sc *Scenario) { sc.Fleet = FleetHybrid },
+		"surrogate=10x": func(sc *Scenario) { sc.Surrogate = Surrogate10x },
+		"surrogate=50x": func(sc *Scenario) { sc.Surrogate = Surrogate50x },
+	} {
+		sc := plain
+		mutate(&sc)
+		key := sc.simKey()
+		for other, k := range seen {
+			if key == k {
+				t.Errorf("%s collides with %s: %q", name, other, key)
+			}
+		}
+		seen[name] = key
+	}
+}
+
+// BuildConfig must wire the Roofline-v2 axes into the core config: the
+// table perf model, the hybrid fleet's AI partition (nodes/8, min 4)
+// and the surrogate preset.
+func TestBuildConfigRooflineV2Axes(t *testing.T) {
+	spec := Spec{Nodes: 64, Days: 3, WarmupDays: 1, Axes: Axes{
+		PerfModel: []string{"table"},
+		Fleet:     []string{"hybrid"},
+		Surrogate: []string{"50x"},
+	}}
+	scenarios, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := scenarios[0].BuildConfig(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PerfModel != "table" {
+		t.Errorf("cfg.PerfModel = %q, want table", cfg.PerfModel)
+	}
+	if len(cfg.Facility.Partitions) != 1 || cfg.Facility.Partitions[0].Nodes != 8 {
+		t.Errorf("hybrid partitions = %+v, want one 8-node AI partition", cfg.Facility.Partitions)
+	}
+	if cfg.Surrogate == nil || cfg.Surrogate.Speedup != 50 || cfg.Surrogate.CoveredFraction != 0.5 {
+		t.Errorf("cfg.Surrogate = %+v, want 50x over half the runtime", cfg.Surrogate)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("built config invalid: %v", err)
+	}
+
+	// A small facility still gets the 4-node partition floor.
+	small := Spec{Nodes: 16, Days: 3, WarmupDays: 1, Axes: Axes{Fleet: []string{"hybrid"}}}
+	scs, err := small.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg, _, err := scs[0].BuildConfig(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scfg.Facility.Partitions) != 1 || scfg.Facility.Partitions[0].Nodes != 4 {
+		t.Errorf("small hybrid partitions = %+v, want one 4-node AI partition", scfg.Facility.Partitions)
+	}
+
+	// Default axes leave the config homogeneous and kernel-modelled.
+	base := Spec{Nodes: 64, Days: 3, WarmupDays: 1}
+	bscs, err := base.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg, _, err := bscs[0].BuildConfig(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bcfg.PerfModel != "" || bcfg.Surrogate != nil || len(bcfg.Facility.Partitions) != 0 {
+		t.Errorf("default axes produced non-default config: perf=%q surrogate=%+v partitions=%+v",
+			bcfg.PerfModel, bcfg.Surrogate, bcfg.Facility.Partitions)
+	}
+
+	// Bad axis values fail at expansion, before any simulation.
+	for _, bad := range []Axes{
+		{PerfModel: []string{"oracle"}},
+		{Fleet: []string{"quantum"}},
+		{Surrogate: []string{"1000x"}},
+	} {
+		if _, err := (Spec{Axes: bad}).Expand(); err == nil {
+			t.Errorf("axes %+v accepted", bad)
+		}
+	}
+}

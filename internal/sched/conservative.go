@@ -53,7 +53,7 @@ func (s *Scheduler) backfillConservative(now time.Time) {
 			i++
 			continue
 		}
-		if at.Equal(now) && j.Spec.Nodes <= s.free.Count() && s.withinPowerCap(j) {
+		if at.Equal(now) && j.Spec.Nodes <= s.freeFor(j) && s.withinPowerCap(j) {
 			d := s.temporalDecision(j, now)
 			if !d.Start && d.Block {
 				s.scheduleRecheck(d.Recheck, now)

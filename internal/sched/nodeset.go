@@ -60,6 +60,56 @@ func (s *nodeSet) Remove(id int) bool {
 	return true
 }
 
+// CountRange returns the number of IDs in [lo, hi) — a popcount sweep
+// over the bitmap, used for on-demand per-partition free accounting.
+// Deriving partition counts from the bitmap (rather than maintaining
+// incremental counters at every mutation point) keeps snapshot/restore
+// trivially correct: Restore rebuilds the bitmap, and the counts follow.
+func (s *nodeSet) CountRange(lo, hi int) int {
+	if lo >= hi {
+		return 0
+	}
+	wLo, wHi := lo>>6, (hi-1)>>6
+	if wLo == wHi {
+		mask := (^uint64(0) << (lo & 63)) & (^uint64(0) >> (63 - (hi-1)&63))
+		return bits.OnesCount64(s.bits[wLo] & mask)
+	}
+	n := bits.OnesCount64(s.bits[wLo] & (^uint64(0) << (lo & 63)))
+	for w := wLo + 1; w < wHi; w++ {
+		n += bits.OnesCount64(s.bits[w])
+	}
+	n += bits.OnesCount64(s.bits[wHi] & (^uint64(0) >> (63 - (hi-1)&63)))
+	return n
+}
+
+// TakeLowestRange removes the n lowest IDs in [lo, hi) and appends them
+// to dst in ascending order — TakeLowest restricted to one partition's
+// node range. The caller must ensure n <= CountRange(lo, hi).
+func (s *nodeSet) TakeLowestRange(n, lo, hi int, dst []int) []int {
+	s.count -= n
+	for w := lo >> 6; n > 0; w++ {
+		word := s.bits[w]
+		base := w << 6
+		// Mask off bits outside [lo, hi) for the boundary words.
+		avail := word
+		if base < lo {
+			avail &= ^uint64(0) << (lo & 63)
+		}
+		if base+63 >= hi {
+			avail &= ^uint64(0) >> (63 - (hi-1)&63)
+		}
+		for avail != 0 && n > 0 {
+			b := bits.TrailingZeros64(avail)
+			dst = append(dst, base+b)
+			word &^= 1 << b
+			avail &^= 1 << b
+			n--
+		}
+		s.bits[w] = word
+	}
+	return dst
+}
+
 // TakeLowest removes the n lowest IDs from the set and appends them to
 // dst in ascending order — exactly the IDs the old sorted free list's
 // free[:n] prefix held. The caller must ensure n <= Count().

@@ -20,7 +20,7 @@ import (
 // now fits.
 func (s *Scheduler) preemptForHead(now time.Time) bool {
 	head := s.queue.Head()
-	need := head.Spec.Nodes - s.free.Count()
+	need := head.Spec.Nodes - s.freeFor(head)
 	if need <= 0 || !s.withinPowerCap(head) {
 		return false
 	}
@@ -30,6 +30,11 @@ func (s *Scheduler) preemptForHead(now time.Time) bool {
 	}
 	s.victims = s.victims[:0]
 	for _, rj := range s.running {
+		if s.hetero() && s.partOf(rj) != s.partOf(head) {
+			// Evicting a job in another partition frees no node the head
+			// can use.
+			continue
+		}
 		if head.Spec.Priority-rj.Spec.Priority >= gap {
 			s.victims = append(s.victims, rj)
 		}
@@ -58,7 +63,7 @@ func (s *Scheduler) preemptForHead(now time.Time) bool {
 	for _, v := range s.victims[:take] {
 		s.preempt(v, now)
 	}
-	return head.Spec.Nodes <= s.free.Count()
+	return head.Spec.Nodes <= s.freeFor(head)
 }
 
 // preempt evicts one running job: its nodes are released (or captured

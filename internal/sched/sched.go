@@ -357,6 +357,13 @@ type Scheduler struct {
 	bfCache []bfEntry
 	prof    capProfile
 	victims []*Job
+
+	// parts is the facility's resolved partition list when it has more
+	// than one partition, nil for the homogeneous machine. All partition
+	// free accounting is derived on demand from the free bitmap
+	// (nodeSet.CountRange), so the homogeneous fast paths — and the
+	// snapshot format — are untouched.
+	parts []facility.PartitionInfo
 }
 
 // New creates a scheduler over the facility's nodes.
@@ -373,6 +380,9 @@ func New(eng *des.Engine, fac *facility.Facility, provider SettingsProvider, cfg
 		upNodes:  fac.NodeCount(),
 	}
 	s.free = newNodeSet(fac.NodeCount())
+	if fac.PartitionCount() > 1 {
+		s.parts = fac.Partitions()
+	}
 	s.completeFn = func(now time.Time, arg any) { s.finish(arg.(*Job), now, Completed) }
 	s.releaseFn = func(now time.Time, arg any) { s.release(arg.(*Job), now) }
 	s.recheckArgFn = func(now time.Time, arg any) { s.onRecheck(arg.(time.Time), now) }
@@ -435,7 +445,7 @@ func (s *Scheduler) Kick() { s.trySchedule(s.eng.Now()) }
 func (s *Scheduler) Submit(spec workload.JobSpec) *Job {
 	now := s.eng.Now()
 	s.stats.Submitted++
-	if spec.Nodes > s.fac.NodeCount() || s.queue.Len() >= s.cfg.MaxQueue {
+	if spec.Nodes > s.capacityFor(spec) || s.queue.Len() >= s.cfg.MaxQueue {
 		s.stats.Dropped++
 		// Drop-path jobs are freshly allocated and never pooled: the
 		// caller owns the returned struct outright, so inspecting the
@@ -539,8 +549,66 @@ type PowerEstimator interface {
 	PeekSettings(app *apps.App) (cpu.FreqSetting, cpu.Mode)
 }
 
+// hetero reports whether the facility has multiple partitions.
+func (s *Scheduler) hetero() bool { return len(s.parts) > 1 }
+
+// partOf returns j's partition index, clamped to the facility's actual
+// partitions (a job targeting an absent partition runs on the primary —
+// and on a homogeneous facility every job maps to partition 0).
+func (s *Scheduler) partOf(j *Job) int {
+	p := j.Spec.Partition
+	if p < 0 || p >= len(s.parts) {
+		return 0
+	}
+	return p
+}
+
+// freeFor returns the free-node count available to j: the whole free set
+// on a homogeneous facility, j's partition's slice of it otherwise — an
+// on-demand popcount over the partition's bitmap range, so no counter
+// maintenance (or snapshot state) exists to drift.
+func (s *Scheduler) freeFor(j *Job) int {
+	if !s.hetero() {
+		return s.free.Count()
+	}
+	p := &s.parts[s.partOf(j)]
+	return s.free.CountRange(p.Start, p.End())
+}
+
+// capacityFor returns the total node capacity a job spec could ever use:
+// its partition's size on a heterogeneous facility, the whole machine
+// otherwise.
+func (s *Scheduler) capacityFor(spec workload.JobSpec) int {
+	if !s.hetero() {
+		return s.fac.NodeCount()
+	}
+	p := spec.Partition
+	if p < 0 || p >= len(s.parts) {
+		p = 0
+	}
+	return s.parts[p].Nodes
+}
+
+// specFor returns the CPU spec of partition p (the facility spec on a
+// homogeneous machine).
+func (s *Scheduler) specFor(p int) *cpu.Spec {
+	if !s.hetero() || p == 0 {
+		return s.fac.Config().CPU
+	}
+	return s.parts[p].CPU
+}
+
 // estimateJobPower returns the expected busy power of starting j now.
 func (s *Scheduler) estimateJobPower(j *Job) float64 {
+	if p := s.partOf(j); p != 0 {
+		// Non-primary partitions run at their own spec's default setting
+		// (the frequency policy governs the CPU partition only), with
+		// their own node layout.
+		pi := &s.parts[p]
+		return node.ExpectedPowerLayout(pi.CPU, pi.Sockets, pi.Board,
+			pi.CPU.DefaultSetting(), j.Spec.App.Activity(), cpu.PowerDeterminism).Watts() *
+			float64(j.Spec.Nodes)
+	}
 	spec := s.fac.Config().CPU
 	fs, m := spec.DefaultSetting(), cpu.PowerDeterminism
 	if pe, ok := s.provider.(PowerEstimator); ok {
@@ -575,7 +643,7 @@ func (s *Scheduler) temporalDecision(j *Job, now time.Time) TemporalDecision {
 // recheck time.
 func (s *Scheduler) trySchedule(now time.Time) {
 	for {
-		for s.queue.Len() > 0 && s.queue.Head().Spec.Nodes <= s.free.Count() && s.withinPowerCap(s.queue.Head()) {
+		for s.queue.Len() > 0 && s.queue.Head().Spec.Nodes <= s.freeFor(s.queue.Head()) && s.withinPowerCap(s.queue.Head()) {
 			j := s.queue.Head()
 			d := s.temporalDecision(j, now)
 			if !d.Start && d.Block {
@@ -669,16 +737,22 @@ func (s *Scheduler) onRecheck(at, now time.Time) {
 // backfill implements EASY: compute the head job's shadow start time from
 // running-job end times, then start any later queued job that fits now and
 // either finishes before the shadow time or uses only nodes the head will
-// not need.
+// not need. On a heterogeneous facility the shadow is computed within the
+// head's partition, and a candidate in a different partition cannot delay
+// the head at all — it may start whenever it fits its own partition.
 func (s *Scheduler) backfill(now time.Time) {
 	head := s.queue.Head()
-	avail := s.free.Count()
+	headPart := s.partOf(head)
+	avail := s.freeFor(head)
 	shadow := time.Time{}
 	extra := 0
 	// running is sorted by End; accumulate releases until the head fits.
 	if len(s.resvs) == 0 {
 		cum := avail
 		for _, rj := range s.running {
+			if s.hetero() && s.partOf(rj) != headPart {
+				continue
+			}
 			cum += len(rj.Nodes)
 			if cum >= head.Spec.Nodes {
 				shadow = rj.End
@@ -689,7 +763,11 @@ func (s *Scheduler) backfill(now time.Time) {
 	} else {
 		// With reservations the release order must merge two sources:
 		// running jobs return only their non-draining nodes at End, and
-		// each started reservation returns its captured nodes at To.
+		// each started reservation returns its captured nodes at To. On a
+		// heterogeneous facility the merged profile stays fleet-global (a
+		// conservative shadow: releases in other partitions can only move
+		// it earlier, and same-partition fit is still enforced per
+		// candidate below).
 		shadow, extra = s.mergedShadow(avail, head.Spec.Nodes)
 	}
 	if shadow.IsZero() {
@@ -700,7 +778,7 @@ func (s *Scheduler) backfill(now time.Time) {
 	depth := s.cfg.BackfillDepth
 	for i := 1; i < s.queue.Len() && depth > 0; depth-- {
 		j := s.queue.At(i)
-		if j.Spec.Nodes > s.free.Count() || !s.withinPowerCap(j) {
+		if j.Spec.Nodes > s.freeFor(j) || !s.withinPowerCap(j) {
 			i++
 			continue
 		}
@@ -708,7 +786,8 @@ func (s *Scheduler) backfill(now time.Time) {
 		// memoized across the scan — it is loop-invariant within a pass).
 		rt := s.predictRuntime(j)
 		endsBeforeShadow := !now.Add(rt).After(shadow)
-		if endsBeforeShadow || j.Spec.Nodes <= extra {
+		samePart := !s.hetero() || s.partOf(j) == headPart
+		if !samePart || endsBeforeShadow || j.Spec.Nodes <= extra {
 			d := s.temporalDecision(j, now)
 			if !d.Start && d.Block {
 				s.scheduleRecheck(d.Recheck, now)
@@ -720,7 +799,7 @@ func (s *Scheduler) backfill(now time.Time) {
 				// Do not advance i: the next candidate shifted into i.
 				continue
 			}
-			if !endsBeforeShadow {
+			if samePart && !endsBeforeShadow {
 				extra -= j.Spec.Nodes
 			}
 			s.start(j, now)
@@ -731,10 +810,12 @@ func (s *Scheduler) backfill(now time.Time) {
 	}
 }
 
-// bfEntry caches one application's predicted runtime multiplier for the
-// duration of one backfill pass.
+// bfEntry caches one (application, partition) pair's predicted runtime
+// multiplier for the duration of one backfill pass (the partition index
+// is always 0 on a homogeneous facility).
 type bfEntry struct {
 	app  *apps.App
+	part int
 	mult float64
 }
 
@@ -744,10 +825,13 @@ type bfEntry struct {
 // consistent policy state, so the lookup is loop-invariant per app). The
 // side-effect-free PeekSettings is preferred when the provider offers
 // it; the prediction must not consume override/revert randomness.
+// Non-primary partition jobs are predicted at their partition spec's
+// default setting, matching how start() runs them.
 func (s *Scheduler) predictRuntime(j *Job) time.Duration {
 	app := j.Spec.App
+	part := s.partOf(j)
 	for _, e := range s.bfCache {
-		if e.app == app {
+		if e.app == app && e.part == part {
 			return time.Duration(float64(j.Spec.RefRuntime) * e.mult)
 		}
 	}
@@ -758,24 +842,42 @@ func (s *Scheduler) predictRuntime(j *Job) time.Duration {
 	} else {
 		fs, m, _ = s.provider.JobSettings(app)
 	}
-	mult := app.TimeMultiplier(s.fac.Config().CPU, fs, m)
-	s.bfCache = append(s.bfCache, bfEntry{app: app, mult: mult})
+	spec := s.fac.Config().CPU
+	if part != 0 {
+		spec = s.parts[part].CPU
+		fs = spec.DefaultSetting()
+	}
+	mult := app.TimeMultiplier(spec, fs, m)
+	s.bfCache = append(s.bfCache, bfEntry{app: app, part: part, mult: mult})
 	return time.Duration(float64(j.Spec.RefRuntime) * mult)
 }
 
 // start allocates nodes and begins execution.
 func (s *Scheduler) start(j *Job, now time.Time) {
 	n := j.Spec.Nodes
+	part := s.partOf(j)
 	// The n lowest free IDs, ascending — the same placement the sorted
 	// free list produced. A recycled job's backing array is reused when
-	// it is large enough.
+	// it is large enough. On a heterogeneous facility the scan is
+	// restricted to the job's partition range.
 	buf := j.Nodes[:0]
 	if cap(buf) < n {
 		buf = make([]int, 0, n)
 	}
-	j.Nodes = s.free.TakeLowest(n, buf)
+	if s.hetero() {
+		p := &s.parts[part]
+		j.Nodes = s.free.TakeLowestRange(n, p.Start, p.End(), buf)
+	} else {
+		j.Nodes = s.free.TakeLowest(n, buf)
+	}
 
 	fs, m, override := s.provider.JobSettings(j.Spec.App)
+	if part != 0 {
+		// The frequency policy governs the CPU partition; other
+		// partitions run at their own spec's default setting (the BIOS
+		// determinism mode is fleet-wide and still applies).
+		fs, override = s.parts[part].CPU.DefaultSetting(), false
+	}
 	j.Setting, j.Mode, j.Override = fs, m, override
 
 	activity := j.Spec.App.Activity()
@@ -794,9 +896,11 @@ func (s *Scheduler) start(j *Job, now time.Time) {
 	}
 	perf := perfSum / float64(n)
 
-	kernelMult := j.Spec.App.Kernel.TimeMultiplier(
-		s.fac.Config().CPU.EffectiveFrequency(fs), s.fac.Config().CPU.BoostFreq)
-	j.Runtime = time.Duration(float64(j.Spec.RefRuntime) * kernelMult / perf)
+	// The frequency-response half of the stretch dispatches through the
+	// app's active PerfModel (measured table or scalar kernel); the
+	// sampled per-die perf factor divides outside, as always.
+	freqMult := j.Spec.App.FreqMultiplier(s.specFor(part), fs, m)
+	j.Runtime = time.Duration(float64(j.Spec.RefRuntime) * freqMult / perf)
 	if j.Runtime <= 0 {
 		j.Runtime = time.Second
 	}
@@ -995,10 +1099,14 @@ func (s *Scheduler) ReclockRunning(fs cpu.FreqSetting) (int, error) {
 		if j.Setting == fs {
 			continue
 		}
-		oldMult := j.Spec.App.Kernel.TimeMultiplier(
-			spec.EffectiveFrequency(j.Setting), spec.BoostFreq) / j.perf
-		newMult := j.Spec.App.Kernel.TimeMultiplier(
-			spec.EffectiveFrequency(fs), spec.BoostFreq) / j.perf
+		if s.hetero() && s.partOf(j) != 0 {
+			// The demand-response lever reclocks the CPU partition; other
+			// partitions hold their own operating point (fs is not even a
+			// valid setting for their spec).
+			continue
+		}
+		oldMult := j.Spec.App.FreqMultiplier(spec, j.Setting, j.Mode) / j.perf
+		newMult := j.Spec.App.FreqMultiplier(spec, fs, j.Mode) / j.perf
 
 		// Work completed so far, in reference-time units.
 		segment := now.Sub(j.reclockedAt)

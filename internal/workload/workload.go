@@ -32,6 +32,11 @@ type JobSpec struct {
 	// queue by priority (optionally aged — see sched.Config.AgingHours)
 	// and may preempt lower-priority running work for it.
 	Priority int
+	// Partition is the facility partition index the job targets (0 = the
+	// primary CPU partition). Assigned by a pure hash of the job ID, like
+	// Priority, so a heterogeneous run's job stream stays byte-identical
+	// to the homogeneous one apart from the routing itself.
+	Partition int
 }
 
 // NodeHours returns the job's reference node-hour cost.
@@ -44,6 +49,18 @@ func (j JobSpec) NodeHours() float64 {
 type PriorityClass struct {
 	Level int
 	Share float64
+}
+
+// PartitionShare routes a share of the job stream to facility partition
+// Index. Shares are normalised over the mix, exactly as for priorities.
+type PartitionShare struct {
+	Index int
+	Share float64
+	// MaxJobNodes, when positive, caps the node count of jobs routed to
+	// this partition (a small accelerator partition cannot absorb jobs
+	// sized for the full CPU machine). The cap applies after the shape
+	// draw, consuming nothing extra from the arrival stream.
+	MaxJobNodes int
 }
 
 // Config parameterises a generator.
@@ -67,6 +84,14 @@ type Config struct {
 	Priorities []PriorityClass
 	// PrioritySeed seeds the per-job priority hash.
 	PrioritySeed uint64
+	// Partitions, when non-empty, routes each job to a facility partition
+	// drawn from these shares. Like Priorities, the draw is a pure hash
+	// of the job ID under PartitionSeed — it consumes nothing from the
+	// arrival stream, so a heterogeneous run generates the same jobs as
+	// a homogeneous one.
+	Partitions []PartitionShare
+	// PartitionSeed seeds the per-job partition hash.
+	PartitionSeed uint64
 }
 
 // DefaultConfig returns the ARCHER2-like configuration over the given
@@ -114,6 +139,21 @@ func NewGenerator(cfg Config, r *rng.Stream) (*Generator, error) {
 		}
 		if total <= 0 {
 			return nil, fmt.Errorf("workload: priority shares sum to zero")
+		}
+	}
+	if len(cfg.Partitions) > 0 {
+		total := 0.0
+		for _, ps := range cfg.Partitions {
+			if ps.Share < 0 {
+				return nil, fmt.Errorf("workload: negative partition share %v", ps.Share)
+			}
+			if ps.Index < 0 {
+				return nil, fmt.Errorf("workload: negative partition index %d", ps.Index)
+			}
+			total += ps.Share
+		}
+		if total <= 0 {
+			return nil, fmt.Errorf("workload: partition shares sum to zero")
 		}
 	}
 	weights := make([]float64, len(cfg.Classes))
@@ -165,8 +205,35 @@ func (g *Generator) Next() (JobSpec, time.Duration) {
 		RefRuntime: rt,
 		Priority:   g.priorityFor(g.nextID),
 	}
+	if len(g.cfg.Partitions) > 0 {
+		ps := g.partitionFor(g.nextID)
+		spec.Partition = ps.Index
+		if ps.MaxJobNodes > 0 && spec.Nodes > ps.MaxJobNodes {
+			spec.Nodes = ps.MaxJobNodes
+		}
+	}
 	gapHours := g.stream.Exp(g.cfg.ArrivalRatePerHour)
 	return spec, time.Duration(gapHours * float64(time.Hour))
+}
+
+// partitionFor routes a job to a partition share by hashing its ID, the
+// same pure-function-of-(seed, id) idiom as priorityFor: no arrival-
+// stream draws, so routing changes never perturb job shapes.
+func (g *Generator) partitionFor(id int) PartitionShare {
+	total := 0.0
+	for _, ps := range g.cfg.Partitions {
+		total += ps.Share
+	}
+	h := rng.DeriveSeed(g.cfg.PartitionSeed, fmt.Sprintf("partition/%d", id))
+	u := float64(h>>11) / (1 << 53) * total
+	cum := 0.0
+	for _, ps := range g.cfg.Partitions {
+		cum += ps.Share
+		if u < cum {
+			return ps
+		}
+	}
+	return g.cfg.Partitions[len(g.cfg.Partitions)-1]
 }
 
 // priorityFor assigns a job's priority level by hashing its ID against

@@ -281,3 +281,109 @@ func TestPriorityValidation(t *testing.T) {
 		t.Error("zero-sum priority shares accepted")
 	}
 }
+
+// genWithPartitions builds a calibrated generator with the given partition
+// shares and hash seed on top of the default config.
+func genWithPartitions(t *testing.T, seed uint64, pss []PartitionShare, partSeed uint64) *Generator {
+	t.Helper()
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Partitions = pss
+	cfg.PartitionSeed = partSeed
+	g, err := NewGenerator(cfg, rng.New(seed).Split("workload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CalibrateArrivalRate(5860, 1.1); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+var testPartitionMix = []PartitionShare{
+	{Index: 0, Share: 0.9},
+	{Index: 1, Share: 0.1, MaxJobNodes: 64},
+}
+
+// Routing jobs to partitions must not perturb the arrival stream: like
+// priorities, the assignment is a pure hash of (PartitionSeed, job ID),
+// so a heterogeneous run generates the exact job sequence of the
+// homogeneous one — only Partition (and the partition node cap) differ.
+func TestPartitionAssignmentStreamIndependent(t *testing.T) {
+	plain := genWithPartitions(t, 31, nil, 55)
+	part := genWithPartitions(t, 31, testPartitionMix, 55)
+	routed := 0
+	for i := 0; i < 5000; i++ {
+		sa, ga := plain.Next()
+		sb, gb := part.Next()
+		if sa.ID != sb.ID || sa.Class != sb.Class || sa.RefRuntime != sb.RefRuntime || ga != gb {
+			t.Fatalf("partition mix perturbed the job stream at job %d", i)
+		}
+		if sa.Partition != 0 {
+			t.Fatalf("job %d: generator without partitions routed to %d", sa.ID, sa.Partition)
+		}
+		if sb.Partition == 1 {
+			routed++
+			if sb.Nodes > 64 {
+				t.Fatalf("job %d: partition cap ignored (%d nodes)", sb.ID, sb.Nodes)
+			}
+		} else if sa.Nodes != sb.Nodes {
+			t.Fatalf("job %d: primary-partition job resized (%d vs %d)", sa.ID, sa.Nodes, sb.Nodes)
+		}
+	}
+	if routed == 0 {
+		t.Error("no jobs routed to the extra partition")
+	}
+}
+
+// Partition routing depends only on (PartitionSeed, ID) — not on the
+// arrival seed — and follows the declared shares.
+func TestPartitionSharesAndSeed(t *testing.T) {
+	g := genWithPartitions(t, 31, testPartitionMix, 55)
+	sameHash := genWithPartitions(t, 99, testPartitionMix, 55)
+	otherHash := genWithPartitions(t, 31, testPartitionMix, 56)
+	counts := map[int]int{}
+	n, moved := 30000, 0
+	for i := 0; i < n; i++ {
+		sa, _ := g.Next()
+		sb, _ := sameHash.Next()
+		sc, _ := otherHash.Next()
+		if sa.Partition != sb.Partition {
+			t.Fatalf("job %d: partition depends on the arrival seed", sa.ID)
+		}
+		if sa.Partition != sc.Partition {
+			moved++
+		}
+		counts[sa.Partition]++
+	}
+	for _, ps := range testPartitionMix {
+		frac := float64(counts[ps.Index]) / float64(n)
+		if math.Abs(frac-ps.Share) > 0.02 {
+			t.Errorf("partition %d: drawn %.3f, share %.3f", ps.Index, frac, ps.Share)
+		}
+	}
+	if moved == 0 {
+		t.Error("changing PartitionSeed left every assignment unchanged")
+	}
+}
+
+// Invalid partition mixes are rejected at construction.
+func TestPartitionValidation(t *testing.T) {
+	cfg, err := DefaultConfig(calibratedMix(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]PartitionShare{
+		{{Index: 0, Share: -0.5}},
+		{{Index: -1, Share: 1}},
+		{{Index: 0, Share: 0}, {Index: 1, Share: 0}},
+	} {
+		cfgBad := cfg
+		cfgBad.Partitions = bad
+		if _, err := NewGenerator(cfgBad, rng.New(1)); err == nil {
+			t.Errorf("invalid partition mix %v accepted", bad)
+		}
+	}
+}
