@@ -22,6 +22,7 @@ import (
 	"github.com/greenhpc/archertwin/internal/emissions"
 	"github.com/greenhpc/archertwin/internal/facility"
 	"github.com/greenhpc/archertwin/internal/grid"
+	"github.com/greenhpc/archertwin/internal/journal"
 	"github.com/greenhpc/archertwin/internal/node"
 	"github.com/greenhpc/archertwin/internal/policy"
 	"github.com/greenhpc/archertwin/internal/rng"
@@ -719,3 +720,41 @@ func BenchmarkGridYear(b *testing.B) {
 // rooflineKernel is a tiny helper keeping the bench file free of a direct
 // roofline import alias clash.
 func rooflineKernel(c float64) roofline.Kernel { return roofline.Kernel{ComputeFraction: c} }
+
+// BenchmarkJournalAppend measures the durable journal's amortized
+// append+commit cost with real fsyncs: records accumulate in the group-
+// commit buffer and every 256th Commit pays one fsync for the whole
+// batch — the write pattern a busy durable twinserver settles into. The
+// target is amortized sub-10µs per record.
+func BenchmarkJournalAppend(b *testing.B) {
+	l, err := journal.Open(b.TempDir(), journal.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	ctx := context.Background()
+	rec := &journal.ScenarioDone{
+		Sweep: "sweep-1",
+		Result: scenario.Result{
+			Scenario:  scenario.Scenario{Name: "freq=capped/grid=200"},
+			MeanPower: 1893.4, MeanUtil: 0.87, Energy: 123.4,
+			SimDigest: "0123456789abcdef0123456789abcdef",
+		},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Index = i
+		rec.Result.Scenario.Index = i
+		if err := l.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%256 == 0 {
+			if err := l.Commit(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := l.Commit(ctx); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -9,11 +9,23 @@
 //
 //	twinserver [-addr :8990] [-workers N] [-memo-cap N]
 //	           [-memo-budget-bytes N] [-max-concurrent N] [-max-finished N]
-//	           [-coordinator] [-join URL] [-advertise URL]
-//	           [-heartbeat D] [-shard-timeout D] [-worker-ttl D]
+//	           [-data-dir DIR] [-retention N] [-max-pending N]
+//	           [-drain-timeout D] [-coordinator] [-join URL]
+//	           [-advertise URL] [-heartbeat D] [-shard-timeout D]
+//	           [-worker-ttl D]
 //
 // The wire contract (endpoints, envelopes, error codes) is documented in
 // docs/api.md; docs/sweeps.md has a usage walkthrough.
+//
+// Durability. -data-dir DIR makes the server durable: every sweep
+// transition is journaled (and fsynced) under DIR before it is
+// acknowledged, and a restart replays the journal — completed sweeps
+// re-register with their journaled results, interrupted ones resume
+// with only their missing scenarios re-simulated, byte-identical to an
+// uninterrupted run. On SIGTERM a durable server drains: submissions
+// are refused, in-flight sweeps get -drain-timeout to finish, and
+// stragglers are journaled as interrupted for the next start to resume.
+// See docs/architecture.md, "Durability & recovery".
 //
 // Fabric modes. A plain twinserver is a self-contained single-process
 // service. Two flags turn a set of them into a distributed sweep fabric:
@@ -51,6 +63,7 @@ import (
 
 	"github.com/greenhpc/archertwin/internal/api"
 	"github.com/greenhpc/archertwin/internal/fabric"
+	"github.com/greenhpc/archertwin/internal/journal"
 	"github.com/greenhpc/archertwin/internal/scenario"
 	"github.com/greenhpc/archertwin/internal/service"
 )
@@ -65,36 +78,71 @@ func main() {
 	noFork := flag.Bool("no-fork", false, "run mid-sweep divergence branches cold instead of forking them from the shared prefix checkpoint")
 	maxConcurrent := flag.Int("max-concurrent", 2, "max concurrently executing sweeps (or shards, on a worker)")
 	maxFinished := flag.Int("max-finished", 64, "finished sweeps retained for status/result queries")
+	dataDir := flag.String("data-dir", "", "journal directory; enables durable mode (crash recovery, resumable sweeps)")
+	retention := flag.Int("retention", 0, "finished sweeps whose journal records are retained before compaction (0 = -max-finished)")
+	maxPending := flag.Int("max-pending", 64, "queued sweeps beyond which submissions are shed with 429 + Retry-After (0 = unbounded)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long in-flight sweeps may finish on SIGTERM before being journaled as interrupted")
 	coordinator := flag.Bool("coordinator", false, "run as a fabric coordinator: dispatch sweeps as shards to joined workers instead of simulating locally")
 	join := flag.String("join", "", "coordinator base URL to join as a worker (e.g. http://host:8990)")
 	advertise := flag.String("advertise", "", "base URL this worker advertises when joining (default derived from -addr)")
 	heartbeat := flag.Duration("heartbeat", 10*time.Second, "worker re-join (heartbeat) interval when -join is set")
 	shardTimeout := flag.Duration("shard-timeout", 15*time.Minute, "coordinator: per-shard dispatch timeout before re-sharding")
-	workerTTL := flag.Duration("worker-ttl", 0, "coordinator: drop workers not heard from within this window (0 = never expire)")
+	workerTTL := flag.Duration("worker-ttl", 0, "coordinator: drop workers not heard from within this window (0 = 3x -heartbeat; negative = never expire)")
 	flag.Parse()
 
 	if *coordinator && *join != "" {
 		log.Fatal("-coordinator and -join are mutually exclusive")
+	}
+	if *coordinator && *dataDir != "" {
+		log.Fatal("-coordinator and -data-dir are mutually exclusive: a coordinator owns no execution state to journal")
 	}
 
 	var (
 		coord   *fabric.Coordinator
 		handler http.Handler
 	)
-	cfg := service.Config{MaxConcurrent: *maxConcurrent, MaxFinished: *maxFinished}
+	cfg := service.Config{
+		MaxConcurrent: *maxConcurrent,
+		MaxFinished:   *maxFinished,
+		Retention:     *retention,
+		MaxPending:    *maxPending,
+	}
 	if *coordinator {
 		// A coordinator owns no runner: its "execution" is sharding the
 		// sweep across the joined workers. Everything else — the
 		// registry, singleflight dedup, lifecycle, cancellation — is the
 		// same service.
-		coord = fabric.New(fabric.Config{ShardTimeout: *shardTimeout, WorkerTTL: *workerTTL})
+		coord = fabric.New(fabric.Config{
+			ShardTimeout: *shardTimeout,
+			Heartbeat:    *heartbeat,
+			WorkerTTL:    *workerTTL,
+			Logf:         log.Printf,
+		})
 		cfg.Run = coord.Run
 	} else {
 		cfg.Runner = &scenario.Runner{Workers: *workers, MemoCap: *memoCap, MemoBudgetBytes: *memoBudget, NoFork: *noFork}
 	}
+	var jl *journal.Log
+	if *dataDir != "" {
+		var err error
+		if jl, err = journal.Open(*dataDir, journal.Options{}); err != nil {
+			log.Fatal(err)
+		}
+		cfg.Journal = jl
+	}
 	svc, err := service.New(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if jl != nil {
+		stats, err := svc.Recover(context.Background())
+		if err != nil {
+			log.Fatalf("recovering journal %s: %v", *dataDir, err)
+		}
+		if stats.Sweeps > 0 {
+			log.Printf("recovered %d sweeps from %s: %d finished, %d resumed, %d journaled results reused",
+				stats.Sweeps, *dataDir, stats.Finished, stats.Resumed, stats.ReusedResults)
+		}
 	}
 	handler = service.NewHandler(svc)
 	if coord != nil {
@@ -128,14 +176,31 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain: cancel in-flight sweeps, then give the listener a bounded
-	// window to flush responses.
-	log.Print("shutting down")
-	svc.Shutdown()
+	// Drain: durable servers give in-flight sweeps a bounded window to
+	// finish (stragglers are journaled as interrupted, so the next start
+	// resumes them); non-durable ones cancel immediately. Then the
+	// listener gets its own window to flush responses.
+	if jl != nil {
+		log.Printf("draining: in-flight sweeps have %v to finish", *drainTimeout)
+		drainCtx, cancelDrain := context.WithTimeout(context.Background(), *drainTimeout)
+		interrupted := svc.Drain(drainCtx)
+		cancelDrain()
+		if interrupted > 0 {
+			log.Printf("%d sweeps journaled as interrupted; they resume on next start", interrupted)
+		}
+	} else {
+		log.Print("shutting down")
+		svc.Shutdown()
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("shutdown: %v", err)
+	}
+	if jl != nil {
+		if err := jl.Close(); err != nil {
+			log.Printf("closing journal: %v", err)
+		}
 	}
 }
 

@@ -62,6 +62,12 @@ const (
 	// ErrUnavailable: the server is shutting down or cannot serve this
 	// request right now; retrying elsewhere (or later) may succeed.
 	ErrUnavailable ErrorCode = "unavailable"
+	// ErrOverloaded: the server shed this request under load (executor
+	// saturated or journal stalled). Travels with HTTP 429 and a
+	// Retry-After header; retrying after the hinted delay is expected to
+	// succeed. Shedding happens before any state changes, so retries are
+	// always safe.
+	ErrOverloaded ErrorCode = "overloaded"
 	// ErrInternal: unclassified server-side failure.
 	ErrInternal ErrorCode = "internal"
 )
@@ -76,6 +82,11 @@ type Error struct {
 	// HTTPStatus is the HTTP status the error travelled with. It is
 	// client-side bookkeeping, not part of the wire envelope.
 	HTTPStatus int `json:"-"`
+
+	// RetryAfter is the parsed Retry-After hint an overloaded (429)
+	// response travelled with; zero when absent. Client-side
+	// bookkeeping, not part of the wire envelope.
+	RetryAfter time.Duration `json:"-"`
 }
 
 // Error implements error.
@@ -292,4 +303,15 @@ func WriteErrorStatus(w http.ResponseWriter, httpStatus int, code ErrorCode, msg
 func WriteMethodNotAllowed(w http.ResponseWriter, allow string) {
 	w.Header().Set("Allow", allow)
 	WriteError(w, http.StatusMethodNotAllowed, ErrMethodNotAllowed, "method not allowed; use "+allow)
+}
+
+// WriteOverloaded writes the 429 load-shedding envelope with a
+// Retry-After header (whole seconds, rounded up, at least 1).
+func WriteOverloaded(w http.ResponseWriter, retryAfter time.Duration, msg string) {
+	secs := int((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", secs))
+	WriteError(w, http.StatusTooManyRequests, ErrOverloaded, msg)
 }

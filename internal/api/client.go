@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -194,7 +196,11 @@ func (c *Client) do(ctx context.Context, method, path string, query url.Values, 
 // doCode performs one API call: marshal in (when non-nil), decode a 2xx
 // body into out (when non-nil), decode anything else as an
 // ErrorEnvelope and return its *Error. Retryable requests re-attempt
-// transport errors and 502/503/504 with doubling backoff.
+// transport errors and 502/503/504 with doubling backoff. An overloaded
+// (429) answer is retried on every call — even non-idempotent ones,
+// because the server sheds before any state changes — honouring its
+// Retry-After hint with jitter so a herd of shed clients does not
+// return in lockstep.
 func (c *Client) doCode(ctx context.Context, method, path string, query url.Values, in, out any, retryable bool) (int, error) {
 	u := c.BaseURL + path
 	if len(query) > 0 {
@@ -211,8 +217,9 @@ func (c *Client) doCode(ctx context.Context, method, path string, query url.Valu
 	if retries == 0 {
 		retries = 2
 	}
+	transientRetries := retries
 	if !retryable {
-		retries = 0
+		transientRetries = 0
 	}
 	backoff := c.Backoff
 	if backoff <= 0 {
@@ -223,13 +230,14 @@ func (c *Client) doCode(ctx context.Context, method, path string, query url.Valu
 		httpc = http.DefaultClient
 	}
 
+	var wait time.Duration // delay before the next attempt, set when retrying
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
 				return 0, ctx.Err()
-			case <-time.After(backoff << (attempt - 1)):
+			case <-time.After(wait):
 			}
 		}
 		var rd io.Reader
@@ -246,18 +254,41 @@ func (c *Client) doCode(ctx context.Context, method, path string, query url.Valu
 		resp, err := httpc.Do(req)
 		if err != nil {
 			lastErr = fmt.Errorf("api: %s %s: %w", method, path, err)
-			if attempt < retries && ctx.Err() == nil {
+			if attempt < transientRetries && ctx.Err() == nil {
+				wait = backoff << attempt
 				continue
 			}
 			return 0, lastErr
 		}
 		code, err := decodeResponse(resp, out)
-		if err != nil && attempt < retries && ctx.Err() == nil && IsTransient(err) {
-			lastErr = err
-			continue
+		if err != nil && ctx.Err() == nil {
+			var apiErr *Error
+			if errors.As(err, &apiErr) && apiErr.Code == ErrOverloaded && attempt < retries {
+				base := apiErr.RetryAfter
+				if base <= 0 {
+					base = backoff << attempt
+				}
+				wait = withJitter(base)
+				lastErr = err
+				continue
+			}
+			if attempt < transientRetries && IsTransient(err) {
+				wait = backoff << attempt
+				lastErr = err
+				continue
+			}
 		}
 		return code, err
 	}
+}
+
+// withJitter stretches a retry delay by up to 25% so shed clients
+// spread out instead of re-arriving together at the Retry-After mark.
+func withJitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/4+1))
 }
 
 // decodeResponse consumes and closes the response body: 2xx decodes
@@ -277,9 +308,11 @@ func decodeResponse(resp *http.Response, out any) (int, error) {
 		}
 		return resp.StatusCode, nil
 	}
+	retryAfter := parseRetryAfter(resp.Header.Get("Retry-After"))
 	var env ErrorEnvelope
 	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil {
 		env.Error.HTTPStatus = resp.StatusCode
+		env.Error.RetryAfter = retryAfter
 		return resp.StatusCode, env.Error
 	}
 	// Not an envelope (a proxy error page, an old server): synthesize.
@@ -291,5 +324,15 @@ func decodeResponse(resp *http.Response, out any) (int, error) {
 	if resp.StatusCode == http.StatusServiceUnavailable {
 		code = ErrUnavailable
 	}
-	return resp.StatusCode, &Error{Code: code, Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, msg), HTTPStatus: resp.StatusCode}
+	return resp.StatusCode, &Error{Code: code, Message: fmt.Sprintf("HTTP %d: %s", resp.StatusCode, msg), HTTPStatus: resp.StatusCode, RetryAfter: retryAfter}
+}
+
+// parseRetryAfter reads an integer-seconds Retry-After value (the only
+// form twinserver emits); anything else is zero.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }

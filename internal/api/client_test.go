@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/greenhpc/archertwin/internal/scenario"
 )
 
 // TestClientDecodesErrorEnvelope: a non-2xx envelope comes back as a
@@ -117,5 +119,88 @@ func TestClientTransportErrorsAreTransient(t *testing.T) {
 	}
 	if !IsTransient(err) {
 		t.Errorf("connection-refused must classify transient, got %v", err)
+	}
+}
+
+// TestWriteOverloadedPinsWire: the 429 answer carries the overloaded
+// envelope and a whole-second Retry-After header (rounded up, never
+// below 1).
+func TestWriteOverloadedPinsWire(t *testing.T) {
+	for _, tc := range []struct {
+		retryAfter time.Duration
+		header     string
+	}{
+		{3 * time.Second, "3"},
+		{1500 * time.Millisecond, "2"}, // rounds up
+		{0, "1"},                       // floor
+	} {
+		rec := httptest.NewRecorder()
+		WriteOverloaded(rec, tc.retryAfter, "executor saturated")
+		if rec.Code != http.StatusTooManyRequests {
+			t.Errorf("retryAfter %v: status = %d, want 429", tc.retryAfter, rec.Code)
+		}
+		if got := rec.Header().Get("Retry-After"); got != tc.header {
+			t.Errorf("retryAfter %v: Retry-After = %q, want %q", tc.retryAfter, got, tc.header)
+		}
+	}
+}
+
+// TestClientRetriesOverloaded: a 429 is retried — even on a
+// non-idempotent submission, because shedding happens before any state
+// changes — after at least the server's Retry-After hint.
+func TestClientRetriesOverloaded(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			WriteOverloaded(w, time.Second, "executor saturated")
+			return
+		}
+		WriteJSON(w, http.StatusAccepted, SweepStatus{ID: "sweep-1", State: StatePending})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	start := time.Now()
+	st, joined, err := c.SubmitSweep(context.Background(), scenario.Spec{Name: "x", Nodes: 32, Days: 1})
+	if err != nil {
+		t.Fatalf("SubmitSweep through two 429s: %v", err)
+	}
+	if joined || st.ID != "sweep-1" {
+		t.Errorf("joined=%v status=%+v, want fresh sweep-1", joined, st)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("server saw %d calls, want 3 (two 429 retries)", got)
+	}
+	// Two retries each waited >= the 1s Retry-After hint (plus jitter).
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Errorf("elapsed %v, want >= 2s (Retry-After honoured twice)", elapsed)
+	}
+}
+
+// TestClientOverloadedRetriesBounded: a server that sheds forever
+// exhausts the retry budget and surfaces the typed 429 with its hint.
+func TestClientOverloadedRetriesBounded(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		WriteOverloaded(w, time.Second, "journal disk stalled")
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	c.Retries = 1
+	_, _, err := c.SubmitSweep(context.Background(), scenario.Spec{Name: "x", Nodes: 32, Days: 1})
+	var apiErr *Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v (%T), want *api.Error", err, err)
+	}
+	if apiErr.Code != ErrOverloaded || apiErr.HTTPStatus != http.StatusTooManyRequests {
+		t.Errorf("decoded error = %+v, want code=overloaded status=429", apiErr)
+	}
+	if apiErr.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", apiErr.RetryAfter)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("server saw %d calls, want 2 (retry budget 1)", got)
 	}
 }

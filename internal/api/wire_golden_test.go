@@ -71,6 +71,9 @@ func wireSamples() map[string]any {
 			Error:  &Error{Code: ErrSweepNotDone, Message: "sweep sweep-1 is running"},
 			Status: &status,
 		},
+		"error_overloaded": ErrorEnvelope{
+			Error: &Error{Code: ErrOverloaded, Message: "executor saturated; retry after 3s"},
+		},
 		"sweep_status": terminal,
 		"sweep_list":   SweepList{Sweeps: []SweepStatus{status}, Total: 3},
 		"results_payload": ResultsPayload{

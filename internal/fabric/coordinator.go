@@ -53,13 +53,21 @@ type Config struct {
 	// Backoff is the base delay before a re-shard round, doubling per
 	// round (default 250ms).
 	Backoff time.Duration
+	// Heartbeat is the interval workers are expected to re-join at —
+	// the basis for the WorkerTTL default (default 10s, matching
+	// cmd/twinserver's -heartbeat).
+	Heartbeat time.Duration
 	// WorkerTTL expires workers whose last join (heartbeat) is older
-	// than this (default 0: never expire; dispatch failures still remove
-	// them).
+	// than this. 0 defaults to 3× Heartbeat — three missed heartbeats
+	// mean the worker is gone, not slow; negative disables expiry
+	// entirely (dispatch failures still remove workers).
 	WorkerTTL time.Duration
 	// NewClient builds the API client for a worker base URL; nil means
 	// api.NewClient. Tests substitute it to inject faults.
 	NewClient func(baseURL string) *api.Client
+	// Logf, when non-nil, receives membership events (TTL evictions);
+	// typically log.Printf.
+	Logf func(format string, args ...any)
 
 	// Now reports the current time; nil means time.Now (tests).
 	Now func() time.Time
@@ -97,6 +105,15 @@ func New(cfg Config) *Coordinator {
 	}
 	if cfg.NewClient == nil {
 		cfg.NewClient = api.NewClient
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 10 * time.Second
+	}
+	switch {
+	case cfg.WorkerTTL == 0:
+		cfg.WorkerTTL = 3 * cfg.Heartbeat
+	case cfg.WorkerTTL < 0:
+		cfg.WorkerTTL = 0 // never expire
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -148,6 +165,10 @@ func (c *Coordinator) live() []*member {
 	for url, m := range c.members {
 		if c.cfg.WorkerTTL > 0 && now.Sub(m.lastSeen) > c.cfg.WorkerTTL {
 			delete(c.members, url)
+			if c.cfg.Logf != nil {
+				c.cfg.Logf("fabric: worker %s evicted: no heartbeat for %v (TTL %v)",
+					url, now.Sub(m.lastSeen).Round(time.Second), c.cfg.WorkerTTL)
+			}
 			continue
 		}
 		out = append(out, m)

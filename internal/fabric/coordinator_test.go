@@ -6,6 +6,7 @@ package fabric_test
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -256,6 +257,38 @@ func TestFabricWorkerTTL(t *testing.T) {
 	coord.Join("http://10.0.0.1:8990")
 	if got := len(coord.Workers().Workers); got != 1 {
 		t.Errorf("membership after re-join = %d, want 1", got)
+	}
+}
+
+// TestFabricWorkerTTLDefaults: WorkerTTL defaults to three missed
+// heartbeats, a negative TTL disables expiry, and evictions are logged.
+func TestFabricWorkerTTLDefaults(t *testing.T) {
+	now := time.Unix(1700000000, 0)
+	clock := func() time.Time { return now }
+
+	var logged []string
+	logf := func(format string, args ...any) {
+		logged = append(logged, fmt.Sprintf(format, args...))
+	}
+	coord := fabric.New(fabric.Config{Heartbeat: time.Second, Now: clock, Logf: logf})
+	coord.Join("http://10.0.0.1:8990")
+	now = now.Add(2 * time.Second) // within 3× heartbeat
+	if got := len(coord.Workers().Workers); got != 1 {
+		t.Fatalf("membership within default TTL = %d, want 1", got)
+	}
+	now = now.Add(2 * time.Second) // past 3s TTL
+	if got := len(coord.Workers().Workers); got != 0 {
+		t.Errorf("membership past 3x heartbeat = %d, want 0 (default TTL)", got)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "evicted") {
+		t.Errorf("eviction log = %q, want one eviction line", logged)
+	}
+
+	never := fabric.New(fabric.Config{Heartbeat: time.Second, WorkerTTL: -1, Now: clock})
+	never.Join("http://10.0.0.2:8990")
+	now = now.Add(24 * time.Hour)
+	if got := len(never.Workers().Workers); got != 1 {
+		t.Errorf("membership with negative TTL = %d, want 1 (never expire)", got)
 	}
 }
 

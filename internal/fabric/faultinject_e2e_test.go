@@ -1,0 +1,80 @@
+package fabric_test
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/api"
+	"github.com/greenhpc/archertwin/internal/fabric"
+	"github.com/greenhpc/archertwin/internal/faultinject"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// TestFabricByteIdenticalUnderInjectedFaults drives the coordinator
+// through seeded network-fault schedules — dropped connections, delays,
+// duplicated shard dispatches, truncated response bodies — and asserts
+// every schedule still merges to results byte-identical to a direct
+// single-process run. The fault budget stays below the worker count, so
+// a survivor always remains for the re-shard rounds.
+func TestFabricByteIdenticalUnderInjectedFaults(t *testing.T) {
+	ctx := context.Background()
+	direct, err := (&scenario.Runner{Workers: 2}).Run(ctx, fabricSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTables, wantDigests := rendered(t, direct)
+
+	seeds := 10
+	if testing.Short() {
+		seeds = 3
+	}
+	for seed := 0; seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			workers := make([]*httptest.Server, 4)
+			for i := range workers {
+				workers[i] = newWorker(t, nil)
+			}
+			// One seeded transport shared by every worker client: the
+			// schedule spans the whole sweep's traffic. Budget 2 faults —
+			// each can cost a worker its membership, and two losses still
+			// leave survivors to re-shard onto.
+			tr := faultinject.NewTransport(uint64(seed), nil)
+			tr.MaxFaults = 2
+			coord := fabric.New(fabric.Config{
+				Backoff:      5 * time.Millisecond,
+				ShardTimeout: time.Minute,
+				MaxRounds:    6,
+				NewClient: func(baseURL string) *api.Client {
+					c := api.NewClient(baseURL)
+					c.HTTPClient = &http.Client{Transport: tr}
+					return c
+				},
+			})
+			for _, w := range workers {
+				coord.Join(w.URL)
+			}
+			res, err := coord.Run(ctx, fabricSpec(), nil)
+			if err != nil {
+				t.Fatalf("sweep failed under %d injected faults: %v", tr.Faults(), err)
+			}
+			gotTables, gotDigests := rendered(t, res)
+			for i := range wantTables {
+				if gotTables[i] != wantTables[i] {
+					t.Errorf("table %d differs from single-process render under faults:\n--- direct ---\n%s\n--- fabric ---\n%s",
+						i, wantTables[i], gotTables[i])
+				}
+			}
+			for i := range wantDigests {
+				if gotDigests[i] != wantDigests[i] {
+					t.Errorf("scenario %d digest %s != direct %s (faults=%d)",
+						i, gotDigests[i], wantDigests[i], tr.Faults())
+				}
+			}
+		})
+	}
+}

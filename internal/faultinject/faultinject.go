@@ -1,0 +1,257 @@
+// Package faultinject builds deterministic, seed-driven fault plans for
+// the durability and fabric layers: process crashes at exact journal
+// record boundaries (via journal.CrashFunc) and network faults — dropped
+// connections, delays, duplicated requests, truncated response bodies —
+// via an http.RoundTripper wrapper.
+//
+// Everything a plan does is drawn from one internal/rng stream derived
+// from its seed, so a schedule is reproducible from the seed alone and a
+// failing property-test seed replays exactly. The property suites in
+// internal/service and internal/fabric sweep hundreds of seeds and
+// assert the recovered (or re-sharded) sweep results are byte-identical
+// to an uninterrupted run under every schedule — the fault layer turns
+// "we retry" into a tested invariant.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/journal"
+	"github.com/greenhpc/archertwin/internal/rng"
+)
+
+// CrashPlan is a deterministic process-crash schedule for a journal: it
+// kills the log at one seed-chosen record ordinal, optionally tearing
+// that record's frame mid-write. A plan whose ordinal lands past the
+// run's record count never fires — some seeds complete cleanly, which
+// the property suite wants too.
+type CrashPlan struct {
+	// CrashAt is the 1-based record ordinal the crash fires at (0 =
+	// never).
+	CrashAt int
+	// Torn marks the crash as a torn write; TornFrac picks how much of
+	// the frame reaches disk.
+	Torn     bool
+	TornFrac float64
+
+	mu    sync.Mutex
+	count int
+	fired bool
+}
+
+// NewCrashPlan derives a crash schedule from seed. The crash ordinal is
+// uniform over [1, maxRecords]: every boundary between two journal
+// records — and, via torn writes, every byte within a record — is
+// reachable by some seed.
+func NewCrashPlan(seed uint64, maxRecords int) *CrashPlan {
+	if maxRecords < 1 {
+		maxRecords = 1
+	}
+	r := rng.New(rng.DeriveSeed(seed, "faultinject/crash"))
+	return &CrashPlan{
+		CrashAt:  1 + r.Intn(maxRecords),
+		Torn:     r.Float64() < 0.5,
+		TornFrac: r.Float64(),
+	}
+}
+
+// Hook returns the journal.CrashFunc implementing the plan.
+func (p *CrashPlan) Hook() journal.CrashFunc {
+	return func(_ journal.Record, frameLen int) journal.CrashPoint {
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		p.count++
+		if p.CrashAt == 0 || p.count != p.CrashAt {
+			return journal.CrashPoint{}
+		}
+		p.fired = true
+		if !p.Torn {
+			return journal.CrashPoint{Mode: journal.CrashBefore}
+		}
+		return journal.CrashPoint{
+			Mode:      journal.CrashTorn,
+			TornBytes: int(p.TornFrac * float64(frameLen)),
+		}
+	}
+}
+
+// Fired reports whether the crash went off (a plan whose ordinal
+// exceeded the run's record count completes cleanly).
+func (p *CrashPlan) Fired() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fired
+}
+
+// ErrInjected is the transport-level error injected for dropped
+// requests; it reaches clients like any connection reset would.
+var ErrInjected = errors.New("faultinject: injected connection fault")
+
+// Transport wraps an http.RoundTripper with seed-driven traffic faults.
+// Per request it may drop the connection, delay delivery, duplicate the
+// request (send it twice, discard the first answer), or truncate the
+// response body mid-stream. Drop and truncate — the faults a client
+// perceives as worker loss — share a budget (MaxFaults) so a fault-heavy
+// seed cannot starve a sweep of workers forever; delay and duplication
+// are harmless and unbudgeted.
+//
+// Decisions are drawn from one seeded stream; under concurrent use the
+// interleaving (and so the schedule) depends on goroutine timing, but
+// the invariant under test never does: every schedule must yield
+// byte-identical sweep results.
+type Transport struct {
+	// Base performs the real requests; nil means http.DefaultTransport.
+	Base http.RoundTripper
+	// Fault probabilities in [0, 1].
+	DropProb, DelayProb, DupProb, TruncProb float64
+	// MaxDelay bounds one injected delay.
+	MaxDelay time.Duration
+	// MaxFaults budgets drops + truncations (liveness).
+	MaxFaults int
+
+	mu     sync.Mutex
+	rng    *rng.Stream
+	faults int
+}
+
+// NewTransport derives a fault-injecting transport from seed with
+// defaults tuned for the property suites: faults are frequent enough
+// that most seeds exercise the retry paths, bounded enough that every
+// sweep still completes.
+func NewTransport(seed uint64, base http.RoundTripper) *Transport {
+	return &Transport{
+		Base:      base,
+		DropProb:  0.15,
+		DelayProb: 0.25,
+		DupProb:   0.10,
+		TruncProb: 0.10,
+		MaxDelay:  20 * time.Millisecond,
+		MaxFaults: 8,
+		rng:       rng.New(rng.DeriveSeed(seed, "faultinject/transport")),
+	}
+}
+
+// Faults reports how many budgeted faults (drops + truncations) have
+// been injected.
+func (t *Transport) Faults() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.faults
+}
+
+// decision is one request's drawn fault schedule.
+type decision struct {
+	drop, dup, trunc bool
+	delay            time.Duration
+	truncAfter       int
+}
+
+func (t *Transport) decide() decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var d decision
+	budget := t.faults < t.MaxFaults
+	if t.rng.Float64() < t.DropProb && budget {
+		d.drop = true
+		t.faults++
+		return d
+	}
+	if t.rng.Float64() < t.DelayProb && t.MaxDelay > 0 {
+		d.delay = time.Duration(t.rng.Float64() * float64(t.MaxDelay))
+	}
+	if t.rng.Float64() < t.DupProb {
+		d.dup = true
+	}
+	if t.rng.Float64() < t.TruncProb && budget {
+		d.trunc = true
+		d.truncAfter = t.rng.Intn(256)
+		t.faults++
+	}
+	return d
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	d := t.decide()
+	if d.drop {
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	if d.delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.delay):
+		}
+	}
+	if d.dup {
+		// Deliver the request twice and keep only the second answer —
+		// the duplicate-delivery case retries and idempotent handlers
+		// must tolerate. Only replayable bodies can duplicate.
+		if dupReq, ok := cloneRequest(req); ok {
+			if resp, err := base.RoundTrip(dupReq); err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+			if rewound, ok := cloneRequest(req); ok {
+				req = rewound
+			}
+		}
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil || !d.trunc {
+		return resp, err
+	}
+	resp.Body = &truncatedBody{rc: resp.Body, remaining: d.truncAfter}
+	return resp, nil
+}
+
+// cloneRequest re-materialises a request with a fresh body (GetBody), so
+// it can be sent again.
+func cloneRequest(req *http.Request) (*http.Request, bool) {
+	clone := req.Clone(req.Context())
+	if req.Body == nil || req.GetBody == nil {
+		return clone, req.Body == nil
+	}
+	body, err := req.GetBody()
+	if err != nil {
+		return nil, false
+	}
+	clone.Body = body
+	return clone, true
+}
+
+// truncatedBody serves a prefix of the real body, then fails the read —
+// the client sees a connection cut mid-response.
+type truncatedBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, fmt.Errorf("%w: response truncated", ErrInjected)
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == io.EOF {
+		return n, err
+	}
+	if b.remaining <= 0 && err == nil {
+		err = fmt.Errorf("%w: response truncated", ErrInjected)
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return b.rc.Close() }

@@ -1,0 +1,179 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/journal"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+func TestCrashPlanDeterministic(t *testing.T) {
+	for seed := uint64(0); seed < 50; seed++ {
+		a, b := NewCrashPlan(seed, 10), NewCrashPlan(seed, 10)
+		if a.CrashAt != b.CrashAt || a.Torn != b.Torn || a.TornFrac != b.TornFrac {
+			t.Fatalf("seed %d: plans differ: %+v vs %+v", seed, a, b)
+		}
+		if a.CrashAt < 1 || a.CrashAt > 10 {
+			t.Fatalf("seed %d: CrashAt %d out of [1,10]", seed, a.CrashAt)
+		}
+	}
+}
+
+// TestCrashPlanCoversAllOrdinals: across seeds the crash point must
+// reach every record boundary, or "kills the server between any two
+// journal records" would be an empty claim.
+func TestCrashPlanCoversAllOrdinals(t *testing.T) {
+	const maxRecords = 6
+	seen := map[int]bool{}
+	torn, clean := false, false
+	for seed := uint64(0); seed < 200; seed++ {
+		p := NewCrashPlan(seed, maxRecords)
+		seen[p.CrashAt] = true
+		if p.Torn {
+			torn = true
+		} else {
+			clean = true
+		}
+	}
+	for i := 1; i <= maxRecords; i++ {
+		if !seen[i] {
+			t.Errorf("no seed in [0,200) crashes at record %d", i)
+		}
+	}
+	if !torn || !clean {
+		t.Error("seeds must mix torn and clean crashes")
+	}
+}
+
+func TestCrashPlanFiresInJournal(t *testing.T) {
+	plan := NewCrashPlan(3, 4)
+	dir := t.TempDir()
+	l, err := journal.Open(dir, journal.Options{NoSync: true, Crash: plan.Hook()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := scenario.Spec{Name: "f", Nodes: 32, Days: 1, Seed: 1}
+	var appendErr error
+	for i := 0; i < 4 && appendErr == nil; i++ {
+		appendErr = l.Append(&journal.SweepSubmitted{ID: "sweep-1", Key: "k", Spec: spec, Scenarios: 1})
+		if appendErr == nil {
+			appendErr = l.Commit(context.Background())
+		}
+	}
+	if !errors.Is(appendErr, journal.ErrCrashed) {
+		t.Fatalf("journal survived 4 appends under a 4-record crash plan: %v", appendErr)
+	}
+	if !plan.Fired() {
+		t.Fatal("plan did not report firing")
+	}
+	if got := int(mustReopenCount(t, dir)); got >= 4 {
+		t.Fatalf("recovered %d records, want < 4 after crash", got)
+	}
+}
+
+func mustReopenCount(t *testing.T, dir string) int64 {
+	t.Helper()
+	l, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var n int64
+	if err := l.Replay(func(journal.Record) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestTransportFaults drives each fault kind against a live test server.
+func TestTransportFaults(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(strings.Repeat("x", 4096)))
+	}))
+	defer srv.Close()
+
+	t.Run("drop", func(t *testing.T) {
+		tr := NewTransport(1, nil)
+		tr.DropProb, tr.DelayProb, tr.DupProb, tr.TruncProb = 1, 0, 0, 0
+		client := &http.Client{Transport: tr}
+		if _, err := client.Get(srv.URL); err == nil || !strings.Contains(err.Error(), "injected") {
+			t.Fatalf("want injected drop, got %v", err)
+		}
+		if tr.Faults() != 1 {
+			t.Fatalf("faults = %d, want 1", tr.Faults())
+		}
+		// The budget caps drops: once exhausted, requests flow again.
+		tr.MaxFaults = 1
+		if _, err := client.Get(srv.URL); err != nil {
+			t.Fatalf("request after budget exhausted: %v", err)
+		}
+	})
+	t.Run("truncate", func(t *testing.T) {
+		tr := NewTransport(2, nil)
+		tr.DropProb, tr.DelayProb, tr.DupProb, tr.TruncProb = 0, 0, 0, 1
+		client := &http.Client{Transport: tr}
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err == nil || !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("want truncated body error, got %v", err)
+		}
+	})
+	t.Run("duplicate", func(t *testing.T) {
+		tr := NewTransport(3, nil)
+		tr.DropProb, tr.DelayProb, tr.DupProb, tr.TruncProb = 0, 0, 1, 0
+		client := &http.Client{Transport: tr}
+		before := hits.Load()
+		resp, err := client.Post(srv.URL, "application/json", strings.NewReader(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if got := hits.Load() - before; got != 2 {
+			t.Fatalf("server saw %d deliveries of a duplicated request, want 2", got)
+		}
+	})
+	t.Run("delay", func(t *testing.T) {
+		tr := NewTransport(4, nil)
+		tr.DropProb, tr.DelayProb, tr.DupProb, tr.TruncProb = 0, 1, 0, 0
+		tr.MaxDelay = 30 * time.Millisecond
+		client := &http.Client{Transport: tr}
+		start := time.Now()
+		resp, err := client.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if time.Since(start) > time.Second {
+			t.Fatal("delay blew past MaxDelay")
+		}
+	})
+}
+
+// TestTransportDeterministicSchedule: serial use of two same-seed
+// transports draws identical fault schedules.
+func TestTransportDeterministicSchedule(t *testing.T) {
+	a, b := NewTransport(9, nil), NewTransport(9, nil)
+	for i := 0; i < 100; i++ {
+		da, db := a.decide(), b.decide()
+		if da != db {
+			t.Fatalf("call %d: schedules diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}

@@ -1,0 +1,516 @@
+package service
+
+// Durable mode. With Config.Journal set, the service journals every
+// registry transition before acknowledging it — a submission is not
+// accepted until its SweepSubmitted record is committed, a scenario's
+// result is journaled (with its simulation digest) as each partition
+// group completes, and terminal states land as SweepTerminal records.
+// Recover replays the log on startup: finished sweeps re-register with
+// their results reassembled from the journal, unfinished ones resume
+// with only their missing scenario indices re-executed through the same
+// RunScenarios partition layer the fabric shards through — so a
+// restarted twinserver picks up mid-sweep instead of recomputing, and
+// the recovered results are byte-identical (digests and tables) to an
+// uninterrupted run.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/journal"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// OverloadError is Submit shedding load: the executor queue is past
+// MaxPending or the journal disk stalled past its commit deadline.
+// The HTTP layer maps it to 429 with a Retry-After header; api.Client
+// honors that with jittered backoff.
+type OverloadError struct {
+	RetryAfter time.Duration
+	Reason     string
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded (%s); retry in %s", e.Reason, e.RetryAfter)
+}
+
+// shedRetryAfter estimates when a shed client should come back: one
+// executor drain interval per queued batch, capped so the hint stays
+// actionable.
+func shedRetryAfter(pending, slots int) time.Duration {
+	if slots < 1 {
+		slots = 1
+	}
+	d := time.Duration(1+pending/slots) * time.Second
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// journalSubmit commits a sweep's registration record; called before
+// the submission is acknowledged. A stalled journal disk surfaces as an
+// *OverloadError so the client backs off instead of queueing behind a
+// dead disk.
+func (s *Service) journalSubmit(ctx context.Context, sw *Sweep) error {
+	err := s.cfg.Journal.Append(&journal.SweepSubmitted{
+		ID: sw.ID, Key: sw.Key, Spec: sw.Spec,
+		Scenarios: sw.scenarios, Submitted: sw.submitted,
+	})
+	if err == nil {
+		err = s.cfg.Journal.Commit(ctx)
+	}
+	switch {
+	case err == nil:
+		s.trackLive(sw.ID)
+		return nil
+	case errors.Is(err, journal.ErrStalled):
+		return &OverloadError{RetryAfter: 5 * time.Second, Reason: "journal disk stalled"}
+	default:
+		return fmt.Errorf("service: journaling submission: %w", err)
+	}
+}
+
+// runDurable executes one sweep with journaled checkpoints: recovered
+// results (from a previous incarnation's journal) fill their slots
+// verbatim, the missing partition groups run through RunScenarios, and
+// each group's results are journaled and committed as it lands — the
+// resume granularity after the next crash.
+func (s *Service) runDurable(ctx context.Context, sw *Sweep) (*scenario.SweepResults, error) {
+	spec := sw.Spec
+	part, err := spec.Partition()
+	if err != nil {
+		return nil, err
+	}
+	n := len(part.Keys)
+	results := make([]*scenario.Result, n)
+	for idx, res := range sw.recovered {
+		if idx >= 0 && idx < n && res.Scenario.Index == idx && res.SimDigest != "" {
+			r := res
+			results[idx] = &r
+		}
+	}
+
+	// Progress counts distinct resolved simulations, the same unit a
+	// direct RunProgress reports.
+	var pmu sync.Mutex
+	resolved := map[string]bool{}
+	for i, r := range results {
+		if r != nil {
+			resolved[part.RunKeys[i]] = true
+		}
+	}
+	report := func() {
+		pmu.Lock()
+		done := len(resolved)
+		pmu.Unlock()
+		sw.setProgress(done, part.Simulations)
+	}
+	report()
+
+	var missing [][]int
+	for _, key := range part.GroupOrder {
+		var need []int
+		for _, i := range part.Groups[key] {
+			if results[i] == nil {
+				need = append(need, i)
+			}
+		}
+		if len(need) > 0 {
+			missing = append(missing, need)
+		}
+	}
+
+	if len(missing) > 0 {
+		// Groups run concurrently up to the Runner's pool width; each
+		// group is one simulation (or checkpoint/fork family), so
+		// journaling per group bounds lost work to one simulation.
+		width := s.cfg.Runner.Workers
+		if width <= 0 {
+			width = runtime.GOMAXPROCS(0)
+		}
+		groupCtx, cancelGroups := context.WithCancel(ctx)
+		defer cancelGroups()
+		var (
+			wg       sync.WaitGroup
+			sem      = make(chan struct{}, width)
+			errMu    sync.Mutex
+			firstErr error
+		)
+		fail := func(err error) {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			errMu.Unlock()
+			cancelGroups()
+		}
+		for _, g := range missing {
+			g := g
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				select {
+				case sem <- struct{}{}:
+					defer func() { <-sem }()
+				case <-groupCtx.Done():
+					return
+				}
+				res, _, err := s.cfg.Runner.RunScenarios(groupCtx, spec, g, nil)
+				if err != nil {
+					fail(err)
+					return
+				}
+				recs := make([]journal.Record, len(res))
+				for j, r := range res {
+					recs[j] = &journal.ScenarioDone{Sweep: sw.ID, Index: g[j], Result: r}
+				}
+				if err := s.cfg.Journal.Append(recs...); err == nil {
+					err = s.cfg.Journal.Commit(groupCtx)
+				}
+				if err != nil {
+					fail(fmt.Errorf("service: journaling scenario results: %w", err))
+					return
+				}
+				pmu.Lock()
+				for j := range res {
+					r := res[j]
+					results[g[j]] = &r
+					resolved[part.RunKeys[g[j]]] = true
+				}
+				pmu.Unlock()
+				report()
+			}()
+		}
+		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+
+	merged := make([]scenario.Result, n)
+	for i, r := range results {
+		if r == nil {
+			return nil, fmt.Errorf("service: scenario %d unresolved after durable run", i)
+		}
+		merged[i] = *r
+	}
+	workers := s.cfg.Runner.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > part.Simulations {
+		workers = part.Simulations
+	}
+	return scenario.Assemble(spec, merged, workers)
+}
+
+// journalTerminal records a sweep reaching a terminal state. During a
+// drain, cancellation means "the process is exiting with this sweep
+// unfinished" — journaled as interrupted so recovery resumes it rather
+// than treating it as deliberately cancelled. Journal failures here are
+// deliberately swallowed: at worst the next recovery re-finishes the
+// sweep, which is safe because execution is deterministic.
+func (s *Service) journalTerminal(sw *Sweep) {
+	if s.cfg.Journal == nil {
+		return
+	}
+	st := sw.Status()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	var state string
+	switch st.State {
+	case StateDone:
+		state = journal.TerminalDone
+	case StateFailed:
+		state = journal.TerminalFailed
+	case StateCanceled:
+		if draining {
+			state = journal.TerminalInterrupted
+		} else {
+			state = journal.TerminalCanceled
+		}
+	default:
+		return
+	}
+	rec := &journal.SweepTerminal{Sweep: sw.ID, State: state, Error: st.Error}
+	if st.Finished != nil {
+		rec.Finished = *st.Finished
+	}
+	if res, _ := sw.Results(); res != nil {
+		rec.Workers = res.Workers
+	}
+	if err := s.cfg.Journal.Append(rec); err != nil {
+		return
+	}
+	if err := s.cfg.Journal.Commit(context.Background()); err != nil {
+		return
+	}
+	if state != journal.TerminalInterrupted {
+		s.trackTerminal(sw.ID)
+		s.maybeCompact()
+	}
+}
+
+// trackLive marks a sweep's journal records as retained.
+func (s *Service) trackLive(id string) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	s.jLive[id] = true
+}
+
+// trackTerminal queues a finally-terminal sweep (done/failed/canceled —
+// not interrupted, which must survive for resumption) for retention
+// accounting.
+func (s *Service) trackTerminal(id string) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	s.jTerm = append(s.jTerm, id)
+}
+
+// maybeCompact drops the oldest finally-terminal sweeps past the
+// retention bound from the live set and compacts the journal. Segment-
+// granular: records disappear from disk only when every record in their
+// segment is dead.
+func (s *Service) maybeCompact() {
+	s.jmu.Lock()
+	dropped := 0
+	for len(s.jTerm) > s.cfg.Retention {
+		delete(s.jLive, s.jTerm[0])
+		s.jTerm = s.jTerm[1:]
+		dropped++
+	}
+	s.jmu.Unlock()
+	if dropped == 0 {
+		return
+	}
+	_, _ = s.cfg.Journal.Compact(func(rec journal.Record) bool {
+		s.jmu.Lock()
+		defer s.jmu.Unlock()
+		return s.jLive[rec.SweepID()]
+	})
+}
+
+// RecoveryStats summarises what Recover found in the journal.
+type RecoveryStats struct {
+	// Sweeps is how many journaled sweeps were re-registered.
+	Sweeps int
+	// Resumed is how many were unfinished (or interrupted) and resumed
+	// execution.
+	Resumed int
+	// Finished is how many were already terminal and re-registered
+	// with their journaled outcome.
+	Finished int
+	// ReusedResults counts journaled scenario results reused verbatim
+	// instead of re-simulated.
+	ReusedResults int
+}
+
+// Recover replays the journal and rebuilds the sweep registry: finished
+// sweeps re-register with their results assembled from journaled
+// records, unfinished ones resume executing their missing scenario
+// indices. Call once, after New and before serving traffic; the service
+// must be otherwise idle.
+func (s *Service) Recover(ctx context.Context) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if s.cfg.Journal == nil {
+		return stats, errors.New("service: Recover requires durable mode (Config.Journal)")
+	}
+	type sweepState struct {
+		sub     *journal.SweepSubmitted
+		results map[int]scenario.Result
+		term    *journal.SweepTerminal
+	}
+	states := map[string]*sweepState{}
+	var order []string
+	err := s.cfg.Journal.Replay(func(rec journal.Record) error {
+		id := rec.SweepID()
+		st, ok := states[id]
+		if !ok {
+			st = &sweepState{results: map[int]scenario.Result{}}
+			states[id] = st
+			order = append(order, id)
+		}
+		switch r := rec.(type) {
+		case *journal.SweepSubmitted:
+			st.sub = r
+		case *journal.ScenarioDone:
+			st.results[r.Index] = r.Result
+		case *journal.SweepTerminal:
+			// Latest terminal wins: a done overwritten by an interrupted
+			// (a drain racing completion) resumes and re-finishes
+			// identically.
+			st.term = r
+		}
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+
+	for _, id := range order {
+		st := states[id]
+		if st.sub == nil {
+			// Orphan records of a compacted-away sweep sharing a segment
+			// with a live one; nothing to restore.
+			continue
+		}
+		stats.Sweeps++
+		var seq int
+		if _, err := fmt.Sscanf(id, "sweep-%d", &seq); err == nil {
+			s.mu.Lock()
+			if seq > s.nextID {
+				s.nextID = seq
+			}
+			s.mu.Unlock()
+		}
+		s.trackLive(id)
+
+		final := st.term != nil && st.term.State != journal.TerminalInterrupted
+		if final && st.term.State == journal.TerminalDone {
+			if res, err := assembleRecovered(st.sub, st.results, st.term.Workers); err == nil {
+				sw, _ := s.newRecoveredSweep(st.sub, nil)
+				sw.finished = st.term.Finished
+				sw.st, sw.res = StateDone, res
+				sw.simsTotal, sw.simsDone = res.Simulations, res.Simulations
+				close(sw.done)
+				s.publish(sw)
+				s.retire(sw)
+				s.trackTerminal(id)
+				stats.Finished++
+				stats.ReusedResults += len(st.results)
+				continue
+			}
+			// A done terminal without its full result set (lost to a torn
+			// tail): fall through and resume — determinism guarantees the
+			// re-run finishes identically.
+		}
+		if final && st.term.State != journal.TerminalDone {
+			sw, _ := s.newRecoveredSweep(st.sub, nil)
+			sw.finished = st.term.Finished
+			msg := st.term.Error
+			if msg == "" {
+				msg = "sweep " + st.term.State
+			}
+			if st.term.State == journal.TerminalCanceled {
+				sw.st, sw.err = StateCanceled, errors.New(msg)
+			} else {
+				sw.st, sw.err = StateFailed, errors.New(msg)
+			}
+			close(sw.done)
+			s.publish(sw)
+			s.retire(sw)
+			s.trackTerminal(id)
+			stats.Finished++
+			continue
+		}
+
+		// Unfinished (no terminal, or interrupted): resume with the
+		// journaled results seeded in; only missing indices re-execute.
+		sw, runCtx := s.newRecoveredSweep(st.sub, st.results)
+		s.publish(sw)
+		stats.Resumed++
+		stats.ReusedResults += len(st.results)
+		go s.execute(runCtx, sw)
+	}
+	s.maybeCompact()
+	return stats, nil
+}
+
+// assembleRecovered rebuilds a completed sweep's results from its
+// journaled records (workers comes from the terminal record, so the
+// recovered payload matches the original byte for byte); errors if any
+// scenario index is missing.
+func assembleRecovered(sub *journal.SweepSubmitted, results map[int]scenario.Result, workers int) (*scenario.SweepResults, error) {
+	merged := make([]scenario.Result, sub.Scenarios)
+	for i := range merged {
+		res, ok := results[i]
+		if !ok {
+			return nil, fmt.Errorf("service: recovered sweep %s is missing scenario %d", sub.ID, i)
+		}
+		merged[i] = res
+	}
+	return scenario.Assemble(sub.Spec, merged, workers)
+}
+
+// newRecoveredSweep re-creates a journaled sweep. Recovered sweeps are
+// pinned: no client holds a reference, and an interrupted sweep must
+// run to completion regardless. The caller finishes populating the
+// sweep and then publishes it.
+func (s *Service) newRecoveredSweep(sub *journal.SweepSubmitted, recovered map[int]scenario.Result) (*Sweep, context.Context) {
+	runCtx, cancel := context.WithCancel(s.base)
+	sw := &Sweep{
+		ID:        sub.ID,
+		Key:       sub.Key,
+		Spec:      sub.Spec,
+		scenarios: sub.Scenarios,
+		submitted: sub.Submitted,
+		st:        StatePending,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		pinned:    true,
+		recovered: recovered,
+	}
+	return sw, runCtx
+}
+
+// publish registers a (fully populated) recovered sweep.
+func (s *Service) publish(sw *Sweep) {
+	s.mu.Lock()
+	s.sweeps[sw.ID] = sw
+	s.byKey[sw.Key] = sw
+	s.mu.Unlock()
+}
+
+// Drain stops accepting submissions and gives in-flight sweeps until
+// ctx expires to finish naturally. Stragglers are then cancelled and —
+// in durable mode — journaled as interrupted, so the next Recover
+// resumes them. Returns how many sweeps were interrupted; the service
+// is shut down when Drain returns.
+func (s *Service) Drain(ctx context.Context) int {
+	s.mu.Lock()
+	s.draining = true
+	var active []*Sweep
+	for _, sw := range s.sweeps {
+		if !sw.state().Terminal() {
+			active = append(active, sw)
+		}
+	}
+	s.mu.Unlock()
+
+	for _, sw := range active {
+		select {
+		case <-sw.Done():
+		case <-ctx.Done():
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	interrupted := 0
+	for _, sw := range active {
+		if !sw.state().Terminal() {
+			interrupted++
+		}
+	}
+	s.stop()
+	// Bounded grace for the executors to unwind and journal their
+	// interrupted records.
+	grace := time.After(2 * time.Second)
+	for _, sw := range active {
+		select {
+		case <-sw.Done():
+		case <-grace:
+		}
+	}
+	return interrupted
+}

@@ -1,0 +1,465 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/greenhpc/archertwin/internal/api"
+	"github.com/greenhpc/archertwin/internal/journal"
+	"github.com/greenhpc/archertwin/internal/scenario"
+)
+
+// crashSpec is the durability acceptance sweep: two axes, four
+// scenarios, two distinct simulations (the grid axis shares them), so a
+// crash can land between any two of its ~6 journal records.
+func crashSpec() scenario.Spec {
+	return scenario.Spec{
+		Name:  "crash",
+		Nodes: 32,
+		Days:  1,
+		Seed:  11,
+		Axes: scenario.Axes{
+			Frequency: []string{"stock", "capped"},
+			GridMean:  []float64{200, 65},
+		},
+	}
+}
+
+// digestsOf extracts the per-scenario simulation digests in expansion
+// order — the byte-identity witness.
+func digestsOf(res *scenario.SweepResults) []string {
+	out := make([]string, len(res.Results))
+	for i, r := range res.Results {
+		out[i] = r.SimDigest
+	}
+	return out
+}
+
+// tablesJSON renders the comparison tables to JSON: recovered sweeps
+// must reproduce them byte for byte.
+func tablesJSON(t *testing.T, res *scenario.SweepResults) string {
+	t.Helper()
+	payload := struct {
+		Delta  any `json:"delta"`
+		Regime any `json:"regime"`
+	}{res.Table(), res.RegimeTable()}
+	data, err := json.Marshal(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func waitDone(t *testing.T, sw *Sweep) {
+	t.Helper()
+	select {
+	case <-sw.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("sweep %s did not finish", sw.ID)
+	}
+}
+
+// TestDurableCompleteAndRecoverFinished: a completed sweep survives a
+// restart — it re-registers from the journal with byte-identical
+// results, zero re-simulation, and keeps serving dedup joins.
+func TestDurableCompleteAndRecoverFinished(t *testing.T) {
+	ctx := context.Background()
+	spec := crashSpec()
+	dir := t.TempDir()
+
+	jl1, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner1 := &scenario.Runner{Workers: 1}
+	svc1, err := New(Config{Runner: runner1, Journal: jl1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, joined, err := svc1.Submit(ctx, spec, false)
+	if err != nil || joined {
+		t.Fatalf("Submit = (joined=%v, %v), want fresh sweep", joined, err)
+	}
+	waitDone(t, sw)
+	res1, err := sw.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.Shutdown()
+	if err := jl1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": fresh journal handle, fresh runner (cold memo).
+	jl2, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	runner2 := &scenario.Runner{Workers: 1}
+	svc2, err := New(Config{Runner: runner2, Journal: jl2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Shutdown()
+	stats, err := svc2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Sweeps != 1 || stats.Finished != 1 || stats.Resumed != 0 {
+		t.Errorf("stats = %+v, want 1 sweep recovered finished", stats)
+	}
+	if stats.ReusedResults != len(res1.Results) {
+		t.Errorf("ReusedResults = %d, want %d", stats.ReusedResults, len(res1.Results))
+	}
+
+	sw2, ok := svc2.Get(sw.ID)
+	if !ok {
+		t.Fatalf("recovered service lost sweep %s", sw.ID)
+	}
+	if st := sw2.Status(); st.State != StateDone {
+		t.Fatalf("recovered state = %s, want done", st.State)
+	}
+	res2, err := sw2.Results()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := digestsOf(res2), digestsOf(res1); !equalStrings(got, want) {
+		t.Errorf("recovered digests %v != original %v", got, want)
+	}
+	if got, want := tablesJSON(t, res2), tablesJSON(t, res1); got != want {
+		t.Errorf("recovered tables differ:\n%s\nvs\n%s", got, want)
+	}
+	if res2.Workers != res1.Workers {
+		t.Errorf("recovered workers = %d, want %d", res2.Workers, res1.Workers)
+	}
+	if misses := runner2.CacheStats().Misses; misses != 0 {
+		t.Errorf("recovery re-simulated: %d memo misses, want 0", misses)
+	}
+	// The recovered sweep keeps serving singleflight joins.
+	joinedSw, joined, err := svc2.Submit(ctx, spec, false)
+	if err != nil || !joined || joinedSw.ID != sw.ID {
+		t.Errorf("resubmission = (%v, joined=%v, %v), want join onto %s", joinedSw, joined, err, sw.ID)
+	}
+}
+
+// TestDurableResumeFromPartialJournal: a journal holding a submission
+// plus one group's results resumes with only the missing simulation
+// re-executed, and the assembled sweep matches an uninterrupted run.
+func TestDurableResumeFromPartialJournal(t *testing.T) {
+	ctx := context.Background()
+	spec := crashSpec().Canonical()
+	part, err := spec.Partition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRunner := &scenario.Runner{Workers: 1}
+	ref, err := refRunner.RunProgress(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Craft the mid-crash journal: submission committed, first partition
+	// group journaled, the rest lost.
+	dir := t.TempDir()
+	jl, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	group0 := part.Groups[part.GroupOrder[0]]
+	recs := []journal.Record{&journal.SweepSubmitted{
+		ID: "sweep-7", Key: SpecKey(spec), Spec: spec,
+		Scenarios: len(part.Keys), Submitted: time.Now().UTC(),
+	}}
+	for _, idx := range group0 {
+		recs = append(recs, &journal.ScenarioDone{Sweep: "sweep-7", Index: idx, Result: ref.Results[idx]})
+	}
+	if err := jl.Append(recs...); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jl2, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	runner2 := &scenario.Runner{Workers: 1}
+	svc2, err := New(Config{Runner: runner2, Journal: jl2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Shutdown()
+	stats, err := svc2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 1 || stats.ReusedResults != len(group0) {
+		t.Errorf("stats = %+v, want 1 resumed reusing %d results", stats, len(group0))
+	}
+	sw, ok := svc2.Get("sweep-7")
+	if !ok {
+		t.Fatal("resumed sweep not registered")
+	}
+	waitDone(t, sw)
+	res, err := sw.Results()
+	if err != nil {
+		t.Fatalf("resumed sweep failed: %v", err)
+	}
+	if got, want := digestsOf(res), digestsOf(ref); !equalStrings(got, want) {
+		t.Errorf("resumed digests %v != reference %v", got, want)
+	}
+	if got, want := tablesJSON(t, res), tablesJSON(t, ref); got != want {
+		t.Errorf("resumed tables differ from reference")
+	}
+	// Exactly the missing simulations re-executed: group0's simulation
+	// came from the journal.
+	wantMisses := part.Simulations - 1
+	if misses := runner2.CacheStats().Misses; misses != wantMisses {
+		t.Errorf("memo misses = %d, want %d (journaled results must not re-simulate)", misses, wantMisses)
+	}
+	// The restored ID counter continues past the journaled sweep.
+	other := crashSpec()
+	other.Seed = 99
+	fresh, _, err := svc2.Submit(ctx, other, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID != "sweep-8" {
+		t.Errorf("next ID after recovering sweep-7 = %s, want sweep-8", fresh.ID)
+	}
+	waitDone(t, fresh)
+}
+
+// TestDurableDrainInterruptsAndResumes: a sweep still queued when the
+// drain deadline passes is journaled as interrupted — not canceled — and
+// the next recovery resumes it to done.
+func TestDurableDrainInterruptsAndResumes(t *testing.T) {
+	ctx := context.Background()
+	spec := crashSpec()
+	dir := t.TempDir()
+
+	jl1, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1, err := New(Config{Runner: &scenario.Runner{Workers: 1}, Journal: jl1, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Occupy the only executor slot so the sweep is pinned pending —
+	// deterministically in flight when the drain deadline passes.
+	svc1.sem <- struct{}{}
+	sw, _, err := svc1.Submit(ctx, spec, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	if interrupted := svc1.Drain(expired); interrupted != 1 {
+		t.Fatalf("Drain interrupted %d sweeps, want 1", interrupted)
+	}
+	waitDone(t, sw)
+	if st := sw.state(); st != StateCanceled {
+		t.Fatalf("drained sweep state = %s, want canceled", st)
+	}
+	// Draining a shut-down service refuses new submissions.
+	if _, _, err := svc1.Submit(ctx, spec, false); !errors.Is(err, ErrShutdown) {
+		t.Errorf("Submit after Drain = %v, want ErrShutdown", err)
+	}
+	jl1.Close()
+
+	// The terminal record must say interrupted, so recovery resumes
+	// instead of honouring a cancellation.
+	jl2, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	var terminals []string
+	if err := jl2.Replay(func(rec journal.Record) error {
+		if term, ok := rec.(*journal.SweepTerminal); ok {
+			terminals = append(terminals, term.State)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(terminals) != 1 || terminals[0] != journal.TerminalInterrupted {
+		t.Fatalf("journaled terminals = %v, want [interrupted]", terminals)
+	}
+
+	svc2, err := New(Config{Runner: &scenario.Runner{Workers: 1}, Journal: jl2, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Shutdown()
+	stats, err := svc2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 1 {
+		t.Fatalf("stats = %+v, want the interrupted sweep resumed", stats)
+	}
+	sw2, ok := svc2.Get(sw.ID)
+	if !ok {
+		t.Fatal("interrupted sweep not re-registered")
+	}
+	waitDone(t, sw2)
+	if st := sw2.state(); st != StateDone {
+		res, rerr := sw2.Results()
+		t.Fatalf("resumed sweep state = %s (res=%v err=%v), want done", st, res, rerr)
+	}
+}
+
+// TestSubmitShedsWhenSaturated: past MaxPending queued sweeps, new
+// distinct submissions shed with 429 + Retry-After while dedup joins
+// keep working; the queue drains and submissions flow again.
+func TestSubmitShedsWhenSaturated(t *testing.T) {
+	ctx := context.Background()
+	block := make(chan struct{})
+	run := func(ctx context.Context, spec scenario.Spec, progress func(done, total int)) (*scenario.SweepResults, error) {
+		select {
+		case <-block:
+			return &scenario.SweepResults{Spec: spec}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	svc, srv := newTestServer(t, Config{Run: run, MaxConcurrent: 1, MaxPending: 1})
+	defer close(block)
+
+	specN := func(seed uint64) scenario.Spec {
+		s := smallSpec()
+		s.Seed = seed
+		return s
+	}
+	// First sweep takes the slot, second queues.
+	if _, _, err := svc.Submit(ctx, specN(1), false); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.Stats().Executing != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("first sweep never took the executor slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := svc.Submit(ctx, specN(2), false); err != nil {
+		t.Fatal(err)
+	}
+	// Third distinct sweep is shed.
+	_, _, err := svc.Submit(ctx, specN(3), false)
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("saturated Submit = %v, want *OverloadError", err)
+	}
+	if oe.RetryAfter < time.Second {
+		t.Errorf("RetryAfter = %v, want >= 1s", oe.RetryAfter)
+	}
+	// A dedup join of the queued sweep is exempt from shedding.
+	if _, joined, err := svc.Submit(ctx, specN(2), false); err != nil || !joined {
+		t.Errorf("dedup join under saturation = (joined=%v, %v), want join", joined, err)
+	}
+	// Over HTTP the shed answers 429 with a Retry-After header.
+	resp := postSweep(t, srv.URL+"/v1/sweeps", specN(4))
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("shed HTTP status = %d, want 429", resp.StatusCode)
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err != nil || secs < 1 {
+		t.Errorf("Retry-After = %q, want integer seconds >= 1", resp.Header.Get("Retry-After"))
+	}
+	var env api.ErrorEnvelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil || env.Error == nil || env.Error.Code != api.ErrOverloaded {
+		t.Errorf("shed envelope = (%+v, %v), want code overloaded", env, err)
+	}
+}
+
+// TestDurableRetentionCompaction: finally-terminal sweeps beyond the
+// retention bound lose their journal records (segment-granularly), while
+// retained sweeps survive replay and recovery.
+func TestDurableRetentionCompaction(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	// Tiny segments so each sweep's records seal quickly and dead
+	// segments actually unlink.
+	jl, err := journal.Open(dir, journal.Options{NoSync: true, SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(Config{Runner: &scenario.Runner{Workers: 1}, Journal: jl, Retention: 1, MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		spec := crashSpec()
+		spec.Seed = seed
+		sw, _, err := svc.Submit(ctx, spec, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitDone(t, sw)
+		if st := sw.state(); st != StateDone {
+			t.Fatalf("sweep seed %d state = %s", seed, st)
+		}
+	}
+	svc.Shutdown()
+	if err := jl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	jl2, err := journal.Open(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl2.Close()
+	bySweep := map[string]int{}
+	if err := jl2.Replay(func(rec journal.Record) error {
+		bySweep[rec.SweepID()]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if bySweep["sweep-1"] != 0 {
+		t.Errorf("sweep-1 still has %d journal records past retention", bySweep["sweep-1"])
+	}
+	if bySweep["sweep-3"] == 0 {
+		t.Error("retained sweep-3 lost its journal records")
+	}
+	// Recovery of the compacted journal restores only retained sweeps.
+	svc2, err := New(Config{Runner: &scenario.Runner{Workers: 1}, Journal: jl2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Shutdown()
+	stats, err := svc2.Recover(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc2.Get("sweep-1"); ok {
+		t.Error("compacted-away sweep-1 reappeared after recovery")
+	}
+	if _, ok := svc2.Get("sweep-3"); !ok {
+		t.Errorf("retained sweep-3 missing after recovery (stats %+v)", stats)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

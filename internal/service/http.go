@@ -81,6 +81,11 @@ func handleSubmit(svc *Service, w http.ResponseWriter, r *http.Request) {
 	// so it survives the immediate end of this request.
 	sw, joined, err := svc.Submit(r.Context(), spec, wait)
 	if err != nil {
+		var oe *OverloadError
+		if errors.As(err, &oe) {
+			api.WriteOverloaded(w, oe.RetryAfter, err.Error())
+			return
+		}
 		code, ec := http.StatusBadRequest, api.ErrBadRequest
 		if errors.Is(err, ErrShutdown) {
 			code, ec = http.StatusServiceUnavailable, api.ErrUnavailable

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"github.com/greenhpc/archertwin/internal/api"
+	"github.com/greenhpc/archertwin/internal/journal"
 	"github.com/greenhpc/archertwin/internal/scenario"
 )
 
@@ -85,6 +86,24 @@ type Config struct {
 	// 64); the oldest-finished are retired first. Results they pinned
 	// remain reachable through the Runner's memo until that evicts them.
 	MaxFinished int
+	// Journal, when non-nil, makes the service durable: every registry
+	// transition is journaled and committed before it is acknowledged,
+	// and Recover replays the log on startup (see durable.go). Durable
+	// mode requires Runner — the resume path re-executes missing
+	// scenario indices through it — and is incompatible with a Run
+	// override.
+	Journal *journal.Log
+	// Retention bounds how many finally-terminal sweeps keep their
+	// records in the journal before compaction drops them (default:
+	// MaxFinished). Interrupted sweeps are always retained — they are
+	// the ones recovery exists for.
+	Retention int
+	// MaxPending bounds sweeps queued for an executor slot: once the
+	// executor is saturated and this many sweeps are pending, Submit
+	// sheds load with an *OverloadError (HTTP 429 + Retry-After)
+	// instead of queueing unboundedly. 0 means unbounded (the
+	// pre-durability behaviour).
+	MaxPending int
 }
 
 // Service is a long-lived sweep registry and executor. Create with New;
@@ -101,7 +120,13 @@ type Service struct {
 	byKey        map[string]*Sweep // latest sweep per canonical spec key
 	finished     []string          // retirement order (IDs, oldest first)
 	nextID       int
-	shardsServed int // completed POST /v1/shards executions
+	shardsServed int  // completed POST /v1/shards executions
+	draining     bool // Drain in progress: reject submissions, map cancellations to interrupted
+
+	// Journal retention bookkeeping (durable mode; see durable.go).
+	jmu   sync.Mutex
+	jLive map[string]bool // sweep IDs whose journal records are retained
+	jTerm []string        // finally-terminal sweep IDs, oldest first
 }
 
 // New creates a Service around cfg.
@@ -109,11 +134,17 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Runner == nil && cfg.Run == nil {
 		return nil, errors.New("service: Config.Runner (or Run) is required")
 	}
+	if cfg.Journal != nil && (cfg.Runner == nil || cfg.Run != nil) {
+		return nil, errors.New("service: durable mode (Config.Journal) requires Runner, without a Run override")
+	}
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2
 	}
 	if cfg.MaxFinished <= 0 {
 		cfg.MaxFinished = 64
+	}
+	if cfg.Retention <= 0 {
+		cfg.Retention = cfg.MaxFinished
 	}
 	run := cfg.Run
 	if run == nil {
@@ -128,6 +159,7 @@ func New(cfg Config) (*Service, error) {
 		stop:   stop,
 		sweeps: make(map[string]*Sweep),
 		byKey:  make(map[string]*Sweep),
+		jLive:  make(map[string]bool),
 	}, nil
 }
 
@@ -165,11 +197,33 @@ func (s *Service) Submit(ctx context.Context, spec scenario.Spec, attach bool) (
 	key := SpecKey(spec)
 
 	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, false, ErrShutdown
+	}
 	if sw := s.byKey[key]; sw != nil {
 		if st := sw.state(); st != StateFailed && st != StateCanceled {
 			s.mu.Unlock()
 			sw.join(ctx, attach)
 			return sw, true, nil
+		}
+	}
+	// Load shedding: a new sweep that would queue beyond MaxPending is
+	// refused with a Retry-After hint instead of growing the backlog.
+	// Dedup joins above are exempt — they cost nothing to serve.
+	if s.cfg.MaxPending > 0 && len(s.sem) == cap(s.sem) {
+		pending := 0
+		for _, sw := range s.sweeps {
+			if sw.state() == StatePending {
+				pending++
+			}
+		}
+		if pending >= s.cfg.MaxPending {
+			s.mu.Unlock()
+			return nil, false, &OverloadError{
+				RetryAfter: shedRetryAfter(pending, cap(s.sem)),
+				Reason:     "executor saturated",
+			}
 		}
 	}
 	s.nextID++
@@ -187,6 +241,25 @@ func (s *Service) Submit(ctx context.Context, spec scenario.Spec, attach bool) (
 	s.sweeps[sw.ID] = sw
 	s.byKey[key] = sw
 	s.mu.Unlock()
+
+	// Durable mode: the submission is journaled and committed before it
+	// is acknowledged. If the journal refuses (crash injection, disk
+	// stall, full disk) the registration is rolled back — an
+	// unacknowledged sweep must not survive a restart.
+	if s.cfg.Journal != nil {
+		if jerr := s.journalSubmit(ctx, sw); jerr != nil {
+			s.mu.Lock()
+			delete(s.sweeps, sw.ID)
+			if s.byKey[key] == sw {
+				delete(s.byKey, key)
+			}
+			s.mu.Unlock()
+			sw.finish(nil, jerr)
+			close(sw.done)
+			sw.cancel()
+			return nil, false, jerr
+		}
+	}
 
 	sw.join(ctx, attach)
 	go s.execute(runCtx, sw)
@@ -307,15 +380,23 @@ func (s *Service) execute(ctx context.Context, sw *Sweep) {
 		defer func() { <-s.sem }()
 	case <-ctx.Done():
 		sw.finish(nil, ctx.Err())
+		s.journalTerminal(sw)
 		s.retire(sw)
 		return
 	}
 	sw.setRunning()
-	res, err := s.run(ctx, sw.Spec, sw.setProgress)
+	var res *scenario.SweepResults
+	var err error
+	if s.cfg.Journal != nil {
+		res, err = s.runDurable(ctx, sw)
+	} else {
+		res, err = s.run(ctx, sw.Spec, sw.setProgress)
+	}
 	if err == nil && ctx.Err() != nil {
 		err = ctx.Err()
 	}
 	sw.finish(res, err)
+	s.journalTerminal(sw)
 	s.retire(sw)
 }
 
@@ -351,6 +432,7 @@ type Sweep struct {
 	scenarios int
 	cancel    context.CancelFunc
 	done      chan struct{}
+	recovered map[int]scenario.Result // journaled results seeded by Recover, keyed by expansion index
 
 	mu        sync.Mutex
 	st        State
